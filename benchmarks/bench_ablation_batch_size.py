@@ -1,0 +1,104 @@
+"""Ablation: why batch processing matters (Section 4.2).
+
+"Batch processing is an important technique for high-speed packet
+processing" — the bufArray exists so packets pass to DPDK in batches
+rather than one by one.  This ablation adds an explicit per-send-call cost
+(driver entry + doorbell write, amortized away at the default batch size)
+and sweeps the batch size: per-packet cost explodes for tiny batches and
+converges once the call overhead is spread over ~32+ packets.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro import MoonGenEnv
+from repro.nicsim.cpu import CycleCostModel, OpCost, OpCosts
+from repro.units import to_mpps
+
+#: A realistic per-call cost: driver entry, descriptor-ring tail update,
+#: and the uncached doorbell write to the NIC.
+CALL_OVERHEAD = OpCost(cycles=120.0, stall_ns=60.0)
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 63, 128)
+DURATION_NS = 250_000
+
+
+def run_batch(batch_size: int, freq_hz: float = 1.2e9) -> float:
+    env = MoonGenEnv(seed=13, core_freq_hz=freq_hz)
+    costs = OpCosts(tx_call_overhead=CALL_OVERHEAD)
+    env.cost_model = CycleCostModel(costs=costs, seed=13)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+
+    def slave(env, queue):
+        mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(pkt_length=60))
+        bufs = mem.buf_array(batch_size)
+        while env.running():
+            bufs.alloc(60)
+            # CPU-bound workload so the link never masks the call overhead.
+            bufs.charge_random_fields(8)
+            yield queue.send(bufs)
+
+    env.launch(slave, env, tx.get_tx_queue(0))
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+    return tx.tx_packets / (env.now_ns / 1e9)
+
+
+def test_ablation_batch_size(benchmark):
+    def experiment():
+        return {b: run_batch(b) for b in BATCH_SIZES}
+
+    rates = run_once(benchmark, experiment)
+    best = max(rates.values())
+    rows = [
+        [b, f"{to_mpps(pps):.2f}", f"{pps / best * 100:.0f}%"]
+        for b, pps in rates.items()
+    ]
+    print_table(
+        "Ablation: throughput vs batch size (1.2 GHz, per-call overhead on)",
+        ["batch", "Mpps", "relative"],
+        rows,
+    )
+
+    # One-by-one processing loses roughly a third of the throughput.
+    assert rates[1] < 0.75 * best
+    # Batching converges: 32 is within a few percent of 128.
+    assert rates[32] > 0.95 * rates[128]
+    # Monotone improvement with batch size.
+    series = [rates[b] for b in BATCH_SIZES]
+    assert all(b >= a * 0.99 for a, b in zip(series, series[1:]))
+
+
+def test_ablation_default_model_batch_insensitive(benchmark):
+    """Control: with the calibrated default costs (call overhead already
+    amortized into tx_base) the batch size barely matters, confirming the
+    ablation isolates the per-call term."""
+    def experiment():
+        def run_default(batch_size):
+            env = MoonGenEnv(seed=14, core_freq_hz=1.2e9)
+            tx = env.config_device(0, tx_queues=1)
+            rx = env.config_device(1, rx_queues=1)
+            env.connect(tx, rx)
+
+            def slave(env, queue):
+                mem = env.create_mempool(
+                    fill=lambda b: b.udp_packet.fill(pkt_length=60))
+                bufs = mem.buf_array(batch_size)
+                while env.running():
+                    bufs.alloc(60)
+                    bufs.charge_random_fields(8)
+                    yield queue.send(bufs)
+
+            env.launch(slave, env, tx.get_tx_queue(0))
+            env.wait_for_slaves(duration_ns=DURATION_NS)
+            return tx.tx_packets / (env.now_ns / 1e9)
+
+        return run_default(1), run_default(63)
+
+    one, many = run_once(benchmark, experiment)
+    print_table(
+        "control: default cost model",
+        ["batch", "Mpps"],
+        [[1, f"{to_mpps(one):.2f}"], [63, f"{to_mpps(many):.2f}"]],
+    )
+    assert one == pytest.approx(many, rel=0.05)

@@ -1,0 +1,58 @@
+"""Ablation: the DuT's rx ring depth sets the overload latency plateau.
+
+Section 8.3 observes "a very large latency (about 2 ms in this test setup)
+as all buffers are filled".  The plateau is the ring depth times the
+per-packet service time: 4096 x 526 ns ≈ 2.15 ms.  Sweeping the ring depth
+confirms the linear relation and anchors the calibration choice in
+DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro.dut import simulate_forwarder
+from repro.dut.fastpath import DEFAULT_SERVICE_NS
+
+RING_SIZES = (512, 1024, 2048, 4096, 8192)
+OVERLOAD_PPS = 2.6e6
+WINDOW_S = 0.05
+
+
+def overload_latency(ring_size: int) -> tuple:
+    arrivals = np.arange(int(OVERLOAD_PPS * WINDOW_S)) * (1e9 / OVERLOAD_PPS)
+    res = simulate_forwarder(arrivals, ring_size=ring_size)
+    lat = res.latencies_ns[~np.isnan(res.latencies_ns)]
+    # The steady-state plateau: the latency after the ring has filled.
+    tail = float(np.median(lat[len(lat) // 2:]))
+    return tail, res.drop_rate
+
+
+def test_ablation_ring_size_sets_plateau(benchmark):
+    def experiment():
+        return {size: overload_latency(size) for size in RING_SIZES}
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for size, (tail, drops) in results.items():
+        predicted = size * DEFAULT_SERVICE_NS
+        rows.append([
+            size, f"{tail / 1e6:.2f} ms", f"{predicted / 1e6:.2f} ms",
+            f"{drops * 100:.1f}%",
+        ])
+    print_table(
+        "Ablation: overload latency plateau vs rx ring depth (2.6 Mpps)",
+        ["ring", "measured plateau", "ring x service", "drops"],
+        rows,
+    )
+
+    for size, (tail, drops) in results.items():
+        assert tail == pytest.approx(size * DEFAULT_SERVICE_NS, rel=0.15)
+        assert drops > 0
+
+    # The paper's setup: 4096 descriptors -> "about 2 ms".
+    tail_4096, _ = results[4096]
+    assert tail_4096 == pytest.approx(2.15e6, rel=0.1)
+
+    # Linearity: doubling the ring doubles the plateau.
+    assert results[8192][0] == pytest.approx(2 * results[4096][0], rel=0.1)

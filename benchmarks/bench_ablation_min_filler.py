@@ -1,0 +1,109 @@
+"""Ablation: the enforced minimum filler size of the CRC-gap mechanism.
+
+MoonGen enforces 76 B wire length for invalid frames although the NICs
+accept 33 B, because short frames overload the MAC (max ~15.6 Mpps,
+Section 8.1).  The trade-off: a smaller minimum shrinks the
+unrepresentable gap range (better precision for tiny gaps) but pushes the
+total frame rate toward the MAC limit.  This ablation quantifies both
+sides of the design choice.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.ratecontrol import (
+    CbrPattern,
+    GapFiller,
+    SHORT_FRAME_MAX_PPS,
+    crc_rate_control_frame_rate,
+)
+
+MIN_FILLERS = (33, 50, 76, 120)
+
+
+def test_ablation_precision_vs_min_filler(benchmark):
+    """Smaller minimum filler -> tighter worst-case gap error."""
+    def experiment():
+        out = {}
+        for min_wire in MIN_FILLERS:
+            filler = GapFiller(min_filler_wire=min_wire)
+            plan = filler.plan([95.0] * 20_000)  # 27.8 ns idle: tiny gap
+            out[min_wire] = (
+                float(np.abs(plan.actual_gaps_ns - 95.0).max()),
+                float(plan.actual_gaps_ns.mean()),
+            )
+        return out
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [m, f"±{worst:.1f} ns", f"{mean:.2f} ns",
+         f"{(m - 1) * 0.8:.1f} ns"]
+        for m, (worst, mean) in results.items()
+    ]
+    print_table(
+        "Ablation: 95 ns gaps, worst per-gap error vs minimum filler",
+        ["min filler [B]", "worst error", "achieved mean", "unrepresentable up to"],
+        rows,
+    )
+    worst_errors = [results[m][0] for m in MIN_FILLERS]
+    assert worst_errors == sorted(worst_errors)  # monotone in the minimum
+    for m, (worst, mean) in results.items():
+        assert mean == pytest.approx(95.0, rel=0.002)  # accuracy always high
+        assert worst <= m * 0.8  # error bounded by the filler size
+
+
+def test_ablation_frame_rate_vs_min_filler(benchmark):
+    """Smaller fillers mean more frames: the MAC-limit headroom shrinks."""
+    def experiment():
+        out = {}
+        for min_wire in MIN_FILLERS:
+            filler = GapFiller(min_filler_wire=min_wire)
+            plan = filler.plan_pattern(CbrPattern(8e6), 20_000)
+            out[min_wire] = crc_rate_control_frame_rate(plan)
+        return out
+
+    rates = run_once(benchmark, experiment)
+    rows = [
+        [m, f"{r / 1e6:.2f} Mpps", f"{r / SHORT_FRAME_MAX_PPS * 100:.0f}%"]
+        for m, r in rates.items()
+    ]
+    print_table(
+        "Ablation: total frame rate at 8 Mpps CBR vs minimum filler",
+        ["min filler [B]", "total frames", "of MAC limit"],
+        rows,
+    )
+    # More headroom with larger fillers.
+    series = [rates[m] for m in MIN_FILLERS]
+    assert series == sorted(series, reverse=True)
+    # The default (76 B) keeps the stream within the MAC's 15.6 Mpps.
+    assert rates[76] <= SHORT_FRAME_MAX_PPS
+
+
+def test_ablation_default_is_balanced(benchmark):
+    """The 76 B default: worst-case error ~30 ns (already better than any
+    software pacing, Section 8.4) with the MAC limit respected across the
+    whole feasible CBR range."""
+    def experiment():
+        filler = GapFiller()  # default 76 B
+        errors = {}
+        for rate_mpps in (1, 5, 9, 13):
+            plan = filler.plan_pattern(CbrPattern(rate_mpps * 1e6), 10_000)
+            errors[rate_mpps] = (
+                plan.max_error_ns(),
+                crc_rate_control_frame_rate(plan),
+            )
+        return errors
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [f"{m} Mpps", f"{err:.1f} ns", f"{fr / 1e6:.2f} Mpps"]
+        for m, (err, fr) in results.items()
+    ]
+    print_table("default 76 B filler across CBR rates",
+                ["target", "max gap error", "total frame rate"], rows)
+    for mpps, (err, frame_rate) in results.items():
+        # Worst case bounded by the minimum filler's wire time (60.8 ns);
+        # the typical skip-and-stretch error is ±~30 ns (Section 8.4).
+        assert err <= 61.0
+        assert frame_rate <= SHORT_FRAME_MAX_PPS * 1.001

@@ -1,0 +1,101 @@
+"""Figure 10: CBR via hardware rate control vs the CRC-gap method.
+
+The paper validates the novel software rate control (Section 8.2) by
+showing that a DuT cannot tell the difference: the relative deviation of
+the 25th/50th/75th latency percentiles between the two CBR generation
+methods is within ~1.2 sigma of 0 % across 0.1-1.9 Mpps, despite the DuT
+being bombarded with invalid filler frames in one case.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro import units
+from repro.dut import simulate_forwarder
+from repro.generators import MoonGenCrcGapModel, MoonGenHwRateModel
+from repro.analysis.latencystats import mean_and_std
+
+LOADS_MPPS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9)
+REPEATS = 10
+WINDOW_S = 0.012
+
+
+def quartiles(model, pps, seed):
+    n = max(int(pps * WINDOW_S), 1500)
+    arrivals = model.departures_ns(pps, n, seed=seed)
+    res = simulate_forwarder(arrivals)
+    return np.array(res.latency_percentiles())
+
+
+def test_fig10_relative_deviation(benchmark):
+    hw = MoonGenHwRateModel(speed_bps=units.SPEED_10G)
+    crc = MoonGenCrcGapModel(speed_bps=units.SPEED_10G)
+
+    def experiment():
+        out = {}
+        for mpps in LOADS_MPPS:
+            pps = mpps * 1e6
+            deviations = []
+            for seed in range(REPEATS):
+                q_hw = quartiles(hw, pps, seed)
+                q_crc = quartiles(crc, pps, seed + 100)
+                deviations.append((q_crc - q_hw) / q_hw)
+            out[mpps] = np.array(deviations)
+        return out
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for mpps, devs in results.items():
+        mean_med, std_med = mean_and_std(devs[:, 1] * 100)
+        rows.append([
+            f"{mpps:.1f}",
+            f"{np.mean(devs[:, 0]) * 100:+.2f}%",
+            f"{mean_med:+.2f}% ± {std_med:.2f}",
+            f"{np.mean(devs[:, 2]) * 100:+.2f}%",
+        ])
+    print_table(
+        "Figure 10: latency deviation, CRC-gap CBR vs hardware CBR",
+        ["load Mpps", "q1 dev", "median dev", "q3 dev"],
+        rows,
+    )
+
+    # Paper: deviation within 1.2 sigma of 0 % for almost all measurement
+    # points — with exactly one outlier ("only the 1st quartile at
+    # 0.23 Mpps deviates by 1.5 % ± 0.5 %"), an interrupt-moderation
+    # resonance.  The simulation reproduces such a resonance at 0.3 Mpps,
+    # so one deviating point in the low-load region is expected.
+    outliers = 0
+    for mpps, devs in results.items():
+        for col, name in ((0, "q1"), (1, "median"), (2, "q3")):
+            mean, std = mean_and_std(devs[:, col])
+            if abs(mean) >= max(2.0 * std, 0.05):
+                outliers += 1
+                assert mpps <= 0.5 and abs(mean) < 0.10, (
+                    f"{name} deviates at {mpps} Mpps: {mean:.3f} ± {std:.3f}"
+                )
+    assert outliers <= 3  # at most one resonant load point (3 quartiles)
+
+
+def test_fig10_fillers_reach_dut_nic_only(benchmark):
+    """Sanity: the CRC stream carries more frames but the same valid rate."""
+    crc = MoonGenCrcGapModel(speed_bps=units.SPEED_10G)
+
+    def experiment():
+        from repro.core.ratecontrol import CbrPattern, GapFiller
+        plan = GapFiller().plan_pattern(CbrPattern(1e6), 20_000)
+        return plan
+
+    plan = run_once(benchmark, experiment)
+    from repro.core.ratecontrol import crc_rate_control_frame_rate, effective_pps
+    print_table(
+        "CRC stream composition @ 1 Mpps CBR",
+        ["metric", "value"],
+        [
+            ["valid packet rate", f"{effective_pps(plan) / 1e6:.3f} Mpps"],
+            ["total frame rate", f"{crc_rate_control_frame_rate(plan) / 1e6:.3f} Mpps"],
+            ["fillers per valid packet", f"{plan.n_fillers / 20_000:.2f}"],
+        ],
+    )
+    assert effective_pps(plan) == pytest.approx(1e6, rel=0.001)
+    assert plan.n_fillers > 0

@@ -1,0 +1,105 @@
+"""Figure 11: forwarding latency of Open vSwitch, CBR vs Poisson traffic.
+
+Sweeps the offered load from 0.1 to 2.0 Mpps and records the 25th/50th/75th
+latency percentiles for CBR (hardware rate control) and Poisson (CRC-gap
+software rate control) patterns.  The paper's shape:
+
+* CBR latency stays low and flat until the DuT approaches overload;
+* Poisson latency rises with load — the bursts temporarily overload the
+  DuT and stress its buffers;
+* at ~1.9 Mpps the system overloads and latency jumps to ~2 ms (all
+  buffers full), identical for both patterns;
+* the overall throughput is the same regardless of the pattern.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro import units
+from repro.core.ratecontrol import PoissonPattern
+from repro.dut import simulate_forwarder
+from repro.generators import MoonGenCrcGapModel, MoonGenHwRateModel
+
+LOADS_MPPS = (0.1, 0.4, 0.7, 1.0, 1.3, 1.6, 1.8, 1.9, 2.2)
+WINDOW_S = 0.03
+
+
+def run_pattern(kind: str, pps: float, seed: int = 13):
+    n = max(int(pps * WINDOW_S), 2000)
+    if kind == "cbr":
+        arrivals = MoonGenHwRateModel(
+            speed_bps=units.SPEED_10G).departures_ns(pps, n, seed=seed)
+    else:
+        model = MoonGenCrcGapModel(speed_bps=units.SPEED_10G)
+        arrivals = model.departures_for_pattern(
+            PoissonPattern(pps, seed=seed), n)
+    return simulate_forwarder(arrivals)
+
+
+def test_fig11_latency_curves(benchmark):
+    def experiment():
+        out = {}
+        for mpps in LOADS_MPPS:
+            out[mpps] = (run_pattern("cbr", mpps * 1e6),
+                         run_pattern("poisson", mpps * 1e6))
+        return out
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for mpps, (cbr, poisson) in results.items():
+        c = cbr.latency_percentiles()
+        p = poisson.latency_percentiles()
+        rows.append([
+            f"{mpps:.1f}",
+            f"{c[0] / 1e3:6.1f}/{c[1] / 1e3:6.1f}/{c[2] / 1e3:6.1f}",
+            f"{p[0] / 1e3:6.1f}/{p[1] / 1e3:6.1f}/{p[2] / 1e3:6.1f}",
+            f"{cbr.drop_rate:.3f}/{poisson.drop_rate:.3f}",
+        ])
+    print_table(
+        "Figure 11: latency quartiles [µs] (q1/median/q3) vs load",
+        ["load Mpps", "CBR", "Poisson", "drops"],
+        rows,
+    )
+
+    # Poisson stresses the buffers: higher latency in the loaded region.
+    for mpps in (1.3, 1.6, 1.8):
+        c = results[mpps][0].latency_percentiles()[1]
+        p = results[mpps][1].latency_percentiles()[1]
+        assert p > c, f"Poisson should exceed CBR at {mpps} Mpps"
+
+    # CBR stays flat before the knee.
+    cbr_medians = [results[m][0].latency_percentiles()[1]
+                   for m in (0.1, 0.4, 0.7, 1.0, 1.3)]
+    assert max(cbr_medians) < 1.6 * min(cbr_medians)
+
+    # Overload: ~2 ms latency (all buffers full) and drops, both patterns.
+    for kind in (0, 1):
+        over = results[2.2][kind]
+        lat = over.latencies_ns[~np.isnan(over.latencies_ns)]
+        tail = float(np.median(lat[len(lat) // 2:]))
+        assert tail == pytest.approx(2.2e6, rel=0.2)
+        assert over.dropped > 0
+
+    # Throughput identical regardless of pattern (Section 8.3).
+    for mpps in LOADS_MPPS:
+        cbr, poisson = results[mpps]
+        assert cbr.forwarded == pytest.approx(poisson.forwarded, rel=0.03)
+
+
+def test_fig11_poisson_percentile_spread(benchmark):
+    """Poisson's quartile band is wider than CBR's (visible in the figure)."""
+    def experiment():
+        cbr = run_pattern("cbr", 1.5e6)
+        poisson = run_pattern("poisson", 1.5e6)
+        return cbr.latency_percentiles(), poisson.latency_percentiles()
+
+    c, p = run_once(benchmark, experiment)
+    spread_c = c[2] - c[0]
+    spread_p = p[2] - p[0]
+    print_table(
+        "quartile spread @ 1.5 Mpps",
+        ["pattern", "q3-q1 [µs]"],
+        [["CBR", f"{spread_c / 1e3:.1f}"], ["Poisson", f"{spread_p / 1e3:.1f}"]],
+    )
+    assert spread_p > spread_c

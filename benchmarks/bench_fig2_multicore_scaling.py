@@ -1,0 +1,72 @@
+"""Figure 2: multi-core scaling under high load.
+
+The heavy Section 5.3 script (8 random numbers per packet for addresses,
+ports, and payload) runs on 1-8 simulated 1.2 GHz cores, each transmitting
+to its own queues on two shared 10 GbE ports.  Scaling is linear until the
+aggregate line rate of 29.76 Mpps is reached — the paper's Figure 2 curve.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro import MoonGenEnv
+from repro.units import LINE_RATE_10G_64B_PPS, to_mpps
+
+FREQ_HZ = 1.2e9
+DURATION_NS = 300_000
+MAX_CORES = 8
+LINE_RATE_2PORTS = 2 * LINE_RATE_10G_64B_PPS
+
+
+def heavy_slave(env, queues):
+    mem = env.create_mempool(
+        fill=lambda b: b.udp_packet.fill(pkt_length=60)
+    )
+    arrays = [mem.buf_array() for _ in queues]
+    while env.running():
+        for queue, bufs in zip(queues, arrays):
+            bufs.alloc(60)
+            bufs.charge_random_fields(8)
+            bufs.offload_ip_checksums()
+            yield queue.send(bufs)
+
+
+def run_cores(n_cores: int) -> float:
+    env = MoonGenEnv(seed=3, core_freq_hz=FREQ_HZ)
+    ports = [env.config_device(i, tx_queues=n_cores) for i in (0, 1)]
+    sinks = [env.config_device(i + 2, rx_queues=1) for i in (0, 1)]
+    for port, sink in zip(ports, sinks):
+        env.connect(port, sink)
+    for core in range(n_cores):
+        env.launch(heavy_slave, env, [p.get_tx_queue(core) for p in ports])
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+    return sum(p.tx_packets for p in ports) / (env.now_ns / 1e9)
+
+
+def test_fig2_multicore_scaling(benchmark):
+    def experiment():
+        return {cores: run_cores(cores) for cores in range(1, MAX_CORES + 1)}
+
+    rates = run_once(benchmark, experiment)
+    rows = [
+        [cores, f"{to_mpps(pps):.2f}",
+         f"{min(to_mpps(cores * rates[1]), to_mpps(LINE_RATE_2PORTS)):.2f}"]
+        for cores, pps in rates.items()
+    ]
+    print_table(
+        "Figure 2: packet rate vs cores (1.2 GHz, 2x10GbE, line rate 29.76 Mpps)",
+        ["cores", "measured Mpps", "linear-scaling expectation"],
+        rows,
+    )
+
+    # Linear region: each added core contributes the single-core rate.
+    single = rates[1]
+    linear_cores = int(LINE_RATE_2PORTS // single)
+    for cores in range(1, min(linear_cores, MAX_CORES) + 1):
+        assert rates[cores] == pytest.approx(cores * single, rel=0.08), \
+            f"linear scaling broken at {cores} cores"
+
+    # Saturation region: pinned at the two-port line rate.
+    assert rates[MAX_CORES] == pytest.approx(LINE_RATE_2PORTS, rel=0.05)
+    # The paper's qualitative claim: scaling is linear *up to* line rate.
+    assert rates[MAX_CORES] <= LINE_RATE_2PORTS * 1.001

@@ -1,0 +1,119 @@
+"""Figure 3: throughput with an XL710 40 GbE NIC vs packet size and cores.
+
+Reproduces Section 5.4's findings on the simulated XL710:
+
+* packet sizes of 128 B or less cannot reach 40 GbE line rate,
+* using more than two cores does not help (a hardware bottleneck),
+* larger packets reach line rate.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro import MoonGenEnv, units
+from repro.nicsim.nic import CHIP_XL710, NicCard
+
+SIZES = (64, 96, 128, 160, 192, 224, 256)
+CORES = (1, 2, 3)
+FREQ_HZ = 2.4e9
+DURATION_NS = 200_000
+
+
+def slave(env, queue, size):
+    mem = env.create_mempool(fill=lambda b: b.eth_packet.fill(eth_type=0x0800))
+    bufs = mem.buf_array()
+    while env.running():
+        bufs.alloc(size - 4)  # buffer excludes FCS
+        bufs.charge_modify(1)
+        yield queue.send(bufs)
+
+
+def run_config(size: int, cores: int) -> float:
+    env = MoonGenEnv(seed=5, core_freq_hz=FREQ_HZ)
+    card = NicCard(CHIP_XL710)
+    tx = env.config_device(0, tx_queues=cores, chip=CHIP_XL710, card=card)
+    rx = env.config_device(1, rx_queues=1, chip=CHIP_XL710)
+    env.connect(tx, rx)
+    for core in range(cores):
+        env.launch(slave, env, tx.get_tx_queue(core), size)
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+    pps = tx.tx_packets / (env.now_ns / 1e9)
+    return units.throughput_gbps(pps, size)
+
+
+def test_fig3_xl710_throughput(benchmark):
+    def experiment():
+        return {
+            (size, cores): run_config(size, cores)
+            for size in SIZES for cores in CORES
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for size in SIZES:
+        line = units.throughput_gbps(
+            units.line_rate_pps(size, units.SPEED_40G), size
+        )
+        rows.append(
+            [size] + [f"{results[(size, c)]:.1f}" for c in CORES]
+            + [f"{line:.1f}"]
+        )
+    print_table(
+        "Figure 3: XL710 throughput [Gbit/s]",
+        ["size [B]", "1 core", "2 cores", "3 cores", "line rate"],
+        rows,
+    )
+
+    # <=128 B cannot reach line rate with any number of cores.
+    for size in (64, 96, 128):
+        line = units.throughput_gbps(
+            units.line_rate_pps(size, units.SPEED_40G), size
+        )
+        assert results[(size, 3)] < 0.99 * line, f"{size} B should be capped"
+
+    # A third core adds nothing: the bottleneck is the hardware.
+    for size in SIZES:
+        assert results[(size, 3)] == pytest.approx(
+            results[(size, 2)], rel=0.05
+        ), f"3rd core should not help at {size} B"
+
+    # Large packets reach line rate.
+    for size in (192, 224, 256):
+        line = units.throughput_gbps(
+            units.line_rate_pps(size, units.SPEED_40G), size
+        )
+        assert results[(size, 2)] == pytest.approx(line, rel=0.05)
+
+    # Throughput grows with packet size (the figure's overall shape).
+    for cores in CORES:
+        series = [results[(size, cores)] for size in SIZES]
+        assert all(b >= a * 0.98 for a, b in zip(series, series[1:]))
+
+
+def test_fig3_dual_port_aggregate(benchmark):
+    """Section 5.4: dual-port XL710 peaks at ~50 Gbit/s aggregate with
+    large frames and ~42 Mpps with small ones."""
+    def experiment():
+        env = MoonGenEnv(seed=6, core_freq_hz=FREQ_HZ)
+        card = NicCard(CHIP_XL710)
+        ports = [env.config_device(i, tx_queues=2, chip=CHIP_XL710, card=card)
+                 for i in (0, 1)]
+        sinks = [env.config_device(i + 2, rx_queues=1, chip=CHIP_XL710)
+                 for i in (0, 1)]
+        for p, s in zip(ports, sinks):
+            env.connect(p, s)
+        for p in ports:
+            for q in range(2):
+                env.launch(slave, env, p.get_tx_queue(q), 1518)
+        env.wait_for_slaves(duration_ns=DURATION_NS)
+        pps = sum(p.tx_packets for p in ports) / (env.now_ns / 1e9)
+        return units.throughput_gbps(pps, 1518)
+
+    gbps = run_once(benchmark, experiment)
+    print_table(
+        "XL710 dual-port aggregate (1518 B)",
+        ["paper", "measured"],
+        [["50 Gbit/s", f"{gbps:.1f} Gbit/s"]],
+    )
+    assert gbps == pytest.approx(50.0, rel=0.06)
+    assert gbps < 80.0  # far below 2x40G line rate

@@ -1,0 +1,81 @@
+"""Figure 7: interrupt rate of a Linux forwarder under micro-bursts.
+
+Open vSwitch (simulated) forwards traffic from MoonGen (CBR via hardware
+rate control) and zsend (micro-bursty software pacing) at increasing
+offered loads.  MoonGen's evenly spaced packets sustain a high interrupt
+rate (up to the moderation cap ~1.5e5 Hz); zsend's bursts trip the
+adaptive moderation early and collapse the rate — the paper's
+"measurable impact of bad rate control on the tested system".
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro import units
+from repro.dut import simulate_forwarder
+from repro.generators import MoonGenHwRateModel, ZsendModel
+
+LOADS_MPPS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5)
+WINDOW_S = 0.04
+
+
+def interrupt_rate(model, pps: float) -> float:
+    n = max(int(pps * WINDOW_S), 2000)
+    arrivals = model.departures_ns(pps, n, seed=11)
+    return simulate_forwarder(arrivals).interrupt_rate_hz
+
+
+def test_fig7_interrupt_rates(benchmark):
+    moongen = MoonGenHwRateModel(speed_bps=units.SPEED_10G)
+    zsend = ZsendModel(speed_bps=units.SPEED_10G)
+
+    def experiment():
+        return {
+            pps: (interrupt_rate(moongen, pps * 1e6),
+                  interrupt_rate(zsend, pps * 1e6))
+            for pps in LOADS_MPPS
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [f"{pps:.2f}", f"{m / 1e3:.1f}", f"{z / 1e3:.1f}"]
+        for pps, (m, z) in results.items()
+    ]
+    print_table(
+        "Figure 7: interrupt rate [kHz] vs offered load [Mpps]",
+        ["load", "MoonGen (CBR)", "zsend (bursty)"],
+        rows,
+    )
+
+    for pps, (m, z) in results.items():
+        # The paper's core finding: bursts produce a far lower rate.
+        assert z < m / 2, f"zsend should moderate early at {pps} Mpps"
+
+    # MoonGen's rate climbs to the moderation cap (~1.5e5 Hz) and stays high.
+    m_rates = [m for m, _ in results.values()]
+    assert max(m_rates) == pytest.approx(150e3, rel=0.1)
+    # zsend never gets anywhere near the cap.
+    z_rates = [z for _, z in results.values()]
+    assert max(z_rates) < 60e3
+
+
+def test_fig7_rate_rises_then_caps(benchmark):
+    """MoonGen's interrupt rate is arrival-limited at low load and
+    moderation-capped afterwards."""
+    moongen = MoonGenHwRateModel(speed_bps=units.SPEED_10G)
+
+    def experiment():
+        return {
+            pps: interrupt_rate(moongen, pps * 1e6)
+            for pps in (0.05, 0.1, 0.5, 1.0)
+        }
+
+    rates = run_once(benchmark, experiment)
+    print_table(
+        "MoonGen interrupt rate shape",
+        ["load Mpps", "kHz"],
+        [[pps, f"{r / 1e3:.1f}"] for pps, r in rates.items()],
+    )
+    assert rates[0.05] == pytest.approx(50e3, rel=0.1)  # one per packet
+    assert rates[0.1] == pytest.approx(100e3, rel=0.1)
+    assert rates[0.5] == pytest.approx(150e3, rel=0.1)  # capped

@@ -1,0 +1,98 @@
+"""Figure 8: histograms of inter-arrival times at 500 and 1000 kpps.
+
+Regenerates the six panels (three generators x two rates) as 64 ns-binned
+distributions — the 82580's measurement precision — and checks each
+panel's qualitative signature:
+
+* MoonGen: a tight oscillation around the target, almost no bursts;
+* Pktgen-DPDK: a wider lobe, growing burst spike at 1000 kpps;
+* zsend: a dominating spike at the back-to-back spacing (672 ns, the
+  figure's black arrow) plus a smeared remainder.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.analysis import measure_interarrival
+from repro.analysis.interarrival import histogram_bins_64ns
+from repro.generators import MoonGenHwRateModel, PktgenDpdkModel, ZsendModel
+
+N = 1_000_000  # the paper observed at least 1,000,000 packets
+BURST_BIN = 640.0  # 672 ns falls into the [640, 704) bin
+
+
+def panel(model, pps):
+    departures = model.departures_ns(pps, N, seed=21)
+    stats = measure_interarrival(departures, pps, model.name)
+    return stats, histogram_bins_64ns(stats)
+
+
+def print_panel(name, pps, bins, max_rows=18):
+    peak = max(bins.values())
+    rows = []
+    for edge, pct in bins.items():
+        if pct < 0.05 or len(rows) >= max_rows:
+            continue
+        bar = "#" * max(1, round(pct / peak * 40))
+        rows.append([f"{edge / 1000:.3f} µs", f"{pct:5.1f}%", bar])
+    print_table(f"Figure 8: {name} @ {pps // 1000} kpps",
+                ["inter-arrival", "prob", ""], rows)
+
+
+@pytest.mark.parametrize("pps", [500_000, 1_000_000])
+def test_fig8_moongen_panel(benchmark, pps):
+    stats, bins = run_once(
+        benchmark, lambda: panel(MoonGenHwRateModel(), pps)
+    )
+    print_panel("MoonGen", pps, bins)
+    target_bin = (1e9 / pps) // 64 * 64
+    # Mass concentrated within ±256 ns of the target.
+    near = sum(p for e, p in bins.items() if abs(e - target_bin) <= 256)
+    assert near > 90.0
+    assert bins.get(BURST_BIN, 0.0) < 2.0  # bursts nearly absent
+
+
+@pytest.mark.parametrize("pps", [500_000, 1_000_000])
+def test_fig8_pktgen_panel(benchmark, pps):
+    stats, bins = run_once(
+        benchmark, lambda: panel(PktgenDpdkModel(), pps)
+    )
+    print_panel("Pktgen-DPDK", pps, bins)
+    if pps == 1_000_000:
+        # The 14 % burst spike at the 672 ns back-to-back spacing.
+        assert bins.get(BURST_BIN, 0.0) == pytest.approx(14.2, abs=3.0)
+    else:
+        assert bins.get(BURST_BIN, 0.0) < 1.0
+
+
+@pytest.mark.parametrize("pps", [500_000, 1_000_000])
+def test_fig8_zsend_panel(benchmark, pps):
+    stats, bins = run_once(benchmark, lambda: panel(ZsendModel(), pps))
+    print_panel("zsend", pps, bins)
+    # The dominant feature is the burst spike at 672 ns (the black arrow).
+    burst_mass = bins.get(BURST_BIN, 0.0) + bins.get(BURST_BIN + 64, 0.0)
+    assert burst_mass == pytest.approx(
+        28.6 if pps == 500_000 else 52.0, abs=8.0
+    )
+    assert burst_mass == max(
+        bins.get(BURST_BIN, 0.0) + bins.get(BURST_BIN + 64, 0.0),
+        *(p for e, p in bins.items()),
+    ) or burst_mass > 20.0
+
+
+def test_fig8_moongen_sharper_than_pktgen(benchmark):
+    """Comparing panel peakedness: MoonGen's lobe is the tightest."""
+    def experiment():
+        out = {}
+        for model in (MoonGenHwRateModel(), PktgenDpdkModel()):
+            stats, _ = panel(model, 500_000)
+            out[model.name] = stats.histogram.stddev()
+        return out
+
+    spreads = run_once(benchmark, experiment)
+    print_table(
+        "inter-arrival spread @ 500 kpps",
+        ["generator", "stddev [ns]"],
+        [[k, f"{v:.0f}"] for k, v in spreads.items()],
+    )
+    assert spreads["MoonGen"] < spreads["Pktgen-DPDK"]

@@ -1,0 +1,72 @@
+"""Extension: RFC 2544 throughput test of the simulated DuT.
+
+The hardware generators MoonGen replaces are built for RFC 2544 device
+tests (Section 2); with precise rate control and loss accounting the
+reproduction can run the same methodology.  The binary search finds the
+OvS DuT's zero-loss rate (~1.9 Mpps for 64 B; line-rate for large frames
+where line rate in pps drops below the DuT's capacity).
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro import units
+from repro.analysis.rfc2544 import (
+    default_loss_probe,
+    frame_size_sweep,
+    throughput_test,
+)
+
+
+def test_rfc2544_64b_throughput(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: throughput_test(
+            default_loss_probe(seed=2),
+            units.LINE_RATE_10G_64B_PPS,
+            resolution=0.01,
+        ),
+    )
+    rows = [[f"{t.offered_pps / 1e6:.3f}",
+             "pass" if t.passed else f"{t.loss_fraction * 100:.2f}% loss"]
+            for t in result.trials]
+    print_table("RFC 2544 binary search, 64 B frames", ["offered Mpps", "result"], rows)
+    print_table(
+        "RFC 2544 throughput",
+        ["DuT capacity (Section 8.3)", "measured zero-loss rate"],
+        [["~1.9 Mpps", f"{result.throughput_mpps:.2f} Mpps"]],
+    )
+    assert result.throughput_pps == pytest.approx(1.93e6, rel=0.06)
+    assert not result.trials[0].passed  # line rate overloads the DuT
+
+
+def test_rfc2544_frame_size_sweep(benchmark):
+    def experiment():
+        return frame_size_sweep(
+            line_rate_for=lambda s: units.line_rate_pps(s, units.SPEED_10G),
+            probe_factory=lambda s: default_loss_probe(
+                frame_size=s, duration_s=0.03, seed=3),
+            frame_sizes=(64, 128, 256, 512, 1518),
+            resolution=0.02,
+        )
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [r.frame_size, f"{r.throughput_mpps:.2f}",
+         f"{r.throughput_gbps():.2f}",
+         f"{units.line_rate_pps(r.frame_size, units.SPEED_10G) / 1e6:.2f}"]
+        for r in results
+    ]
+    print_table(
+        "RFC 2544 frame-size sweep (simulated OvS DuT)",
+        ["frame [B]", "zero-loss Mpps", "Gbit/s", "line rate Mpps"],
+        rows,
+    )
+
+    by_size = {r.frame_size: r for r in results}
+    # Small frames: pps-bound by the DuT (~1.9 Mpps regardless of size).
+    assert by_size[64].throughput_mpps == pytest.approx(1.93, rel=0.07)
+    assert by_size[128].throughput_mpps == pytest.approx(1.93, rel=0.07)
+    # Large frames: line rate in pps falls below the DuT capacity.
+    line_1518 = units.line_rate_pps(1518, units.SPEED_10G)
+    assert by_size[1518].throughput_pps == pytest.approx(line_1518, rel=0.02)

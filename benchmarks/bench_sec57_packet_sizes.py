@@ -1,0 +1,114 @@
+"""Section 5.7: effects of packet sizes.
+
+The paper benchmarks all packet sizes between 64 and 128 bytes and finds no
+difference in CPU cycles per packet for transmission — and, unlike the 2012
+netmap evaluation, none for reception either.  Minimum-sized packets are
+the worst case because per-packet costs dominate.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import print_table, run_once
+from repro import MoonGenEnv
+from repro.units import line_rate_pps, SPEED_10G
+
+SIZES = (64, 72, 80, 88, 96, 104, 112, 120, 128)
+DURATION_NS = 150_000
+
+
+def tx_cycles_per_packet(frame_size: int, seed: int = 17) -> float:
+    env = MoonGenEnv(seed=seed, core_freq_hz=2.4e9)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+
+    def slave(env, queue):
+        mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+            pkt_length=frame_size - 4))
+        bufs = mem.buf_array()
+        while env.running():
+            bufs.alloc(frame_size - 4)
+            yield queue.send(bufs)
+
+    task = env.launch(slave, env, tx.get_tx_queue(0))
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+    return task.core.busy_cycles / tx.tx_packets
+
+
+def rx_cycles_per_packet(frame_size: int, seed: int = 18) -> float:
+    env = MoonGenEnv(seed=seed, core_freq_hz=2.4e9)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+
+    def sender(env, queue):
+        mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+            pkt_length=frame_size - 4))
+        bufs = mem.buf_array()
+        while env.running():
+            bufs.alloc(frame_size - 4)
+            yield queue.send(bufs)
+
+    received = [0]
+
+    def receiver(env, queue):
+        mem = env.create_mempool()
+        bufs = mem.buf_array()
+        while env.running():
+            n = yield queue.recv(bufs, timeout_ns=50_000)
+            received[0] += n
+            bufs.free_all()
+
+    env.launch(sender, env, tx.get_tx_queue(0))
+    rx_task = env.launch(receiver, env, rx.get_rx_queue(0))
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+    return rx_task.core.busy_cycles / max(received[0], 1)
+
+
+def test_sec57_tx_cost_independent_of_size(benchmark):
+    def experiment():
+        return {size: tx_cycles_per_packet(size) for size in SIZES}
+
+    costs = run_once(benchmark, experiment)
+    rows = [[size, f"{c:.1f}"] for size, c in costs.items()]
+    print_table(
+        "Section 5.7: tx cycles/packet vs frame size (paper: no difference)",
+        ["size [B]", "cycles/pkt"],
+        rows,
+    )
+    values = list(costs.values())
+    spread = max(values) - min(values)
+    mean = statistics.mean(values)
+    assert spread / mean < 0.05, "tx cost should not depend on packet size"
+
+
+def test_sec57_rx_cost_independent_of_size(benchmark):
+    """The netmap-2012 receive-side effect does not appear (Section 5.7)."""
+    def experiment():
+        return {size: rx_cycles_per_packet(size) for size in (64, 96, 128)}
+
+    costs = run_once(benchmark, experiment)
+    rows = [[size, f"{c:.1f}"] for size, c in costs.items()]
+    print_table("Section 5.7: rx cycles/packet vs frame size",
+                ["size [B]", "cycles/pkt"], rows)
+    values = list(costs.values())
+    assert (max(values) - min(values)) / statistics.mean(values) < 0.08
+
+
+def test_sec57_minimum_size_is_worst_case(benchmark):
+    """Fewer packets at line rate with larger frames: lower total IO cost."""
+    def experiment():
+        return {
+            size: line_rate_pps(size, SPEED_10G) * tx_cycles_per_packet(size)
+            for size in (64, 128)
+        }
+
+    cycle_rates = run_once(benchmark, experiment)
+    print_table(
+        "total cycles/s to saturate 10 GbE",
+        ["size [B]", "cycles/s"],
+        [[s, f"{c:.3e}"] for s, c in cycle_rates.items()],
+    )
+    assert cycle_rates[64] > cycle_rates[128]

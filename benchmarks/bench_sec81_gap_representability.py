@@ -1,0 +1,147 @@
+"""Section 8.1/8.4: limits of the CRC-gap mechanism.
+
+* NICs refuse frames below 33 B wire length; MoonGen enforces a 76 B
+  minimum for fillers (short frames cap at ~15.6 Mpps);
+* gaps of 0.8-60.8 ns are unrepresentable and approximated by
+  skip-and-stretch with high accuracy but ±~30 ns precision — still better
+  than every software alternative;
+* 10GBASE-T's 3200-bit PHY frames mean sub-76 B gaps are invisible above
+  the physical layer anyway (two packets closer than 232 B arrive as a
+  burst).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro import units
+from repro.core.ratecontrol import (
+    CbrPattern,
+    DEFAULT_MIN_FILLER_WIRE,
+    GapFiller,
+    HARD_MIN_WIRE,
+    SHORT_FRAME_MAX_PPS,
+    crc_rate_control_frame_rate,
+)
+from repro.errors import GapError
+
+
+def test_sec81_minimum_wire_length(benchmark):
+    def experiment():
+        filler = GapFiller()
+        low, high = filler.unrepresentable_gap_range_ns()
+        return filler, low, high
+
+    filler, low, high = run_once(benchmark, experiment)
+    print_table(
+        "Section 8.1: representability limits at 10 GbE",
+        ["constraint", "paper", "this reproduction"],
+        [
+            ["hard NIC minimum", "33 B wire length", f"{HARD_MIN_WIRE} B"],
+            ["enforced filler minimum", "76 B", f"{DEFAULT_MIN_FILLER_WIRE} B"],
+            ["unrepresentable gaps", "0.8-60.8 ns", f"{low:.1f}-{high + 0.8:.1f} ns"],
+            ["short-frame packet rate cap", "15.6 Mpps",
+             f"{SHORT_FRAME_MAX_PPS / 1e6} Mpps"],
+        ],
+    )
+    assert low == pytest.approx(0.8)
+    assert high + 0.8 == pytest.approx(60.8)
+    with pytest.raises(GapError):
+        GapFiller(min_filler_wire=HARD_MIN_WIRE - 1)
+
+
+def test_sec84_skip_and_stretch_precision(benchmark):
+    """Unrepresentable gaps: accuracy high, precision ±~30 ns."""
+    def experiment():
+        filler = GapFiller()
+        out = {}
+        for gap in (70.0, 90.0, 110.0, 127.0):
+            plan = filler.plan([gap] * 20_000)
+            out[gap] = (
+                float(plan.actual_gaps_ns.mean()),
+                float(np.abs(plan.actual_gaps_ns - gap).max()),
+            )
+        return out
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [f"{gap:.0f}", f"{mean:.2f}", f"±{worst:.1f}"]
+        for gap, (mean, worst) in results.items()
+    ]
+    print_table(
+        "Section 8.4: skip-and-stretch for unrepresentable gaps",
+        ["desired gap [ns]", "achieved mean [ns]", "per-gap error"],
+        rows,
+    )
+    for gap, (mean, worst) in results.items():
+        assert mean == pytest.approx(gap, rel=0.002)  # accuracy: high
+        assert worst <= 61.0  # precision: bounded by the minimum filler
+
+
+def test_sec84_smaller_min_filler_tightens_precision(benchmark):
+    """Lowering the enforced minimum (paper: possible for larger packets or
+    lower rates) shrinks the unrepresentable range."""
+    def experiment():
+        out = {}
+        for min_wire in (33, 76):
+            filler = GapFiller(min_filler_wire=min_wire)
+            plan = filler.plan([90.0] * 10_000)
+            out[min_wire] = float(np.abs(plan.actual_gaps_ns - 90.0).max())
+        return out
+
+    worst = run_once(benchmark, experiment)
+    print_table(
+        "precision vs enforced filler minimum (90 ns gaps)",
+        ["min filler wire [B]", "worst gap error [ns]"],
+        [[k, f"{v:.1f}"] for k, v in worst.items()],
+    )
+    assert worst[33] < worst[76]
+
+
+def test_sec84_phy_frame_argument(benchmark):
+    """10GBASE-T carries 3200-bit PHY frames: packets closer than 232 B
+    (185.6 ns) arrive as one burst, so failing to represent gaps below
+    60.8 ns is invisible above layer 1 (Section 8.4's argument)."""
+    def experiment():
+        phy_frame_bits = 3200
+        phy_frame_bytes = phy_frame_bits // 8  # 400 B of line coding
+        # Worst case from the paper: two back-to-back packets cannot be
+        # distinguished from two packets with a gap of 232 B.
+        worst_gap_bytes = 232
+        worst_gap_ns = worst_gap_bytes * units.byte_time_ps(units.SPEED_10G) / 1000
+        return phy_frame_bytes, worst_gap_ns
+
+    phy_bytes, worst_gap_ns = run_once(benchmark, experiment)
+    print_table(
+        "10GBASE-T PHY framing",
+        ["quantity", "value"],
+        [
+            ["PHY frame payload", f"{phy_bytes * 8} bits"],
+            ["indistinguishable gap (worst case)", f"{worst_gap_ns:.1f} ns"],
+        ],
+    )
+    assert worst_gap_ns == pytest.approx(185.6)
+    # The unrepresentable range is far inside what the PHY hides anyway.
+    low, high = GapFiller().unrepresentable_gap_range_ns()
+    assert high < worst_gap_ns
+
+
+def test_sec81_filler_overhead_accounting(benchmark):
+    """Filler frames are real frames: the NIC's total frame rate must stay
+    under the short-frame cap even for the densest plans."""
+    def experiment():
+        filler = GapFiller()
+        rates = {}
+        for mpps in (1, 3, 5, 7, 9, 11, 13):
+            plan = filler.plan_pattern(CbrPattern(mpps * 1e6), 5000)
+            rates[mpps] = crc_rate_control_frame_rate(plan)
+        return rates
+
+    rates = run_once(benchmark, experiment)
+    print_table(
+        "total frame rate (valid + fillers) vs target rate",
+        ["target [Mpps]", "total frames [Mpps]"],
+        [[k, f"{v / 1e6:.2f}"] for k, v in rates.items()],
+    )
+    for mpps, total in rates.items():
+        assert total <= SHORT_FRAME_MAX_PPS * 1.001

@@ -1,0 +1,106 @@
+"""Table 2: per-packet costs of randomized vs counter-based fields.
+
+Measures the cost of generating and writing 1/2/4/8 varying header fields,
+either with a random number generator or with wrapping counters, relative
+to the 85.1 cycles/pkt baseline (constant write + send), as in
+Section 5.6.2.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import print_table, run_once
+from repro import MoonGenEnv
+
+PAPER_RANDOM = {1: 32.3, 2: 39.8, 4: 66.0, 8: 133.5}
+PAPER_COUNTER = {1: 27.1, 2: 33.1, 4: 38.1, 8: 41.7}
+PAPER_BASELINE = 85.1
+REPEATS = 8
+DURATION_NS = 120_000
+
+
+def measure(kind: str, fields: int, seed: int) -> float:
+    env = MoonGenEnv(seed=seed, core_freq_hz=2.4e9)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+
+    def slave(env, queue):
+        mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(pkt_length=60))
+        bufs = mem.buf_array()
+        while env.running():
+            bufs.alloc(60)
+            if kind == "random":
+                bufs.charge_random_fields(fields)
+            elif kind == "counter":
+                bufs.charge_counter_fields(fields)
+            elif kind == "baseline":
+                bufs.charge_modify(1)
+            yield queue.send(bufs)
+
+    task = env.launch(slave, env, tx.get_tx_queue(0))
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+    cycles = task.core.busy_cycles / tx.tx_packets
+    if kind != "baseline":
+        cycles -= task.core.model.costs.tx_base.at(2.4e9)
+    return cycles
+
+
+def test_table2_baseline(benchmark):
+    samples = run_once(
+        benchmark, lambda: [measure("baseline", 0, s) for s in range(REPEATS)]
+    )
+    mean = statistics.mean(samples)
+    print_table(
+        "Table 2 baseline: constant write + send",
+        ["paper", "measured"],
+        [[f"{PAPER_BASELINE}", f"{mean:.1f} ± {statistics.stdev(samples):.1f}"]],
+    )
+    assert mean == pytest.approx(PAPER_BASELINE, abs=2.0)
+
+
+@pytest.mark.parametrize("fields", [1, 2, 4, 8])
+def test_table2_random_fields(benchmark, fields):
+    samples = run_once(
+        benchmark,
+        lambda: [measure("random", fields, s) for s in range(REPEATS)],
+    )
+    mean = statistics.mean(samples)
+    print_table(
+        f"Table 2: {fields} randomized field(s)",
+        ["paper cycles/pkt", "measured"],
+        [[f"{PAPER_RANDOM[fields]}", f"{mean:.1f} ± {statistics.stdev(samples):.1f}"]],
+    )
+    assert mean == pytest.approx(PAPER_RANDOM[fields], rel=0.05)
+
+
+@pytest.mark.parametrize("fields", [1, 2, 4, 8])
+def test_table2_counter_fields(benchmark, fields):
+    samples = run_once(
+        benchmark,
+        lambda: [measure("counter", fields, s) for s in range(REPEATS)],
+    )
+    mean = statistics.mean(samples)
+    print_table(
+        f"Table 2: {fields} wrapping counter field(s)",
+        ["paper cycles/pkt", "measured"],
+        [[f"{PAPER_COUNTER[fields]}", f"{mean:.1f} ± {statistics.stdev(samples):.1f}"]],
+    )
+    assert mean == pytest.approx(PAPER_COUNTER[fields], rel=0.08)
+
+
+def test_table2_counters_always_cheaper(benchmark):
+    """Section 5.6.2's conclusion: prefer wrapping counters."""
+    def experiment():
+        return {
+            n: (measure("random", n, 1), measure("counter", n, 1))
+            for n in (1, 2, 4, 8)
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [n, f"{rand:.1f}", f"{ctr:.1f}"] for n, (rand, ctr) in results.items()
+    ]
+    print_table("random vs counter", ["fields", "random", "counter"], rows)
+    assert all(ctr < rand for rand, ctr in results.values())

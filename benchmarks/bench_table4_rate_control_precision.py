@@ -1,0 +1,88 @@
+"""Table 4: rate control precision of MoonGen, Pktgen-DPDK, and zsend.
+
+Generates 1,000,000+ inter-arrival samples per generator and rate (the
+paper's measurement count), computes micro-burst fractions and the
+±64/128/256/512 ns buckets, and compares each cell against Table 4.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.analysis import measure_interarrival
+from repro.generators import MoonGenHwRateModel, PktgenDpdkModel, ZsendModel
+
+N_PACKETS = 1_000_000
+
+#: Table 4 of the paper: (bursts %, ±64, ±128, ±256, ±512).
+PAPER = {
+    ("MoonGen", 500_000): (0.02, 49.9, 74.9, 99.8, 99.8),
+    ("Pktgen-DPDK", 500_000): (0.01, 37.7, 72.3, 92.0, 94.5),
+    ("zsend", 500_000): (28.6, 3.9, 5.4, 6.4, 13.8),
+    ("MoonGen", 1_000_000): (1.2, 50.5, 52.0, 97.0, 100.0),
+    ("Pktgen-DPDK", 1_000_000): (14.2, 36.7, 58.0, 70.6, 95.9),
+    ("zsend", 1_000_000): (52.0, 4.6, 7.9, 24.2, 88.1),
+}
+
+#: Absolute tolerance (percentage points) per generator: the models are
+#: calibrated, not fitted sample-exactly; zsend's bug model is the coarsest.
+TOLERANCE = {"MoonGen": 4.0, "Pktgen-DPDK": 8.0, "zsend": 15.0}
+
+MODELS = {
+    "MoonGen": MoonGenHwRateModel,
+    "Pktgen-DPDK": PktgenDpdkModel,
+    "zsend": ZsendModel,
+}
+
+
+@pytest.mark.parametrize("generator", list(MODELS))
+@pytest.mark.parametrize("pps", [500_000, 1_000_000])
+def test_table4_cell(benchmark, generator, pps):
+    model = MODELS[generator]()
+
+    def experiment():
+        departures = model.departures_ns(pps, N_PACKETS, seed=42)
+        return measure_interarrival(departures, pps, generator)
+
+    stats = run_once(benchmark, experiment)
+    paper = PAPER[(generator, pps)]
+    measured = (
+        stats.micro_burst_fraction * 100,
+        stats.within[64.0] * 100,
+        stats.within[128.0] * 100,
+        stats.within[256.0] * 100,
+        stats.within[512.0] * 100,
+    )
+    headers = ["metric", "paper", "measured"]
+    labels = ["micro-bursts %", "±64 ns %", "±128 ns %", "±256 ns %", "±512 ns %"]
+    rows = [
+        [label, f"{p:.2f}", f"{m:.2f}"]
+        for label, p, m in zip(labels, paper, measured)
+    ]
+    print_table(f"Table 4: {generator} @ {pps // 1000} kpps", headers, rows)
+
+    tol = TOLERANCE[generator]
+    for label, p, m in zip(labels, paper, measured):
+        assert m == pytest.approx(p, abs=tol), f"{generator} {label}"
+
+
+def test_table4_ordering(benchmark):
+    """The table's story: MoonGen best-in-every-column, zsend worst."""
+    def experiment():
+        out = {}
+        for name, cls in MODELS.items():
+            for pps in (500_000, 1_000_000):
+                dep = cls().departures_ns(pps, 200_000, seed=7)
+                out[(name, pps)] = measure_interarrival(dep, pps, name)
+        return out
+
+    stats = run_once(benchmark, experiment)
+    rows = [[f"{name} @ {pps//1000}k", s.format_row()]
+            for (name, pps), s in stats.items()]
+    print_table("Table 4 summary", ["cell", "metrics"], rows)
+    for pps in (500_000, 1_000_000):
+        m = stats[("MoonGen", pps)]
+        p = stats[("Pktgen-DPDK", pps)]
+        z = stats[("zsend", pps)]
+        assert m.within[64.0] >= p.within[64.0] > z.within[64.0]
+        assert m.micro_burst_fraction <= p.micro_burst_fraction + 1e-3
+        assert z.micro_burst_fraction > p.micro_burst_fraction

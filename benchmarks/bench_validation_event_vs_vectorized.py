@@ -1,0 +1,155 @@
+"""Cross-validation: the event-driven and vectorized paths must agree.
+
+DESIGN.md section 6 commits to two implementations sharing one
+calibration: the event-driven NIC/DuT models (scripts, integration tests)
+and the vectorized models (million-packet benches).  This bench runs the
+same experiments through both and checks they agree — the guard against
+the two paths drifting apart as the code evolves.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, run_once
+from repro import CbrPattern, GapFiller, MoonGenEnv, units
+from repro.dut import DutConfig, OvsForwarder, simulate_forwarder
+from repro.nicsim.nic import SimFrame
+
+
+def event_driven_dut(arrivals_ns):
+    """Feed explicit arrival times through the event-driven forwarder."""
+    env = MoonGenEnv(seed=1)
+    dut = OvsForwarder(env.loop)
+    latencies = []
+
+    def sink(frame, t):
+        latencies.append((frame.meta["dut_departure_ps"]
+                          - frame.meta["dut_arrival_ps"]) / 1000.0)
+
+    from repro.nicsim.link import Wire
+    wire = Wire(env.loop, units.SPEED_10G)
+    wire.connect(sink)
+    dut.connect_output(wire)
+    for t in arrivals_ns:
+        env.loop.schedule_at(
+            round(t * 1000),
+            lambda: dut.ingress(SimFrame(b"\x00" * 60), env.loop.now_ps),
+        )
+    env.loop.run()
+    return np.asarray(latencies), dut
+
+
+def test_validation_dut_latency_agrees(benchmark):
+    """Same arrivals, same latencies: event loop vs fastpath."""
+    def experiment():
+        arrivals = np.arange(3000) * 1000.0  # 1 Mpps CBR
+        fast = simulate_forwarder(arrivals)
+        event_lat, dut = event_driven_dut(arrivals)
+        fast_lat = fast.latencies_ns[~np.isnan(fast.latencies_ns)]
+        return fast_lat, event_lat, fast, dut
+
+    fast_lat, event_lat, fast, dut = run_once(benchmark, experiment)
+    rows = [
+        ["forwarded", fast.forwarded, dut.forwarded],
+        ["interrupts", fast.interrupts, dut.interrupts],
+        ["median latency [µs]",
+         f"{np.median(fast_lat) / 1e3:.2f}", f"{np.median(event_lat) / 1e3:.2f}"],
+        ["p90 latency [µs]",
+         f"{np.percentile(fast_lat, 90) / 1e3:.2f}",
+         f"{np.percentile(event_lat, 90) / 1e3:.2f}"],
+    ]
+    print_table("event-driven vs vectorized DuT @ 1 Mpps CBR",
+                ["metric", "fastpath", "event loop"], rows)
+    assert dut.forwarded == fast.forwarded
+    assert dut.interrupts == pytest.approx(fast.interrupts, rel=0.02)
+    assert np.median(event_lat) == pytest.approx(np.median(fast_lat), rel=0.02)
+    assert np.percentile(event_lat, 90) == pytest.approx(
+        np.percentile(fast_lat, 90), rel=0.05)
+
+
+def test_validation_crc_gap_wire_schedule(benchmark):
+    """The event-driven CRC-gap load task realises the planner's schedule."""
+    def experiment():
+        pattern = CbrPattern(2e6)
+        filler = GapFiller()
+        plan = filler.plan_pattern(CbrPattern(2e6), 79)
+
+        env = MoonGenEnv(seed=2)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        arrivals = []
+        original = rx.port.receive
+
+        def spy(frame, t):
+            if frame.fcs_ok:
+                arrivals.append(t / 1000.0)
+            original(frame, t)
+
+        tx.port.wire.connect(spy)
+
+        def craft(buf, index):
+            buf.eth_packet.fill(eth_type=0x0800)
+
+        env.launch(filler.load_task, env, tx.get_tx_queue(0),
+                   pattern, 80, craft)
+        env.wait_for_slaves(duration_ns=5_000_000)
+        return np.diff(arrivals), plan.actual_gaps_ns
+
+    event_gaps, planned_gaps = run_once(benchmark, experiment)
+    print_table(
+        "CRC-gap schedule: plan vs wire",
+        ["source", "mean gap [ns]", "max |dev| from 500 ns"],
+        [
+            ["planner", f"{planned_gaps.mean():.2f}",
+             f"{np.abs(planned_gaps - 500).max():.2f}"],
+            ["event-driven wire", f"{event_gaps.mean():.2f}",
+             f"{np.abs(event_gaps - 500).max():.2f}"],
+        ],
+    )
+    assert event_gaps.mean() == pytest.approx(planned_gaps.mean(), rel=1e-3)
+    assert np.abs(event_gaps - planned_gaps[:len(event_gaps)]).max() <= 1.0
+
+
+def test_validation_hw_rate_average(benchmark):
+    """The event-driven hardware limiter and the vectorized model agree on
+    the average rate (their jitter models differ by design: the event
+    limiter is the mechanism, the vectorized model is calibrated to the
+    measured Table 4 spread)."""
+    def experiment():
+        env = MoonGenEnv(seed=3)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        queue = tx.get_tx_queue(0)
+        queue.set_rate_pps(1e6, 64)
+        times = []
+        tx.port.tx_observers.append(lambda f, t: times.append(t))
+
+        def slave(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(32)
+            sent = 0
+            while env.running() and sent < 500:
+                bufs.alloc(60)
+                sent += yield queue.send(bufs)
+
+        env.launch(slave, env, queue)
+        env.wait_for_slaves(duration_ns=2_000_000)
+        gaps = np.diff(times) / 1000.0
+        from repro.generators import MoonGenHwRateModel
+        model_gaps = MoonGenHwRateModel(
+            speed_bps=units.SPEED_10G).gaps_ns(1e6, 2000, seed=3)
+        return gaps, model_gaps
+
+    event_gaps, model_gaps = run_once(benchmark, experiment)
+    print_table(
+        "hardware CBR @ 1 Mpps: event mechanism vs calibrated model",
+        ["source", "mean gap [ns]"],
+        [
+            ["event-driven limiter", f"{event_gaps.mean():.2f}"],
+            ["vectorized model", f"{model_gaps.mean():.2f}"],
+        ],
+    )
+    assert event_gaps.mean() == pytest.approx(1000.0, rel=0.005)
+    assert model_gaps.mean() == pytest.approx(1000.0, rel=0.005)

@@ -1,0 +1,31 @@
+"""Shared helpers for the paper-reproduction benches.
+
+Every bench prints a paper-vs-measured comparison table; the pytest-benchmark
+fixture wraps the experiment once (``pedantic`` with a single round — these
+are simulations whose *output* matters, not their wall time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print an aligned comparison table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""drift: measure clock drift between NIC pairs (Section 6.3).
+
+The paper's drift.lua measurement: read the difference between two port
+clocks twice, a known interval apart, and report the drift in µs/s.
+Reproduces the observations of Section 6.3: directly connected X540 ports
+synchronize to the physical layer (no drift), while ports on different
+NICs drift — worst case 35 µs/s between a mainboard and a discrete NIC.
+
+Run:  python examples/drift.py
+"""
+
+import random
+
+from repro import MoonGenEnv
+from repro.core.timestamping import measure_drift, sync_clocks
+
+#: (pair description, configured drift in ppm) — Section 6.3's cases.
+PAIRS = [
+    ("two directly connected X540 ports (PHY-synchronized)", 0.0),
+    ("two ports on different NICs (typical)", 7.5),
+    ("mainboard NIC vs discrete NIC (worst case)", 35.0),
+]
+
+
+def main():
+    rng = random.Random(1)
+    print("clock drift measurements (drift.lua):\n")
+    for description, drift_ppm in PAIRS:
+        env = MoonGenEnv(seed=2)
+        a = env.config_device(0, tx_queues=1, rx_queues=1,
+                              clock_drift_ppm=drift_ppm)
+        b = env.config_device(1, tx_queues=1, rx_queues=1)
+        env.connect(a, b)
+        measured = measure_drift(a.clock, b.clock, rng)
+        print(f"  {description}:")
+        print(f"    measured drift: {measured:+.2f} µs/s "
+              f"(configured {drift_ppm} ppm)")
+        # Show what resynchronisation buys (Section 6.3's conclusion).
+        sync_clocks(a.clock, b.clock, rng)
+        residual = abs(a.clock.raw_time_ns() - b.clock.raw_time_ns())
+        print(f"    offset right after resync: {residual:.1f} ns "
+              f"(±1 clock cycle)\n")
+    print("MoonGen resynchronizes before each timestamped packet, turning "
+          "even 35 µs/s into a 0.0035 % relative error (Section 6.3).")
+
+
+if __name__ == "__main__":
+    main()

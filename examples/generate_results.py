@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figure data as CSV files for plotting.
+
+Writes one CSV per figure/table into ``results/`` (Figure 8 histograms,
+Table 4 metrics, Figure 7 interrupt-rate curves, Figure 11 latency
+curves).  Pair with any plotting tool to redraw the paper's charts.
+
+Run:  python examples/generate_results.py [output_dir]
+"""
+
+import csv
+import sys
+from pathlib import Path
+
+from repro import units
+from repro.analysis import measure_interarrival, rate_control_table_row
+from repro.analysis.interarrival import histogram_bins_64ns
+from repro.core.ratecontrol import PoissonPattern
+from repro.dut import simulate_forwarder
+from repro.generators import (
+    MoonGenCrcGapModel,
+    MoonGenHwRateModel,
+    PktgenDpdkModel,
+    ZsendModel,
+)
+
+N_PACKETS = 200_000
+MODELS = (MoonGenHwRateModel(), PktgenDpdkModel(), ZsendModel())
+
+
+def write_fig8_and_table4(outdir: Path) -> None:
+    table_rows = []
+    for pps in (500_000, 1_000_000):
+        for model in MODELS:
+            departures = model.departures_ns(pps, N_PACKETS, seed=42)
+            stats = measure_interarrival(departures, pps, model.name)
+            table_rows.append(rate_control_table_row(stats))
+            name = model.name.lower().replace("-", "_")
+            with open(outdir / f"fig8_{name}_{pps // 1000}kpps.csv", "w",
+                      newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(["interarrival_ns", "probability_pct"])
+                for edge, pct in histogram_bins_64ns(stats).items():
+                    writer.writerow([edge, f"{pct:.4f}"])
+    with open(outdir / "table4_rate_control.csv", "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(table_rows[0]))
+        writer.writeheader()
+        writer.writerows(table_rows)
+
+
+def write_fig7(outdir: Path) -> None:
+    hw = MoonGenHwRateModel(speed_bps=units.SPEED_10G)
+    zs = ZsendModel(speed_bps=units.SPEED_10G)
+    with open(outdir / "fig7_interrupt_rate.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["offered_mpps", "moongen_hz", "zsend_hz"])
+        for mpps in (0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75):
+            n = max(int(mpps * 1e6 * 0.03), 2000)
+            m = simulate_forwarder(hw.departures_ns(mpps * 1e6, n, seed=11))
+            z = simulate_forwarder(zs.departures_ns(mpps * 1e6, n, seed=11))
+            writer.writerow([mpps, f"{m.interrupt_rate_hz:.0f}",
+                             f"{z.interrupt_rate_hz:.0f}"])
+
+
+def write_fig11(outdir: Path) -> None:
+    crc = MoonGenCrcGapModel(speed_bps=units.SPEED_10G)
+    hw = MoonGenHwRateModel(speed_bps=units.SPEED_10G)
+    with open(outdir / "fig11_latency.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "offered_mpps",
+            "cbr_q1_us", "cbr_median_us", "cbr_q3_us",
+            "poisson_q1_us", "poisson_median_us", "poisson_q3_us",
+        ])
+        for mpps in (0.1, 0.4, 0.7, 1.0, 1.3, 1.6, 1.9, 2.2):
+            n = max(int(mpps * 1e6 * 0.02), 2000)
+            cbr = simulate_forwarder(hw.departures_ns(mpps * 1e6, n, seed=13))
+            poisson = simulate_forwarder(crc.departures_for_pattern(
+                PoissonPattern(mpps * 1e6, seed=13), n))
+            row = [mpps]
+            for res in (cbr, poisson):
+                row += [f"{q / 1e3:.2f}" for q in res.latency_percentiles()]
+            writer.writerow(row)
+
+
+def main():
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    outdir.mkdir(parents=True, exist_ok=True)
+    write_fig8_and_table4(outdir)
+    write_fig7(outdir)
+    write_fig11(outdir)
+    files = sorted(p.name for p in outdir.glob("*.csv"))
+    print(f"wrote {len(files)} CSV files to {outdir}/:")
+    for name in files:
+        print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main()

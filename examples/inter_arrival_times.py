@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""inter-arrival-times: compare the rate-control precision of generators.
+
+Reproduces the Section 7.3 measurement in miniature: inter-arrival time
+histograms (64 ns bins, the 82580's precision) and the Table 4 metrics for
+MoonGen's hardware rate control, Pktgen-DPDK and zsend at 500 and
+1000 kpps on a GbE link.
+
+Run:  python examples/inter_arrival_times.py [n_packets]
+"""
+
+import sys
+
+from repro.analysis import measure_interarrival
+from repro.analysis.interarrival import histogram_bins_64ns
+from repro.generators import MoonGenHwRateModel, PktgenDpdkModel, ZsendModel
+
+
+def ascii_histogram(stats, width: int = 50, max_bins: int = 24) -> None:
+    """Figure 8 as ASCII art: probability per 64 ns bin."""
+    bins = histogram_bins_64ns(stats)
+    peak = max(bins.values())
+    shown = 0
+    for edge, pct in bins.items():
+        if pct < 0.05:
+            continue
+        if shown >= max_bins:
+            print("     ...")
+            break
+        bar = "#" * max(1, round(pct / peak * width))
+        print(f"  {edge / 1000.0:7.3f} µs | {bar} {pct:.1f}%")
+        shown += 1
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+
+    models = (MoonGenHwRateModel(), PktgenDpdkModel(), ZsendModel())
+    for pps in (500_000, 1_000_000):
+        print(f"\n=== target rate {pps // 1000} kpps "
+              f"(inter-arrival target {1e9 / pps:.0f} ns) ===")
+        for model in models:
+            departures = model.departures_ns(pps, n, seed=42)
+            stats = measure_interarrival(departures, pps, model.name)
+            print(f"\n{stats.format_row()}")
+            ascii_histogram(stats)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""l2-load-latency: CBR load through a software forwarder, with latency.
+
+The work-horse script of the paper's evaluation (Section 9): one queue
+generates constant-bit-rate load using hardware rate control, a second
+queue sends timestamped PTP probes sampling the forwarding latency of the
+device under test — here the simulated single-core Open vSwitch forwarder
+of Section 7.4.
+
+Run:  python examples/l2_load_latency.py [rate_mpps]
+"""
+
+import sys
+
+from repro import MoonGenEnv, Timestamper
+from repro.dut import OvsForwarder
+from repro.units import MIN_FRAME_SIZE
+
+DURATION_NS = 30_000_000  # 30 ms simulated
+PKT_SIZE = MIN_FRAME_SIZE - 4  # 64 B frames
+
+
+def load_slave(env, queue, dst_mac):
+    mem = env.create_mempool(
+        fill=lambda buf: buf.eth_packet.fill(
+            eth_src="02:00:00:00:00:00", eth_dst=dst_mac, eth_type=0x0800
+        )
+    )
+    bufs = mem.buf_array()
+    while env.running():
+        bufs.alloc(PKT_SIZE)
+        yield queue.send(bufs)
+
+
+def main():
+    rate_mpps = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+
+    env = MoonGenEnv(seed=11)
+    tx_dev = env.config_device(0, tx_queues=2)
+    rx_dev = env.config_device(1, rx_queues=1)
+
+    # Wire topology: loadgen port 0 -> DuT -> loadgen port 1.
+    dut = OvsForwarder(env.loop)
+    env.connect_to_sink(tx_dev, dut.ingress)
+    dut.connect_output(env.wire_to_device(rx_dev))
+
+    load_queue = tx_dev.get_tx_queue(0)
+    load_queue.set_rate_pps(rate_mpps * 1e6, MIN_FRAME_SIZE)
+    env.launch(load_slave, env, load_queue, rx_dev.mac)
+
+    ts = Timestamper(env, tx_dev.get_tx_queue(1), rx_dev)
+    env.launch(ts.probe_task, 400, 50_000.0)
+
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+
+    seconds = env.now_ns / 1e9
+    print(f"offered load     : {rate_mpps:.2f} Mpps CBR (hardware rate control)")
+    print(f"DuT forwarded    : {dut.forwarded} packets "
+          f"({dut.forwarded / seconds / 1e6:.2f} Mpps), "
+          f"dropped {dut.rx_dropped}, interrupts {dut.interrupts} "
+          f"({dut.interrupt_rate_hz() / 1e3:.1f} kHz)")
+    if len(ts.histogram):
+        h = ts.histogram
+        q1, med, q3 = h.quartiles()
+        print(f"latency ({len(h)} probes): "
+              f"q1={q1 / 1e3:.1f} µs  median={med / 1e3:.1f} µs  "
+              f"q3={q3 / 1e3:.1f} µs  (lost {ts.lost_probes})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Capture simulated traffic to pcap and replay it with original timing.
+
+Demonstrates the trace workflow: a bursty flow is captured at the receiver
+into a standard pcap file, then replayed through the CRC-gap rate control,
+which reproduces the trace's inter-packet gaps with byte-level precision —
+something neither a pcap-replaying "barebone" generator with software
+pacing nor hardware CBR generators can do (Sections 2 and 8).
+
+Run:  python examples/pcap_replay.py [n_packets]
+"""
+
+import io
+import sys
+
+import numpy as np
+
+from repro import MoonGenEnv, UniformBurstPattern
+from repro.core.ratecontrol import CustomGapPattern, GapFiller
+from repro.packet.pcap import (
+    PcapReader,
+    PcapWriter,
+    capture_rx_queue,
+    trace_gaps_ns,
+)
+
+
+def capture_phase(n_packets: int) -> bytes:
+    """Generate a bursty flow and capture it at the receiver as pcap."""
+    env = MoonGenEnv(seed=21)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    rx.get_rx_queue(0).sim.ring_size = n_packets + 64
+    env.connect(tx, rx)
+    pattern = UniformBurstPattern(pps=1e6, burst_size=8)
+    filler = GapFiller()
+
+    def craft(buf, index):
+        buf.pkt.udp_packet.fill(
+            pkt_length=60, eth_src=str(tx.mac), eth_dst=str(rx.mac),
+            udp_src=1234, udp_dst=4321,
+        )
+
+    env.launch(filler.load_task, env, tx.get_tx_queue(0), pattern,
+               n_packets, craft)
+    env.wait_for_slaves(duration_ns=n_packets * 1_500.0)
+
+    records = capture_rx_queue(rx.get_rx_queue(0), n_packets + 64)
+    stream = io.BytesIO()
+    PcapWriter(stream).write_all(records)
+    return stream.getvalue()
+
+
+def replay_phase(pcap_bytes: bytes):
+    """Replay the captured trace and compare the realised timing."""
+    records = PcapReader(io.BytesIO(pcap_bytes)).read_all()
+    gaps = trace_gaps_ns(records)
+    plan = GapFiller().plan(CustomGapPattern(gaps).gaps_ns(len(gaps)))
+    return np.asarray(gaps), plan
+
+
+def main():
+    n_packets = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    pcap_bytes = capture_phase(n_packets)
+    print(f"captured {n_packets} packets into {len(pcap_bytes)} bytes of pcap")
+
+    gaps, plan = replay_phase(pcap_bytes)
+    err = np.abs(plan.actual_gaps_ns - gaps)
+    print(f"replayed {len(gaps)} inter-packet gaps through the CRC-gap "
+          f"rate control:")
+    print(f"  original gap range : {gaps.min():.1f} .. {gaps.max():.1f} ns")
+    print(f"  mean timing error  : {err.mean():.2f} ns")
+    print(f"  worst timing error : {err.max():.2f} ns")
+    print(f"  filler frames used : {plan.n_fillers}")
+    print("\nThe burst structure (8 packets back-to-back, then a pause) "
+          "survives the replay byte-exact; only gaps inside the "
+          "unrepresentable 0.8-60.8 ns range are skip-and-stretch "
+          "approximated (Section 8.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The paper's Section 4 example: a quality-of-service test.
+
+Two transmit tasks generate two UDP flows — prioritized foreground traffic
+on port 43 and background traffic on port 42 — with hardware rate control,
+a counter task measures per-flow throughput, and a timestamping task
+measures per-flow latency.  This mirrors quality-of-service-test.lua
+(Listings 1–3) including the timestamping task the listings omit.
+
+Run:  python examples/quality_of_service_test.py [fg_rate_mbps] [bg_rate_mbps]
+"""
+
+import sys
+
+from repro import MoonGenEnv, PktRxCounter, Timestamper, parse_ip_address
+
+PKT_SIZE = 120  # 124 B frames on the wire (the paper's PKT_SIZE)
+DURATION_NS = 50_000_000  # 50 ms simulated
+
+
+def load_slave(env, queue, port, dst_mac):
+    """Listing 2: generate UDP packets from randomized source IPs."""
+    mem = env.create_mempool(
+        fill=lambda buf: buf.udp_packet.fill(
+            pkt_length=PKT_SIZE,
+            eth_src="02:00:00:00:00:00",  # queue MAC in the original
+            eth_dst=dst_mac,
+            ip_dst="192.168.1.1",
+            udp_src=1234,
+            udp_dst=port,
+        )
+    )
+    base_ip = parse_ip_address("10.0.0.1")
+    bufs = mem.buf_array()
+    import random
+    rng = random.Random(port)
+    sent_total = 0
+    while env.running():
+        bufs.alloc(PKT_SIZE)
+        for buf in bufs:
+            buf.udp_packet.ip.src = base_ip + rng.randrange(255)
+        bufs.charge_random_fields(1)
+        bufs.offload_udp_checksums()
+        sent = yield queue.send(bufs)
+        sent_total += sent
+    return sent_total
+
+
+def counter_slave(env, queue, counters, stream):
+    """Listing 3: count received packets per UDP destination port."""
+    mem = env.create_mempool()
+    bufs = mem.buf_array()
+    while env.running():
+        rx = yield queue.recv(bufs, timeout_ns=1_000_000)
+        for i in range(rx):
+            buf = bufs[i]
+            if buf.pkt.classify() != "udp4":
+                continue  # PTP probes share the link with the UDP flows
+            port = buf.udp_packet.udp.get_dst_port()
+            ctr = counters.get(port)
+            if ctr is None:
+                ctr = PktRxCounter(port, "plain", now_ns=lambda: env.now_ns,
+                                   stream=stream)
+                counters[port] = ctr
+            ctr.count_packet(buf)
+        bufs.free_all()
+
+
+def main():
+    fg_rate = float(sys.argv[1]) if len(sys.argv) > 1 else 100.0
+    bg_rate = float(sys.argv[2]) if len(sys.argv) > 2 else 800.0
+
+    env = MoonGenEnv(seed=7)
+    # Listing 1: one tx device with two queues, one rx device.
+    t_dev = env.config_device(0, rx_queues=1, tx_queues=3)
+    r_dev = env.config_device(1, rx_queues=1, tx_queues=1)
+    env.connect(t_dev, r_dev)
+    env.wait_for_links()
+
+    t_dev.get_tx_queue(0).set_rate(bg_rate)
+    t_dev.get_tx_queue(1).set_rate(fg_rate)
+
+    env.launch(load_slave, env, t_dev.get_tx_queue(0), 42, r_dev.mac)
+    env.launch(load_slave, env, t_dev.get_tx_queue(1), 43, r_dev.mac)
+    counters = {}
+    env.launch(counter_slave, env, r_dev.get_rx_queue(0), counters, sys.stdout)
+
+    # The timestamping task from the full example script: sample latencies
+    # through the same path using hardware PTP timestamps on queue 2.
+    ts = Timestamper(env, t_dev.get_tx_queue(2), r_dev, pkt_size=PKT_SIZE + 4)
+    env.launch(ts.probe_task, 200, 100_000.0)
+
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+    for ctr in counters.values():
+        ctr.finalize()
+    print(f"\nbackground (port 42) configured at {bg_rate} Mbit/s, "
+          f"foreground (port 43) at {fg_rate} Mbit/s")
+    if len(ts.histogram):
+        print(f"latency over {len(ts.histogram)} timestamped probes: "
+              f"{ts.histogram.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: saturate a simulated 10 GbE link with minimum-sized UDP packets.
+
+The structure mirrors Listing 2 of the paper: a memory pool whose fill
+callback pre-initializes every packet, a bufArray processed in batches, a
+transmit loop that touches only the fields that change per packet, and a
+manual tx counter.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ManualTxCounter, MoonGenEnv, parse_ip_address
+from repro.units import to_mpps
+
+PKT_SIZE = 60  # 64 B on the wire: the buffer excludes the 4 B FCS
+DURATION_NS = 2_000_000  # 2 ms of simulated time
+
+
+def load_slave(env, queue, dst_mac, counter):
+    """The transmit loop (Listing 2): alloc, mutate, offload, send."""
+    mem = env.create_mempool(
+        fill=lambda buf: buf.udp_packet.fill(
+            pkt_length=PKT_SIZE,
+            eth_src="02:00:00:00:00:00",
+            eth_dst=dst_mac,
+            ip_dst="192.168.1.1",
+            udp_src=1234,
+            udp_dst=319,
+        )
+    )
+    base_ip = parse_ip_address("10.0.0.1")
+    bufs = mem.buf_array()
+    i = 0
+    while env.running():
+        bufs.alloc(PKT_SIZE)
+        for buf in bufs:
+            buf.udp_packet.ip.src = base_ip + (i & 0xFF)
+            i += 1
+        bufs.charge_random_fields(1)  # timing cost of the varying field
+        bufs.offload_udp_checksums()
+        sent = yield queue.send(bufs)
+        counter.update_with_size(sent, PKT_SIZE + 4)
+
+
+def counter_slave(env, queue):
+    """Count received packets until the experiment stops."""
+    mem = env.create_mempool()
+    bufs = mem.buf_array()
+    received = 0
+    while env.running():
+        rx = yield queue.recv(bufs, timeout_ns=100_000)
+        received += rx
+        bufs.free_all()
+    return received
+
+
+def main():
+    env = MoonGenEnv(seed=1)
+    tx_dev = env.config_device(0, tx_queues=1)
+    rx_dev = env.config_device(1, rx_queues=1)
+    env.connect(tx_dev, rx_dev)
+    env.wait_for_links()
+
+    counter = ManualTxCounter("quickstart", "plain", now_ns=lambda: env.now_ns)
+    env.launch(load_slave, env, tx_dev.get_tx_queue(0), rx_dev.mac, counter)
+    rx_task = env.launch(counter_slave, env, rx_dev.get_rx_queue(0))
+    env.wait_for_slaves(duration_ns=DURATION_NS)
+    counter.finalize()
+
+    seconds = env.now_ns / 1e9
+    print(f"transmitted : {tx_dev.tx_packets} packets "
+          f"({to_mpps(tx_dev.tx_packets / seconds):.2f} Mpps)")
+    print(f"received    : {rx_dev.rx_packets} packets "
+          f"(slave counted {rx_task.result})")
+    print("10 GbE line rate with 64 B frames is 14.88 Mpps — one simulated "
+          "core sustains it, as in Section 5.2 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

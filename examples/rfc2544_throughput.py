@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""RFC 2544 throughput test against the simulated Open vSwitch DuT.
+
+The hardware packet generators MoonGen replaces are "tailored to special
+use cases such as performing RFC 2544 compliant device tests" (Section 2).
+With precise software rate control and loss accounting, the reproduction
+runs the same methodology: a binary search for the highest zero-loss rate,
+per standard frame size.
+
+Run:  python examples/rfc2544_throughput.py [frame_size ...]
+"""
+
+import sys
+
+from repro import units
+from repro.analysis.rfc2544 import default_loss_probe, throughput_test
+
+
+def main():
+    sizes = [int(a) for a in sys.argv[1:]] or [64, 512, 1518]
+    print("RFC 2544 throughput test (simulated single-core OvS forwarder)")
+    print(f"{'frame':>6}  {'line rate':>10}  {'zero-loss rate':>14}  trials")
+    for size in sizes:
+        line = units.line_rate_pps(size, units.SPEED_10G)
+        result = throughput_test(
+            default_loss_probe(frame_size=size, duration_s=0.03),
+            line, frame_size=size, resolution=0.01,
+        )
+        print(f"{size:>4} B  {line / 1e6:>7.2f} Mpps  "
+              f"{result.throughput_mpps:>9.2f} Mpps  "
+              f"{len(result.trials)}")
+    print("\nSmall frames are pps-bound by the DuT (~1.9 Mpps, the overload "
+          "point of Section 8.3); for large frames the line rate in packets "
+          "per second drops below the DuT's capacity, so it forwards at "
+          "line rate without loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` works through this file offline;
+all project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""MoonGen reproduction: a scriptable packet generator on simulated hardware.
+
+Reproduces *MoonGen: A Scriptable High-Speed Packet Generator* (Emmerich et
+al., IMC 2015) as a Python library.  Real NICs and wires are replaced by a
+calibrated discrete-event simulation (see DESIGN.md); the scripting API,
+timestamping engine, rate-control mechanisms, statistics and all evaluation
+experiments are implemented on top of it.
+
+Quick start::
+
+    from repro import MoonGenEnv
+
+    env = MoonGenEnv()
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+
+    def load_slave(env, queue):
+        mem = env.create_mempool(fill=lambda buf: buf.udp_packet.fill(
+            pkt_length=60, eth_src=tx.mac, eth_dst=rx.mac,
+            ip_dst="192.168.1.1", udp_dst=1234))
+        bufs = mem.buf_array()
+        while env.running():
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+    env.launch(load_slave, env, tx.get_tx_queue(0))
+    env.wait_for_slaves(duration_ns=1e6)
+"""
+
+from repro.core import (
+    BufArray,
+    CbrPattern,
+    CustomGapPattern,
+    Device,
+    GapFiller,
+    Histogram,
+    ManualRxCounter,
+    ManualTxCounter,
+    MemPool,
+    MoonGenEnv,
+    PacketBuffer,
+    PktRxCounter,
+    PoissonPattern,
+    RxQueue,
+    Timestamper,
+    TxQueue,
+    UniformBurstPattern,
+    sync_clocks,
+)
+from repro.packet import parse_ip_address
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufArray",
+    "CbrPattern",
+    "CustomGapPattern",
+    "Device",
+    "GapFiller",
+    "Histogram",
+    "ManualRxCounter",
+    "ManualTxCounter",
+    "MemPool",
+    "MoonGenEnv",
+    "PacketBuffer",
+    "PktRxCounter",
+    "PoissonPattern",
+    "RxQueue",
+    "Timestamper",
+    "TxQueue",
+    "UniformBurstPattern",
+    "parse_ip_address",
+    "sync_clocks",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Measurement analysis: inter-arrival metrics, latency statistics, and the
+Section 5.6.3 cost estimator."""
+
+from repro.analysis.cost_estimator import ScriptCost, estimate_script
+from repro.analysis.interarrival import (
+    InterArrivalStats,
+    measure_interarrival,
+    rate_control_table_row,
+)
+from repro.analysis.latencystats import LatencySummary, summarize_latencies
+from repro.analysis.rfc2544 import (
+    ThroughputResult,
+    default_loss_probe,
+    frame_size_sweep,
+    throughput_test,
+)
+
+__all__ = [
+    "InterArrivalStats",
+    "LatencySummary",
+    "ScriptCost",
+    "ThroughputResult",
+    "default_loss_probe",
+    "estimate_script",
+    "frame_size_sweep",
+    "measure_interarrival",
+    "rate_control_table_row",
+    "summarize_latencies",
+    "throughput_test",
+]

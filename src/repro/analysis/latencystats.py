@@ -1,0 +1,61 @@
+"""Latency statistics for the forwarding experiments (Figures 10 and 11)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LatencySummary:
+    """Quartiles of a latency distribution, the series of Figures 10/11."""
+
+    offered_load_pps: float
+    q1_ns: float
+    median_ns: float
+    q3_ns: float
+    n_samples: int
+    drop_rate: float = 0.0
+
+    def as_us(self) -> Tuple[float, float, float]:
+        return self.q1_ns / 1e3, self.median_ns / 1e3, self.q3_ns / 1e3
+
+
+def summarize_latencies(latencies_ns: Sequence[float], offered_load_pps: float,
+                        drop_rate: float = 0.0) -> LatencySummary:
+    """Quartile summary of a latency sample set (NaNs = drops, excluded)."""
+    arr = np.asarray(latencies_ns, dtype=float)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        raise ValueError("no latency samples")
+    q1, med, q3 = (float(np.percentile(arr, p)) for p in (25, 50, 75))
+    return LatencySummary(
+        offered_load_pps=offered_load_pps,
+        q1_ns=q1,
+        median_ns=med,
+        q3_ns=q3,
+        n_samples=int(arr.size),
+        drop_rate=drop_rate,
+    )
+
+
+def relative_deviation(a: LatencySummary, b: LatencySummary) -> Dict[str, float]:
+    """Per-quartile relative deviation (a - b) / b, Figure 10's metric."""
+    return {
+        "q1": (a.q1_ns - b.q1_ns) / b.q1_ns,
+        "median": (a.median_ns - b.median_ns) / b.median_ns,
+        "q3": (a.q3_ns - b.q3_ns) / b.q3_ns,
+    }
+
+
+def mean_and_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and sample standard deviation over repeated runs."""
+    vals = list(values)
+    mean = sum(vals) / len(vals)
+    if len(vals) < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+    return mean, math.sqrt(var)

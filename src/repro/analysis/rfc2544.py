@@ -1,0 +1,129 @@
+"""RFC 2544 benchmarking methodology.
+
+The hardware packet generators MoonGen competes with are "tailored to
+special use cases such as performing RFC 2544 compliant device tests"
+(Section 2); the paper also cites its latency rule (one timestamped packet
+per 120 s interval — Section 6.4 notes MoonGen samples thousands per
+second instead).  This module implements the RFC 2544 throughput test on
+top of the simulated DuT: a binary search for the highest offered rate the
+device forwards without loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro import units
+from repro.dut.fastpath import simulate_forwarder
+from repro.errors import ConfigurationError
+from repro.generators.moongen import MoonGenCrcGapModel
+
+#: RFC 2544 standard frame sizes for Ethernet.
+STANDARD_FRAME_SIZES = (64, 128, 256, 512, 1024, 1280, 1518)
+
+
+@dataclass
+class Trial:
+    """One load trial of the binary search."""
+
+    offered_pps: float
+    loss_fraction: float
+
+    @property
+    def passed(self) -> bool:
+        return self.loss_fraction == 0.0
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of an RFC 2544 throughput search."""
+
+    frame_size: int
+    throughput_pps: float
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def throughput_mpps(self) -> float:
+        return self.throughput_pps / 1e6
+
+    def throughput_gbps(self) -> float:
+        return units.throughput_gbps(self.throughput_pps, self.frame_size)
+
+
+def default_loss_probe(
+    frame_size: int = 64,
+    # Short trials hide mild overload: the rx ring absorbs the excess
+    # until it fills (this is why RFC 2544 mandates 60 s trials).  40 ms
+    # is long enough for the simulated DuT's 4096-deep ring.
+    duration_s: float = 0.04,
+    speed_bps: int = units.SPEED_10G,
+    seed: int = 0,
+    **forwarder_kwargs,
+) -> Callable[[float], float]:
+    """A loss probe driving the simulated OvS forwarder with CBR traffic."""
+    model = MoonGenCrcGapModel(frame_size=frame_size, speed_bps=speed_bps)
+
+    def probe(pps: float) -> float:
+        n = max(int(pps * duration_s), 100)
+        arrivals = model.departures_ns(pps, n, seed=seed)
+        result = simulate_forwarder(arrivals, pkt_size=frame_size,
+                                    **forwarder_kwargs)
+        return result.drop_rate
+
+    return probe
+
+
+def throughput_test(
+    loss_probe: Callable[[float], float],
+    line_rate_pps: float,
+    frame_size: int = 64,
+    resolution: float = 0.005,
+    min_rate_pps: Optional[float] = None,
+) -> ThroughputResult:
+    """RFC 2544 section 26.1: binary search for the zero-loss rate.
+
+    ``resolution`` is the relative rate granularity at which the search
+    stops.  Starts at line rate (the standard's first trial) and halves the
+    interval on loss.
+    """
+    if not 0 < resolution < 1:
+        raise ConfigurationError(f"resolution must be in (0, 1): {resolution}")
+    low = min_rate_pps if min_rate_pps is not None else line_rate_pps * 0.01
+    high = line_rate_pps
+    trials: List[Trial] = []
+
+    loss = loss_probe(high)
+    trials.append(Trial(high, loss))
+    if loss == 0.0:
+        return ThroughputResult(frame_size, high, trials)
+
+    best = 0.0
+    while (high - low) / line_rate_pps > resolution:
+        mid = (low + high) / 2
+        loss = loss_probe(mid)
+        trials.append(Trial(mid, loss))
+        if loss == 0.0:
+            best = mid
+            low = mid
+        else:
+            high = mid
+    return ThroughputResult(frame_size, max(best, low), trials)
+
+
+def frame_size_sweep(
+    line_rate_for: Callable[[int], float],
+    probe_factory: Callable[[int], Callable[[float], float]],
+    frame_sizes: Tuple[int, ...] = STANDARD_FRAME_SIZES,
+    resolution: float = 0.005,
+) -> List[ThroughputResult]:
+    """Run the throughput test over the standard frame sizes."""
+    results = []
+    for size in frame_sizes:
+        results.append(
+            throughput_test(
+                probe_factory(size), line_rate_for(size),
+                frame_size=size, resolution=resolution,
+            )
+        )
+    return results

@@ -1,0 +1,22 @@
+"""Applications beyond packet generation.
+
+Section 10: "MoonGen's flexible architecture allows for further
+applications like analyzing traffic in line rate on 10 GbE networks or
+doing Internet-wide scans from 10 GbE uplinks."  These modules build both
+on the public API:
+
+* :mod:`repro.apps.scanner` — a SYN scanner sweeping an address range at a
+  controlled rate, with a simulated responder population;
+* :mod:`repro.apps.analyzer` — a multi-queue line-rate flow analyzer using
+  RSS to spread the load over cores.
+"""
+
+from repro.apps.analyzer import FlowAnalyzer, FlowStats
+from repro.apps.scanner import ResponderPopulation, SynScanner
+
+__all__ = [
+    "FlowAnalyzer",
+    "FlowStats",
+    "ResponderPopulation",
+    "SynScanner",
+]

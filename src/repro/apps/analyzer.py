@@ -1,0 +1,113 @@
+"""Line-rate traffic analysis (Section 10's second future application).
+
+A :class:`FlowAnalyzer` spreads incoming traffic over several receive
+queues with RSS and runs one counting task per queue/core — the same
+multi-queue architecture the generator side uses (Section 3.3).  Each task
+maintains a per-flow table; results merge at the end.  Because RSS is
+flow-sticky, no flow is split across tables and merging is trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.filters import install_rss
+from repro.core.memory import MemPool
+from repro.errors import ConfigurationError
+
+#: A flow key: (src ip, dst ip, src port, dst port).
+FlowKey = Tuple[int, int, int, int]
+
+
+@dataclass
+class FlowStats:
+    """Per-flow counters."""
+
+    packets: int = 0
+    bytes: int = 0
+
+    def account(self, size: int) -> None:
+        self.packets += 1
+        self.bytes += size
+
+
+class FlowAnalyzer:
+    """Multi-queue flow accounting over a device's receive path."""
+
+    def __init__(self, env, device) -> None:
+        n_queues = len(device.port.rx_queues)
+        if n_queues < 1:
+            raise ConfigurationError("device has no rx queues")
+        self.env = env
+        self.device = device
+        self.rss = install_rss(device)
+        self.tables: List[Dict[FlowKey, FlowStats]] = [
+            {} for _ in range(n_queues)
+        ]
+        self.non_ip = 0
+        self._pool = MemPool(n_buffers=4096)
+
+    # -- per-queue counting task ---------------------------------------------
+
+    def queue_task(self, queue_index: int):
+        """Slave task: count flows arriving on one rx queue."""
+        env = self.env
+        queue = self.device.get_rx_queue(queue_index)
+        table = self.tables[queue_index]
+        bufs = self._pool.buf_array(64)
+        while env.running():
+            n = yield queue.recv(bufs, timeout_ns=1_000_000)
+            for i in range(n):
+                pkt = bufs[i].pkt
+                kind = pkt.classify()
+                if kind not in ("udp4", "tcp4"):
+                    self.non_ip += 1
+                    continue
+                view = pkt.udp_packet if kind == "udp4" else pkt.tcp_packet
+                l4 = view.udp if kind == "udp4" else view.tcp
+                key = (
+                    int(view.ip.src), int(view.ip.dst),
+                    l4.src_port, l4.dst_port,
+                )
+                stats = table.get(key)
+                if stats is None:
+                    stats = FlowStats()
+                    table[key] = stats
+                stats.account(pkt.size + 4)
+            bufs.free_all()
+
+    def launch_all(self) -> None:
+        """Start one counting task per configured rx queue."""
+        for index in range(len(self.tables)):
+            self.env.launch(self.queue_task, index,
+                            name=f"analyzer-q{index}")
+
+    # -- results ------------------------------------------------------------------
+
+    def merged(self) -> Dict[FlowKey, FlowStats]:
+        """All per-queue tables merged (RSS keeps flows disjoint)."""
+        out: Dict[FlowKey, FlowStats] = {}
+        for table in self.tables:
+            for key, stats in table.items():
+                if key in out:
+                    out[key].packets += stats.packets
+                    out[key].bytes += stats.bytes
+                else:
+                    out[key] = FlowStats(stats.packets, stats.bytes)
+        return out
+
+    def top_flows(self, n: int = 10) -> List[Tuple[FlowKey, FlowStats]]:
+        """The n heaviest flows by packet count."""
+        return sorted(
+            self.merged().items(), key=lambda kv: -kv[1].packets
+        )[:n]
+
+    @property
+    def total_packets(self) -> int:
+        return sum(s.packets for t in self.tables for s in t.values())
+
+    def queue_loads(self) -> List[int]:
+        """Packets per queue: how evenly RSS spread the work."""
+        return [sum(s.packets for s in table.values())
+                for table in self.tables]

@@ -1,0 +1,203 @@
+"""SYN scanning: the Internet-wide-scan application of Section 10.
+
+The scanner sweeps an IPv4 range with TCP SYN probes at a configured rate
+(wrapping-counter address generation — the cheap strategy of Table 2),
+while a collector task matches SYN-ACKs.  A :class:`ResponderPopulation`
+stands in for the scanned network: a deterministic subset of addresses
+answers with SYN-ACK after a configurable latency, the rest stay silent
+(or answer RST).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from repro.core.memory import MemPool
+from repro.errors import ConfigurationError
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import Wire
+from repro.nicsim.nic import SimFrame
+from repro.packet import PacketData
+from repro.packet.address import Ip4Address, MacAddress
+from repro.packet.ethernet import EtherType
+from repro.packet.ip4 import IpProtocol
+from repro.packet.tcp import TcpFlags
+
+PROBE_SIZE = 60
+
+
+class SynScanner:
+    """Sweeps ``base .. base+count-1`` with SYN probes and collects answers."""
+
+    def __init__(
+        self,
+        env,
+        device,
+        base_address: str,
+        count: int,
+        source_ip: str = "10.99.0.1",
+        target_port: int = 80,
+        probe_rate_pps: float = 1e6,
+        tx_queue_index: int = 0,
+        rx_queue_index: int = 0,
+    ) -> None:
+        if count <= 0:
+            raise ConfigurationError(f"scan range must be positive: {count}")
+        self.env = env
+        self.device = device
+        self.base = Ip4Address(base_address)
+        self.count = count
+        self.source_ip = Ip4Address(source_ip)
+        self.target_port = target_port
+        self.probe_rate_pps = probe_rate_pps
+        self.tx_queue = device.get_tx_queue(tx_queue_index)
+        self.rx_queue = device.get_rx_queue(rx_queue_index)
+        self.probes_sent = 0
+        self.responders: Set[Ip4Address] = set()
+        self.rst_seen = 0
+        self._pool = MemPool(n_buffers=2048)
+
+    # -- transmit side ---------------------------------------------------------
+
+    def scan_task(self, batch: int = 32):
+        """Slave task: send one SYN per target address at the probe rate."""
+        env = self.env
+        self.tx_queue.set_rate_pps(
+            min(self.probe_rate_pps, 8e6), PROBE_SIZE + 4)
+        bufs = self._pool.buf_array(batch)
+        next_addr = 0
+        while next_addr < self.count and env.running():
+            n = min(batch, self.count - next_addr)
+            if n < batch:
+                bufs = self._pool.buf_array(n)
+            bufs.alloc(PROBE_SIZE)
+            for buf in bufs:
+                p = buf.pkt.tcp_packet
+                p.fill(
+                    pkt_length=PROBE_SIZE,
+                    eth_src=self.device.mac,
+                    eth_dst="02:ff:00:00:00:01",  # the gateway/population
+                    ip_src=self.source_ip,
+                    ip_dst=self.base + next_addr,
+                    tcp_src=40_000 + (next_addr % 20_000),
+                    tcp_dst=self.target_port,
+                    tcp_seq=next_addr,
+                    tcp_flags=TcpFlags.SYN,
+                )
+                next_addr += 1
+            bufs.charge_counter_fields(2)  # address + port counters
+            bufs.offload_tcp_checksums()
+            sent = yield self.tx_queue.send(bufs)
+            self.probes_sent += sent
+
+    # -- receive side -------------------------------------------------------------
+
+    def collect_task(self):
+        """Slave task: match SYN-ACK / RST answers to the sweep."""
+        env = self.env
+        bufs = self._pool.buf_array(64)
+        while env.running():
+            n = yield self.rx_queue.recv(bufs, timeout_ns=1_000_000)
+            for i in range(n):
+                pkt = bufs[i].pkt
+                if pkt.classify() != "tcp4":
+                    continue
+                tcp_pkt = pkt.tcp_packet
+                flags = tcp_pkt.tcp.flags
+                if flags & TcpFlags.SYN and flags & TcpFlags.ACK:
+                    self.responders.add(tcp_pkt.ip.src)
+                elif flags & TcpFlags.RST:
+                    self.rst_seen += 1
+            bufs.free_all()
+
+    @property
+    def open_hosts(self) -> int:
+        return len(self.responders)
+
+
+class ResponderPopulation:
+    """A simulated scanned network: some addresses answer SYN-ACK.
+
+    Acts as a wire sink; attach its output wire back to the scanner.
+    ``response_probability`` controls the responder density; selection is
+    deterministic per address for a given seed, so repeated scans agree.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        response_probability: float = 0.1,
+        rst_probability: float = 0.2,
+        latency_ns: float = 50_000.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= response_probability <= 1:
+            raise ConfigurationError("response probability must be in [0,1]")
+        self.loop = loop
+        self.response_probability = response_probability
+        self.rst_probability = rst_probability
+        self.latency_ns = latency_ns
+        self.seed = seed
+        self.output: Optional[Wire] = None
+        self.probes_seen = 0
+        self.mac = MacAddress("02:ff:00:00:00:01")
+
+    def connect_output(self, wire: Wire) -> None:
+        self.output = wire
+
+    def _address_responds(self, addr: int) -> Optional[str]:
+        """Deterministic per-address behaviour: 'synack', 'rst', or None."""
+        rng = random.Random((addr << 16) ^ self.seed)
+        roll = rng.random()
+        if roll < self.response_probability:
+            return "synack"
+        if roll < self.response_probability + self.rst_probability:
+            return "rst"
+        return None
+
+    def ingress(self, frame: SimFrame, arrival_ps: int) -> None:
+        if not frame.fcs_ok:
+            return
+        data = frame.data
+        if len(data) < 54 or ((data[12] << 8) | data[13]) != EtherType.IP4:
+            return
+        if data[23] != IpProtocol.TCP:
+            return
+        probe = PacketData.wrap(bytearray(data)).tcp_packet
+        if not probe.tcp.has_flag(TcpFlags.SYN):
+            return
+        self.probes_seen += 1
+        behaviour = self._address_responds(int(probe.ip.dst))
+        if behaviour is None or self.output is None:
+            return
+        reply = PacketData(PROBE_SIZE)
+        rp = reply.tcp_packet
+        rp.fill(
+            pkt_length=PROBE_SIZE,
+            eth_src=self.mac,
+            eth_dst=probe.eth.src,
+            ip_src=probe.ip.dst,
+            ip_dst=probe.ip.src,
+            tcp_src=probe.tcp.dst_port,
+            tcp_dst=probe.tcp.src_port,
+            tcp_ack=probe.tcp.seq_number + 1,
+            tcp_flags=(TcpFlags.SYN | TcpFlags.ACK
+                       if behaviour == "synack" else TcpFlags.RST),
+        )
+        rp.calculate_ip_checksum()
+        rp.calculate_tcp_checksum()
+        out_frame = SimFrame(reply.bytes())
+
+        def respond(out_frame=out_frame) -> None:
+            self.output.transmit(out_frame, out_frame.size)
+
+        self.loop.schedule(round(self.latency_ns * 1000), respond)
+
+    def expected_responders(self, base: str, count: int) -> int:
+        """Ground truth for a scan range (tests compare against this)."""
+        base_int = int(Ip4Address(base))
+        return sum(
+            1 for i in range(count)
+            if self._address_responds(base_int + i) == "synack"
+        )

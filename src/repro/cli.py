@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+The original MoonGen is launched as ``MoonGen <userscript> [args]``; the
+reproduction ships the canonical measurement scripts as subcommands::
+
+    moongen-repro quickstart
+    moongen-repro load-latency --rate 1.0 --mode crc --pattern poisson
+    moongen-repro inter-arrival --rate 500
+    moongen-repro rfc2544 --frame-size 64
+    moongen-repro timestamps
+
+Custom userscripts use the library API directly (see examples/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__, units
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import MoonGenEnv
+
+    env = MoonGenEnv(seed=args.seed)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+
+    def slave(env, queue):
+        mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+            pkt_length=60, eth_dst=str(rx.mac)))
+        bufs = mem.buf_array()
+        while env.running():
+            bufs.alloc(60)
+            bufs.charge_random_fields(1)
+            yield queue.send(bufs)
+
+    env.launch(slave, env, tx.get_tx_queue(0))
+    env.wait_for_slaves(duration_ns=args.duration_ms * 1e6)
+    pps = tx.tx_packets / (env.now_ns / 1e9)
+    print(f"transmitted {tx.tx_packets} packets in {env.now_ns / 1e6:.2f} ms "
+          f"simulated: {pps / 1e6:.2f} Mpps "
+          f"(line rate {units.LINE_RATE_10G_64B_PPS / 1e6:.2f})")
+    return 0
+
+
+def _cmd_load_latency(args: argparse.Namespace) -> int:
+    from repro import MoonGenEnv, PoissonPattern
+    from repro.core.latency import LoadLatencyExperiment
+    from repro.dut import OvsForwarder
+
+    env = MoonGenEnv(seed=args.seed)
+    tx = env.config_device(0, tx_queues=2)
+    rx = env.config_device(1, rx_queues=1)
+    dut = OvsForwarder(env.loop)
+    env.connect_to_sink(tx, dut.ingress)
+    dut.connect_output(env.wire_to_device(rx))
+
+    pps = args.rate * 1e6
+    pattern = PoissonPattern(pps, seed=args.seed) if args.pattern == "poisson" else None
+    mode = args.mode if pattern is None else "crc"
+    experiment = LoadLatencyExperiment(
+        env, tx, rx, mode=mode, pattern=pattern,
+        n_probes=args.probes, probe_interval_ns=50_000.0,
+    )
+    result = experiment.run(pps, duration_ns=args.duration_ms * 1e6,
+                            dut_crc_counter=lambda: dut.rx_crc_errors)
+    print(f"offered {args.rate:.2f} Mpps ({args.pattern} via {mode} rate control)")
+    print(f"DuT forwarded {dut.forwarded} packets, dropped {dut.rx_dropped}, "
+          f"fillers dropped in NIC: {result.dut_crc_drops}, "
+          f"interrupt rate {dut.interrupt_rate_hz() / 1e3:.1f} kHz")
+    if len(result.latency):
+        q1, med, q3 = result.latency.quartiles()
+        print(f"latency over {len(result.latency)} probes: "
+              f"q1={q1 / 1e3:.1f} µs median={med / 1e3:.1f} µs "
+              f"q3={q3 / 1e3:.1f} µs (lost {result.lost_probes})")
+    return 0
+
+
+def _cmd_inter_arrival(args: argparse.Namespace) -> int:
+    from repro.analysis import measure_interarrival
+    from repro.generators import MoonGenHwRateModel, PktgenDpdkModel, ZsendModel
+
+    pps = args.rate * 1e3
+    for model in (MoonGenHwRateModel(), PktgenDpdkModel(), ZsendModel()):
+        departures = model.departures_ns(pps, args.packets, seed=args.seed)
+        stats = measure_interarrival(departures, pps, model.name)
+        print(stats.format_row())
+    return 0
+
+
+def _cmd_rfc2544(args: argparse.Namespace) -> int:
+    from repro.analysis.rfc2544 import default_loss_probe, throughput_test
+
+    line = units.line_rate_pps(args.frame_size, units.SPEED_10G)
+    result = throughput_test(
+        default_loss_probe(frame_size=args.frame_size, seed=args.seed),
+        line, frame_size=args.frame_size, resolution=args.resolution,
+    )
+    print(f"frame size {args.frame_size} B, line rate {line / 1e6:.2f} Mpps")
+    for trial in result.trials:
+        verdict = "pass" if trial.passed else f"{trial.loss_fraction * 100:.2f}% loss"
+        print(f"  offered {trial.offered_pps / 1e6:7.3f} Mpps: {verdict}")
+    print(f"zero-loss throughput: {result.throughput_mpps:.2f} Mpps "
+          f"({result.throughput_gbps():.2f} Gbit/s)")
+    return 0
+
+
+def _cmd_timestamps(args: argparse.Namespace) -> int:
+    from repro import MoonGenEnv, Timestamper
+    from repro.nicsim.link import COPPER_CAT5E, FIBER_OM3, Cable
+    from repro.nicsim.nic import CHIP_82599, CHIP_X540
+
+    setups = [("82599/fiber", CHIP_82599, FIBER_OM3),
+              ("X540/copper", CHIP_X540, COPPER_CAT5E)]
+    for name, chip, medium in setups:
+        env = MoonGenEnv(seed=args.seed)
+        a = env.config_device(0, tx_queues=1, rx_queues=1, chip=chip)
+        b = env.config_device(1, tx_queues=1, rx_queues=1, chip=chip)
+        env.connect(a, b, cable=Cable(medium, args.cable_length))
+        ts = Timestamper(env, a.get_tx_queue(0), b, seed=args.seed)
+        env.launch(ts.probe_task, args.probes, 10_000.0)
+        env.wait_for_slaves(duration_ns=args.probes * 30_000.0)
+        expected = medium.modulation_ns + medium.propagation_ns(args.cable_length)
+        print(f"{name}: {args.cable_length} m cable, "
+              f"median latency {ts.histogram.median():.1f} ns "
+              f"(physical {expected:.1f} ns, {len(ts.histogram)} probes)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="moongen-repro",
+        description="MoonGen (IMC 2015) reproduction on simulated hardware",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="saturate a simulated 10 GbE link")
+    p.add_argument("--duration-ms", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_quickstart)
+
+    p = sub.add_parser("load-latency",
+                       help="load + latency through the simulated OvS DuT")
+    p.add_argument("--rate", type=float, default=1.0, help="Mpps")
+    p.add_argument("--mode", choices=("hardware", "crc"), default="hardware")
+    p.add_argument("--pattern", choices=("cbr", "poisson"), default="cbr")
+    p.add_argument("--duration-ms", type=float, default=20.0)
+    p.add_argument("--probes", type=int, default=200)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_load_latency)
+
+    p = sub.add_parser("inter-arrival",
+                       help="compare generator rate-control precision")
+    p.add_argument("--rate", type=float, default=500.0, help="kpps")
+    p.add_argument("--packets", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_inter_arrival)
+
+    p = sub.add_parser("rfc2544", help="RFC 2544 zero-loss throughput search")
+    p.add_argument("--frame-size", type=int, default=64)
+    p.add_argument("--resolution", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_rfc2544)
+
+    p = sub.add_parser("timestamps", help="hardware timestamping accuracy")
+    p.add_argument("--cable-length", type=float, default=2.0, help="meters")
+    p.add_argument("--probes", type=int, default=200)
+    p.add_argument("--seed", type=int, default=5)
+    p.set_defaults(func=_cmd_timestamps)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

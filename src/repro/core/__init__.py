@@ -1,0 +1,110 @@
+"""MoonGen core: the scriptable packet generator API.
+
+The public surface mirrors the Lua API of the original (Section 4 of the
+paper) in snake_case Python:
+
+===============================  =======================================
+MoonGen (Lua)                    this library (Python)
+===============================  =======================================
+``device.config(port, 1, 2)``    ``env.config_device(port, rx=1, tx=2)``
+``dev:getTxQueue(0)``            ``dev.get_tx_queue(0)``
+``queue:setRate(rate)``          ``queue.set_rate(rate)``
+``mg.launchLua("slave", q)``     ``env.launch(slave, q)``
+``mg.waitForSlaves()``           ``env.wait_for_slaves()``
+``memory.createMemPool(f)``      ``env.create_mempool(fill=f)``
+``mem:bufArray()``               ``mem.buf_array()``
+``bufs:alloc(size)``             ``bufs.alloc(size)``
+``bufs:offloadUdpChecksums()``   ``bufs.offload_udp_checksums()``
+``queue:send(bufs)``             ``yield queue.send(bufs)``
+``queue:recv(bufs)``             ``rx = yield queue.recv(bufs)``
+``dpdk.running()``               ``env.running()``
+===============================  =======================================
+
+Slave tasks are generator functions; blocking calls are ``yield``-ed —
+the Python stand-in for MoonGen's per-core LuaJIT VMs.
+"""
+
+from repro.core.env import MoonGenEnv
+from repro.core.arp import ArpResponder
+from repro.core.device import Device
+from repro.core.flows import (
+    FieldCounter,
+    FieldRandomizer,
+    VaryingField,
+    dst_ip_field,
+    dst_port_field,
+    payload_field,
+    src_ip_field,
+    src_mac_field,
+    src_port_field,
+)
+from repro.core.filters import FlowDirector, RssHash, install_flow_director, install_rss
+from repro.core.icmp_ping import IcmpResponder, PingClient
+from repro.core.latency import LoadLatencyExperiment, LoadLatencyResult
+from repro.core.measure import InterArrivalMeasurement
+from repro.core.monitor import DeviceStatsMonitor
+from repro.core.softpace import SleepPacedLoadTask
+from repro.core.memory import BufArray, MemPool, PacketBuffer
+from repro.core.pipes import Pipe
+from repro.core.queues import RxQueue, TxQueue
+from repro.core.histogram import Histogram
+from repro.core.stats import (
+    DeviceRxCounter,
+    DeviceTxCounter,
+    ManualRxCounter,
+    ManualTxCounter,
+    PktRxCounter,
+)
+from repro.core.timestamping import Timestamper, sync_clocks
+from repro.core.ratecontrol import (
+    CbrPattern,
+    CustomGapPattern,
+    GapFiller,
+    PoissonPattern,
+    UniformBurstPattern,
+)
+
+__all__ = [
+    "ArpResponder",
+    "BufArray",
+    "CbrPattern",
+    "CustomGapPattern",
+    "Device",
+    "FieldCounter",
+    "FieldRandomizer",
+    "FlowDirector",
+    "IcmpResponder",
+    "InterArrivalMeasurement",
+    "LoadLatencyExperiment",
+    "LoadLatencyResult",
+    "PingClient",
+    "Pipe",
+    "RssHash",
+    "SleepPacedLoadTask",
+    "install_flow_director",
+    "install_rss",
+    "VaryingField",
+    "dst_ip_field",
+    "dst_port_field",
+    "payload_field",
+    "src_ip_field",
+    "src_mac_field",
+    "src_port_field",
+    "DeviceRxCounter",
+    "DeviceStatsMonitor",
+    "DeviceTxCounter",
+    "GapFiller",
+    "Histogram",
+    "ManualRxCounter",
+    "ManualTxCounter",
+    "MemPool",
+    "MoonGenEnv",
+    "PacketBuffer",
+    "PktRxCounter",
+    "PoissonPattern",
+    "RxQueue",
+    "Timestamper",
+    "TxQueue",
+    "UniformBurstPattern",
+    "sync_clocks",
+]

@@ -1,0 +1,109 @@
+"""ARP handling task.
+
+MoonGen ships example scripts that handle ARP so a device under test that
+is a router can resolve the generator's addresses (Section 10: "MoonGen
+currently comes with example scripts to handle ... ARP traffic").  The
+:class:`ArpResponder` task answers ARP requests for a configured set of
+IPv4 addresses and can itself resolve peers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.memory import MemPool
+from repro.packet.address import Ip4Address, MacAddress
+from repro.packet.arp import ArpOp
+
+
+class ArpResponder:
+    """Answers ARP requests on a device and keeps a neighbour table."""
+
+    def __init__(self, env, device, addresses: Iterable[str],
+                 rx_queue_index: int = 0, tx_queue_index: int = 0) -> None:
+        self.env = env
+        self.device = device
+        self.addresses = {Ip4Address(a) for a in addresses}
+        self.rx_queue = device.get_rx_queue(rx_queue_index)
+        self.tx_queue = device.get_tx_queue(tx_queue_index)
+        self.table: Dict[Ip4Address, MacAddress] = {}
+        self.requests_answered = 0
+        self.replies_seen = 0
+        self._pool = MemPool(n_buffers=128, buf_capacity=128)
+
+    def lookup(self, ip: str) -> Optional[MacAddress]:
+        """Resolved MAC for an IP, if a reply has been seen."""
+        return self.table.get(Ip4Address(ip))
+
+    def _craft_reply(self, buf, request) -> None:
+        reply = buf.pkt.arp_packet
+        reply.fill(
+            eth_src=self.device.mac,
+            eth_dst=request.arp.sha,
+            arp_operation=ArpOp.REPLY,
+            arp_hw_src=self.device.mac,
+            arp_hw_dst=request.arp.sha,
+            arp_proto_src=request.arp.tpa,
+            arp_proto_dst=request.arp.spa,
+        )
+
+    def craft_request(self, buf, target_ip: str, source_ip: str) -> None:
+        """Fill a buffer with an ARP request for ``target_ip``."""
+        request = buf.pkt.arp_packet
+        request.fill(
+            eth_src=self.device.mac,
+            eth_dst="ff:ff:ff:ff:ff:ff",
+            arp_operation=ArpOp.REQUEST,
+            arp_hw_src=self.device.mac,
+            arp_proto_src=source_ip,
+            arp_proto_dst=target_ip,
+        )
+
+    def task(self):
+        """Slave task: answer requests, learn from replies."""
+        env = self.env
+        rx_bufs = self._pool.buf_array(16)
+        tx_bufs = self._pool.buf_array(1)
+        while env.running():
+            n = yield self.rx_queue.recv(rx_bufs, timeout_ns=1_000_000)
+            replies = []
+            for i in range(n):
+                buf = rx_bufs[i]
+                if buf.pkt.classify() != "arp":
+                    continue
+                arp = buf.pkt.arp_packet.arp
+                if arp.operation == ArpOp.REQUEST and arp.tpa in self.addresses:
+                    replies.append((arp.sha, arp.spa, arp.tpa))
+                elif arp.operation == ArpOp.REPLY:
+                    self.table[arp.spa] = arp.sha
+                    self.replies_seen += 1
+            rx_bufs.free_all()
+            for sha, spa, tpa in replies:
+                tx_bufs.alloc(60)
+                reply = tx_bufs[0].pkt.arp_packet
+                reply.fill(
+                    eth_src=self.device.mac,
+                    eth_dst=sha,
+                    arp_operation=ArpOp.REPLY,
+                    arp_hw_src=self.device.mac,
+                    arp_hw_dst=sha,
+                    arp_proto_src=tpa,
+                    arp_proto_dst=spa,
+                )
+                yield self.tx_queue.send(tx_bufs)
+                self.requests_answered += 1
+
+    def resolve_task(self, target_ip: str, source_ip: str,
+                     retries: int = 3, interval_ns: float = 1_000_000.0):
+        """Slave task: send ARP requests until the target answers."""
+        env = self.env
+        bufs = self._pool.buf_array(1)
+        target = Ip4Address(target_ip)
+        for _ in range(retries):
+            if target in self.table or not env.running():
+                return self.table.get(target)
+            bufs.alloc(60)
+            self.craft_request(bufs[0], target_ip, source_ip)
+            yield self.tx_queue.send(bufs)
+            yield env.sleep_ns(interval_ns)
+        return self.table.get(target)

@@ -1,0 +1,90 @@
+"""Configured network devices (ports)."""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.core.queues import RxQueue, TxQueue
+from repro.errors import QueueError
+from repro.nicsim.nic import NicPort
+from repro.packet.address import MacAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.env import MoonGenEnv
+
+
+class Device:
+    """A configured port, the result of ``env.config_device`` (Listing 1)."""
+
+    def __init__(self, env: "MoonGenEnv", port: NicPort) -> None:
+        self.env = env
+        self.port = port
+        self._tx_queues: List[TxQueue] = [
+            TxQueue(self, i, q) for i, q in enumerate(port.tx_queues)
+        ]
+        self._rx_queues: List[RxQueue] = [
+            RxQueue(self, i, q) for i, q in enumerate(port.rx_queues)
+        ]
+        #: A stable per-port MAC address (locally administered).
+        self.mac = MacAddress(0x02_00_00_00_00_00 + port.port_id)
+
+    def __repr__(self) -> str:
+        return f"Device(port={self.port.port_id}, chip={self.port.chip.name})"
+
+    @property
+    def port_id(self) -> int:
+        return self.port.port_id
+
+    @property
+    def chip(self):
+        return self.port.chip
+
+    def get_tx_queue(self, index: int) -> TxQueue:
+        try:
+            return self._tx_queues[index]
+        except IndexError:
+            raise QueueError(
+                f"device {self.port_id} configured with "
+                f"{len(self._tx_queues)} tx queues, asked for {index}"
+            ) from None
+
+    def get_rx_queue(self, index: int) -> RxQueue:
+        try:
+            return self._rx_queues[index]
+        except IndexError:
+            raise QueueError(
+                f"device {self.port_id} configured with "
+                f"{len(self._rx_queues)} rx queues, asked for {index}"
+            ) from None
+
+    # -- device statistics registers -------------------------------------------
+
+    @property
+    def tx_packets(self) -> int:
+        return self.port.tx_packets
+
+    @property
+    def tx_bytes(self) -> int:
+        return self.port.tx_bytes
+
+    @property
+    def rx_packets(self) -> int:
+        return self.port.rx_packets
+
+    @property
+    def rx_bytes(self) -> int:
+        return self.port.rx_bytes
+
+    @property
+    def rx_crc_errors(self) -> int:
+        """Frames dropped for bad FCS — all a DuT sees of CRC-gap fillers."""
+        return self.port.rx_crc_errors
+
+    @property
+    def rx_missed(self) -> int:
+        return self.port.rx_missed
+
+    @property
+    def clock(self):
+        """The port's PTP clock (one per port, even on dual-port NICs)."""
+        return self.port.clock

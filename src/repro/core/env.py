@@ -1,0 +1,220 @@
+"""The MoonGen environment: devices, tasks, wiring, and the clock.
+
+``MoonGenEnv`` plays the role of the master task's runtime: it configures
+devices (Listing 1), launches slave tasks (``mg.launchLua``), connects ports
+with simulated cables, and runs the discrete-event loop until the experiment
+finishes (``mg.waitForSlaves``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.device import Device
+from repro.core.memory import MemPool, PacketBuffer
+from repro.core.ops import CyclesOp, SleepOp
+from repro.core.tasks import Task
+from repro.errors import ConfigurationError, DeviceError
+from repro.nicsim.cpu import CpuCore, CycleCostModel, REFERENCE_FREQ_HZ
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import Cable, IDEAL_CABLE, Wire
+from repro.nicsim.nic import ChipModel, CHIP_X540, NicCard, NicPort
+
+
+class MoonGenEnv:
+    """One simulation: an event loop, devices, cores, and tasks."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        core_freq_hz: float = REFERENCE_FREQ_HZ,
+        cost_noise: bool = True,
+    ) -> None:
+        self.loop = EventLoop()
+        self.seed = seed
+        self.cost_model = CycleCostModel(seed=seed, noisy=cost_noise)
+        self.core_freq_hz = core_freq_hz
+        self.devices: Dict[int, Device] = {}
+        self.tasks: List[Task] = []
+        self.cores: List[CpuCore] = []
+        self._end_ps: Optional[int] = None
+        self._wire_seed = seed + 0x5EED
+        #: Parked receive tasks re-check ``running()`` at least this often.
+        self.poll_slice_ps = 1_000_000_000  # 1 ms
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now_ns(self) -> float:
+        return self.loop.now_ps / 1000.0
+
+    def running(self) -> bool:
+        """The analog of ``dpdk.running()``: true until the stop horizon."""
+        return self._end_ps is None or self.loop.now_ps < self._end_ps
+
+    @staticmethod
+    def sleep_ns(duration_ns: float) -> SleepOp:
+        """Op: idle the calling task for a simulated duration."""
+        return SleepOp(duration_ns)
+
+    @staticmethod
+    def sleep_us(duration_us: float) -> SleepOp:
+        return SleepOp(duration_us * 1_000)
+
+    @staticmethod
+    def sleep_ms(duration_ms: float) -> SleepOp:
+        return SleepOp(duration_ms * 1_000_000)
+
+    @staticmethod
+    def charge_cycles(cycles: float) -> CyclesOp:
+        """Op: account script work outside the standard cost table."""
+        return CyclesOp(cycles)
+
+    # -- device configuration ----------------------------------------------------
+
+    def config_device(
+        self,
+        port_id: int,
+        rx_queues: int = 1,
+        tx_queues: int = 1,
+        chip: ChipModel = CHIP_X540,
+        speed_bps: Optional[int] = None,
+        card: Optional[NicCard] = None,
+        clock_drift_ppm: float = 0.0,
+        clock_phase_steps: int = 0,
+    ) -> Device:
+        """Configure a port (``device.config`` in Listing 1)."""
+        if port_id in self.devices:
+            raise DeviceError(f"port {port_id} already configured")
+        port = NicPort(
+            self.loop,
+            chip=chip,
+            port_id=port_id,
+            n_tx_queues=tx_queues,
+            n_rx_queues=rx_queues,
+            speed_bps=speed_bps,
+            card=card,
+            clock_drift_ppm=clock_drift_ppm,
+            clock_phase_steps=clock_phase_steps,
+        )
+        device = Device(self, port)
+        self.devices[port_id] = device
+        return device
+
+    def wait_for_links(self) -> None:
+        """API parity with ``device.waitForLinks()``; links are always up."""
+
+    # -- wiring --------------------------------------------------------------------
+
+    def connect(
+        self,
+        a: Device,
+        b: Device,
+        cable: Cable = IDEAL_CABLE,
+    ) -> Tuple[Wire, Wire]:
+        """Connect two ports with a full-duplex cable; returns (a→b, b→a)."""
+        wire_ab = Wire(self.loop, a.port.speed_bps, cable, seed=self._next_wire_seed())
+        wire_ba = Wire(self.loop, b.port.speed_bps, cable, seed=self._next_wire_seed())
+        wire_ab.connect(b.port.receive)
+        wire_ba.connect(a.port.receive)
+        a.port.attach_wire(wire_ab)
+        b.port.attach_wire(wire_ba)
+        return wire_ab, wire_ba
+
+    def connect_to_sink(
+        self,
+        device: Device,
+        sink: Callable[[object, int], None],
+        cable: Cable = IDEAL_CABLE,
+    ) -> Wire:
+        """Connect a port's transmit side to an arbitrary sink (e.g. a DuT)."""
+        wire = Wire(self.loop, device.port.speed_bps, cable, seed=self._next_wire_seed())
+        wire.connect(sink)
+        device.port.attach_wire(wire)
+        return wire
+
+    def wire_to_device(
+        self,
+        device: Device,
+        speed_bps: Optional[int] = None,
+        cable: Cable = IDEAL_CABLE,
+    ) -> Wire:
+        """A wire whose sink is the device's receive path (DuT → loadgen)."""
+        wire = Wire(
+            self.loop,
+            speed_bps or device.port.speed_bps,
+            cable,
+            seed=self._next_wire_seed(),
+        )
+        wire.connect(device.port.receive)
+        return wire
+
+    def _next_wire_seed(self) -> int:
+        self._wire_seed += 1
+        return self._wire_seed
+
+    # -- memory ---------------------------------------------------------------------
+
+    @staticmethod
+    def create_mempool(
+        fill: Optional[Callable[[PacketBuffer], None]] = None,
+        n_buffers: int = 4096,
+        buf_capacity: int = 2048,
+    ) -> MemPool:
+        """``memory.createMemPool`` with the per-buffer fill callback."""
+        return MemPool(n_buffers=n_buffers, buf_capacity=buf_capacity, fill=fill)
+
+    # -- tasks -------------------------------------------------------------------------
+
+    def launch(
+        self,
+        fn: Callable,
+        *args,
+        freq_hz: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> Task:
+        """Start a slave task on a fresh simulated core (``mg.launchLua``)."""
+        core = CpuCore(
+            core_id=len(self.cores),
+            freq_hz=freq_hz or self.core_freq_hz,
+            model=self.cost_model,
+        )
+        self.cores.append(core)
+        task = Task(self, fn, args, core, name=name)
+        self.tasks.append(task)
+        return task
+
+    def wait_for_slaves(
+        self,
+        duration_ns: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Run the simulation until tasks finish (``mg.waitForSlaves``).
+
+        With ``duration_ns``, ``running()`` turns false at the horizon so
+        well-formed slave loops exit; stragglers parked on signals are killed
+        after the event queue drains.  Without a duration the tasks must
+        terminate by themselves.
+        """
+        if duration_ns is not None:
+            self._end_ps = self.loop.now_ps + round(duration_ns * 1000)
+        self.loop.run(max_events=max_events)
+        for task in self.tasks:
+            if not task.finished:
+                task.kill()
+        for task in self.tasks:
+            task.check()
+
+    def run_for(self, duration_ns: float, stop: bool = False) -> None:
+        """Advance the simulation by a fixed duration (benches/tests).
+
+        With ``stop=True`` the horizon also becomes the stop signal for
+        ``running()``-style loops.
+        """
+        if stop:
+            self._end_ps = self.loop.now_ps + round(duration_ns * 1000)
+        self.loop.run(until_ps=self.loop.now_ps + round(duration_ns * 1000))
+
+    def stop(self) -> None:
+        """Make ``running()`` false immediately."""
+        self._end_ps = self.loop.now_ps

@@ -1,0 +1,120 @@
+"""Receive-side filters: Flow Director and RSS.
+
+Section 3.3: "Receive queues are also statically assigned to threads and
+the incoming traffic is distributed via configurable filters (e.g., Intel
+Flow Director) or hashing on protocol headers (e.g., Receive Side
+Scaling)."  These helpers compile such policies into the NIC model's
+rx-dispatch hook so multi-queue receive scripts (one counter task per
+flow class) work like the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.nicsim.nic import SimFrame
+from repro.packet.ethernet import EtherType
+from repro.packet.ip4 import IpProtocol
+
+
+def _parse_udp_ports(frame: SimFrame) -> Optional[Tuple[int, int]]:
+    """(src, dst) UDP ports of a frame, or None if it is not UDP/IPv4."""
+    d = frame.data
+    if len(d) < 14:
+        return None
+    if ((d[12] << 8) | d[13]) != EtherType.IP4:
+        return None
+    ihl = (d[14] & 0x0F) * 4
+    if len(d) < 14 + ihl + 8 or d[23] != IpProtocol.UDP:
+        return None
+    l4 = 14 + ihl
+    return ((d[l4] << 8) | d[l4 + 1], (d[l4 + 2] << 8) | d[l4 + 3])
+
+
+class FlowDirector:
+    """Exact-match filters steering flows to queues, with a default queue.
+
+    Matches on the UDP destination port (the common benchmark setup:
+    prioritized vs background flows distinguished by port, Section 4).
+    """
+
+    def __init__(self, default_queue: int = 0) -> None:
+        self.default_queue = default_queue
+        self._rules: Dict[int, int] = {}
+        self.matched = 0
+        self.missed = 0
+
+    def add_rule(self, udp_dst_port: int, queue: int) -> None:
+        if not 0 <= udp_dst_port <= 0xFFFF:
+            raise ConfigurationError(f"bad port: {udp_dst_port}")
+        self._rules[udp_dst_port] = queue
+
+    def remove_rule(self, udp_dst_port: int) -> None:
+        self._rules.pop(udp_dst_port, None)
+
+    @property
+    def rules(self) -> Dict[int, int]:
+        return dict(self._rules)
+
+    def __call__(self, frame: SimFrame) -> int:
+        ports = _parse_udp_ports(frame)
+        if ports is not None and ports[1] in self._rules:
+            self.matched += 1
+            return self._rules[ports[1]]
+        self.missed += 1
+        return self.default_queue
+
+
+class RssHash:
+    """Receive Side Scaling: hash protocol headers onto the queue set.
+
+    A Toeplitz-like mix over (src ip, dst ip, src port, dst port); the
+    exact hash does not matter for the simulation, only its properties:
+    deterministic, flow-sticky, roughly uniform.
+    """
+
+    def __init__(self, n_queues: int) -> None:
+        if n_queues <= 0:
+            raise ConfigurationError(f"need at least one queue: {n_queues}")
+        self.n_queues = n_queues
+
+    @staticmethod
+    def _mix(value: int) -> int:
+        # splitmix64 finalizer: cheap and well distributed.
+        value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & (1 << 64) - 1
+        value = (value ^ (value >> 27)) * 0x94D049BB133111EB & (1 << 64) - 1
+        return value ^ (value >> 31)
+
+    def __call__(self, frame: SimFrame) -> int:
+        d = frame.data
+        if len(d) < 34 or ((d[12] << 8) | d[13]) != EtherType.IP4:
+            return 0
+        src = int.from_bytes(d[26:30], "big")
+        dst = int.from_bytes(d[30:34], "big")
+        key = (src << 32) | dst
+        ports = _parse_udp_ports(frame)
+        if ports is not None:
+            key = (key << 32) | (ports[0] << 16) | ports[1]
+        return self._mix(key) % self.n_queues
+
+
+def install_flow_director(device, rules: Dict[int, int],
+                          default_queue: int = 0) -> FlowDirector:
+    """Install port→queue rules on a device; returns the filter object."""
+    director = FlowDirector(default_queue)
+    for port, queue in rules.items():
+        if queue >= len(device.port.rx_queues):
+            raise ConfigurationError(
+                f"queue {queue} not configured on port {device.port_id}"
+            )
+        director.add_rule(port, queue)
+    device.port.set_rx_filter(director)
+    return director
+
+
+def install_rss(device) -> RssHash:
+    """Enable RSS-style hashing over all configured rx queues."""
+    rss = RssHash(len(device.port.rx_queues))
+    device.port.set_rx_filter(rss)
+    return rss

@@ -1,0 +1,148 @@
+"""Latency / inter-arrival histograms.
+
+MoonGen's timestamping scripts aggregate samples into histograms and report
+average latencies, percentiles, and distribution files (Section 6.4: several
+thousand timestamped packets per second feed averages and histograms).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+
+class Histogram:
+    """A sample container with percentile and binning helpers.
+
+    Samples are floats in nanoseconds (latencies, inter-arrival times).
+    """
+
+    def __init__(self, samples: Optional[Iterable[float]] = None) -> None:
+        self._samples: List[float] = list(samples) if samples is not None else []
+        self._sorted: Optional[List[float]] = None
+
+    def update(self, sample: float) -> None:
+        self._samples.append(float(sample))
+        self._sorted = None
+
+    def extend(self, samples: Iterable[float]) -> None:
+        self._samples.extend(float(s) for s in samples)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Combine with another histogram (multi-queue/core result merging)."""
+        merged = Histogram(self._samples)
+        merged.extend(other.samples)
+        return merged
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._samples)
+
+    def _ensure_sorted(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    # -- summary statistics ----------------------------------------------------
+
+    def min(self) -> float:
+        return self._ensure_sorted()[0]
+
+    def max(self) -> float:
+        return self._ensure_sorted()[-1]
+
+    def avg(self) -> float:
+        if not self._samples:
+            raise ValueError("empty histogram")
+        return sum(self._samples) / len(self._samples)
+
+    def stddev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mean = self.avg()
+        var = sum((s - mean) ** 2 for s in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(var)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        data = self._ensure_sorted()
+        if not data:
+            raise ValueError("empty histogram")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if len(data) == 1:
+            return data[0]
+        rank = p / 100 * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        return data[low] + frac * (data[high] - data[low])
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def quartiles(self) -> Tuple[float, float, float]:
+        """(25th, 50th, 75th) percentiles — the series of Figures 10/11."""
+        return self.percentile(25), self.percentile(50), self.percentile(75)
+
+    # -- distribution helpers -----------------------------------------------------
+
+    def fraction_within(self, target: float, tolerance: float) -> float:
+        """Fraction of samples with ``|sample - target| <= tolerance``.
+
+        This is exactly the ±64/±128/±256/±512 ns metric of Table 4.
+        """
+        if not self._samples:
+            raise ValueError("empty histogram")
+        hits = sum(1 for s in self._samples if abs(s - target) <= tolerance)
+        return hits / len(self._samples)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below a threshold (micro-burst rate)."""
+        if not self._samples:
+            raise ValueError("empty histogram")
+        return sum(1 for s in self._samples if s < threshold) / len(self._samples)
+
+    def bins(self, width: float, start: Optional[float] = None) -> Dict[float, int]:
+        """Bin samples into fixed-width buckets keyed by the bin's left edge.
+
+        The Figure 8 histograms use 64 ns bins (the 82580's precision).
+        """
+        if width <= 0:
+            raise ValueError(f"bin width must be positive: {width}")
+        base = self.min() if start is None else start
+        out: Dict[float, int] = {}
+        for s in self._samples:
+            edge = base + math.floor((s - base) / width) * width
+            out[edge] = out.get(edge, 0) + 1
+        return dict(sorted(out.items()))
+
+    # -- output ----------------------------------------------------------------------
+
+    def write_csv(self, stream: TextIO, bin_width: Optional[float] = None) -> None:
+        """Write either raw samples or binned counts as CSV."""
+        if bin_width is None:
+            stream.write("sample_ns\n")
+            for s in self._samples:
+                stream.write(f"{s}\n")
+            return
+        stream.write("bin_ns,count\n")
+        for edge, count in self.bins(bin_width).items():
+            stream.write(f"{edge},{count}\n")
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if not self._samples:
+            return "histogram: empty"
+        q1, q2, q3 = self.quartiles()
+        return (
+            f"n={len(self)} min={self.min():.1f} q1={q1:.1f} med={q2:.1f} "
+            f"q3={q3:.1f} max={self.max():.1f} avg={self.avg():.1f} "
+            f"std={self.stddev():.1f} (ns)"
+        )

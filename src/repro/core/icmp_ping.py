@@ -1,0 +1,143 @@
+"""ICMP echo: a responder task and a software-RTT ping client.
+
+MoonGen ships ICMP example scripts (Section 10).  The responder answers
+echo requests addressed to it; the ping task measures round-trip times in
+*software* (send time to receive time on the simulated core) — a useful
+contrast to the hardware timestamping engine: software RTTs include the
+generator's own batching and polling slack, which is exactly why the paper
+builds the PTP machinery (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.histogram import Histogram
+from repro.core.memory import MemPool
+from repro.packet.address import Ip4Address
+from repro.packet.icmp import IcmpType
+
+
+class IcmpResponder:
+    """Answers ICMP echo requests for one IPv4 address."""
+
+    def __init__(self, env, device, address: str,
+                 rx_queue_index: int = 0, tx_queue_index: int = 0) -> None:
+        self.env = env
+        self.device = device
+        self.address = Ip4Address(address)
+        self.rx_queue = device.get_rx_queue(rx_queue_index)
+        self.tx_queue = device.get_tx_queue(tx_queue_index)
+        self.answered = 0
+        self._pool = MemPool(n_buffers=256, buf_capacity=256)
+
+    def task(self):
+        env = self.env
+        rx_bufs = self._pool.buf_array(16)
+        tx_bufs = self._pool.buf_array(1)
+        while env.running():
+            n = yield self.rx_queue.recv(rx_bufs, timeout_ns=1_000_000)
+            requests = []
+            for i in range(n):
+                buf = rx_bufs[i]
+                if buf.pkt.classify() != "icmp4":
+                    continue
+                pkt = buf.pkt.icmp_packet
+                if (pkt.icmp.type == IcmpType.ECHO_REQUEST
+                        and pkt.ip.dst == self.address):
+                    requests.append((
+                        pkt.eth.src, pkt.ip.src,
+                        pkt.icmp.identifier, pkt.icmp.sequence,
+                        buf.pkt.size,
+                    ))
+            rx_bufs.free_all()
+            for eth_src, ip_src, ident, seq, size in requests:
+                tx_bufs.alloc(size)
+                reply = tx_bufs[0].pkt.icmp_packet
+                reply.fill(
+                    pkt_length=size,
+                    eth_src=self.device.mac,
+                    eth_dst=eth_src,
+                    ip_src=self.address,
+                    ip_dst=ip_src,
+                    icmp_type=IcmpType.ECHO_REPLY,
+                    icmp_id=ident,
+                    icmp_seq=seq,
+                )
+                tx_bufs.offload_ip_checksums()
+                yield self.tx_queue.send(tx_bufs)
+                self.answered += 1
+
+
+class PingClient:
+    """Sends echo requests and records software round-trip times."""
+
+    def __init__(self, env, device, source_ip: str, target_ip: str,
+                 target_mac, identifier: int = 0x4D47,
+                 rx_queue_index: int = 0, tx_queue_index: int = 0) -> None:
+        self.env = env
+        self.device = device
+        self.source_ip = source_ip
+        self.target_ip = target_ip
+        self.target_mac = target_mac
+        self.identifier = identifier
+        self.rx_queue = device.get_rx_queue(rx_queue_index)
+        self.tx_queue = device.get_tx_queue(tx_queue_index)
+        self.rtts = Histogram()
+        self.lost = 0
+        self._pool = MemPool(n_buffers=64, buf_capacity=256)
+
+    def task(self, count: int = 5, interval_ns: float = 1_000_000.0,
+             timeout_ns: float = 10_000_000.0, size: int = 64):
+        env = self.env
+        tx_bufs = self._pool.buf_array(1)
+        rx_bufs = self._pool.buf_array(8)
+        for seq in range(1, count + 1):
+            if not env.running():
+                return
+            tx_bufs.alloc(size)
+            request = tx_bufs[0].pkt.icmp_packet
+            request.fill(
+                pkt_length=size,
+                eth_src=self.device.mac,
+                eth_dst=self.target_mac,
+                ip_src=self.source_ip,
+                ip_dst=self.target_ip,
+                icmp_type=IcmpType.ECHO_REQUEST,
+                icmp_id=self.identifier,
+                icmp_seq=seq,
+            )
+            tx_bufs.offload_ip_checksums()
+            sent_at = env.now_ns
+            yield self.tx_queue.send(tx_bufs)
+            rtt = yield from self._await_reply(rx_bufs, seq, sent_at, timeout_ns)
+            if rtt is None:
+                self.lost += 1
+            else:
+                self.rtts.update(rtt)
+            if interval_ns > 0:
+                yield env.sleep_ns(interval_ns)
+
+    def _await_reply(self, rx_bufs, seq: int, sent_at: float,
+                     timeout_ns: float):
+        env = self.env
+        deadline = env.now_ns + timeout_ns
+        while env.now_ns < deadline and env.running():
+            n = yield self.rx_queue.recv(
+                rx_bufs, timeout_ns=deadline - env.now_ns)
+            hit: Optional[float] = None
+            for i in range(n):
+                buf = rx_bufs[i]
+                if buf.pkt.classify() != "icmp4":
+                    continue
+                pkt = buf.pkt.icmp_packet
+                if (pkt.icmp.type == IcmpType.ECHO_REPLY
+                        and pkt.icmp.identifier == self.identifier
+                        and pkt.icmp.sequence == seq):
+                    hit = env.now_ns - sent_at
+            rx_bufs.free_all()
+            if hit is not None:
+                return hit
+            if n == 0:
+                return None
+        return None

@@ -1,0 +1,55 @@
+"""Inter-arrival time measurement task (``inter-arrival-times.lua``).
+
+Section 9: inter-arrival times were measured with an Intel 82580, the only
+chip in the testbed that timestamps *every* received packet in line rate
+(Section 6: "some Intel GbE chips like the 82580 support timestamping all
+received packets by prepending the timestamp to the packet buffer").
+This task reads those per-packet timestamps off the rx path and feeds a
+histogram — the event-driven counterpart of the vectorized Figure 8
+pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.histogram import Histogram
+from repro.core.memory import MemPool
+from repro.errors import TimestampingError
+
+
+class InterArrivalMeasurement:
+    """Collects inter-arrival times from a per-packet-timestamping NIC."""
+
+    def __init__(self, env, device, rx_queue_index: int = 0) -> None:
+        if not device.chip.timestamp_all_rx:
+            raise TimestampingError(
+                f"chip {device.chip.name} cannot timestamp every received "
+                f"packet; inter-arrival measurements need an 82580-class "
+                f"NIC (Section 6.4)"
+            )
+        self.env = env
+        self.device = device
+        self.rx_queue = device.get_rx_queue(rx_queue_index)
+        self.histogram = Histogram()
+        self.packets_seen = 0
+        self._last_stamp: Optional[float] = None
+        self._pool = MemPool(n_buffers=512, buf_capacity=2048)
+
+    def task(self, max_packets: Optional[int] = None):
+        """Slave task: drain the rx queue and difference the timestamps."""
+        env = self.env
+        bufs = self._pool.buf_array(64)
+        while env.running():
+            if max_packets is not None and self.packets_seen >= max_packets:
+                return
+            n = yield self.rx_queue.recv(bufs, timeout_ns=1_000_000)
+            for i in range(n):
+                stamp = bufs[i].rx_timestamp_ns
+                if stamp is None:
+                    continue
+                self.packets_seen += 1
+                if self._last_stamp is not None:
+                    self.histogram.update(stamp - self._last_stamp)
+                self._last_stamp = stamp
+            bufs.free_all()

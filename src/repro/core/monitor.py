@@ -1,0 +1,51 @@
+"""Device statistics monitor task.
+
+MoonGen's counters can read "the NIC's statistics registers" (Section 4.2)
+instead of being updated manually.  :class:`DeviceStatsMonitor` is the
+task that does so periodically — the equivalent of the original's device
+counters printing once per second.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO
+
+from repro.core.stats import DeviceRxCounter, DeviceTxCounter
+
+
+class DeviceStatsMonitor:
+    """Samples a device's hardware counters at a fixed interval."""
+
+    def __init__(
+        self,
+        env,
+        device,
+        interval_ns: float = 1_000_000_000.0,
+        fmt: str = "csv",
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.env = env
+        self.device = device
+        self.interval_ns = interval_ns
+        kwargs = dict(now_ns=lambda: env.now_ns, interval_ns=interval_ns)
+        if stream is not None:
+            kwargs["stream"] = stream
+        self.tx = DeviceTxCounter(device, fmt, **kwargs)
+        self.rx = DeviceRxCounter(device, fmt, **kwargs)
+        self.samples = 0
+
+    def task(self):
+        """Slave task: sample until the experiment stops, then finalize."""
+        env = self.env
+        while env.running():
+            yield env.sleep_ns(self.interval_ns)
+            self.tx.sample()
+            self.rx.sample()
+            self.samples += 1
+        self.finalize()
+
+    def finalize(self) -> None:
+        self.tx.sample()
+        self.rx.sample()
+        self.tx.finalize()
+        self.rx.finalize()

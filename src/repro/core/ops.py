@@ -1,0 +1,61 @@
+"""Operations userscripts yield to the task scheduler.
+
+A slave task is a generator; every interaction with simulated hardware is an
+op object produced by the API (``queue.send(bufs)``, ``env.sleep_us(10)``)
+and ``yield``-ed.  The task scheduler (:mod:`repro.core.tasks`) interprets
+the op: it charges the cycle-cost model on the task's core, advances
+simulated time, performs the hardware interaction (possibly blocking on ring
+space or packet arrival), and resumes the script with the op's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.memory import BufArray
+    from repro.core.queues import RxQueue, TxQueue
+
+
+@dataclass
+class SendOp:
+    """Transmit a batch: charges IO + ledger costs, blocks on ring space."""
+
+    queue: "TxQueue"
+    bufs: "BufArray"
+    #: Extra cycles to charge per batch (script-specific logic not covered
+    #: by the ledger helpers).
+    extra_cycles: float = 0.0
+
+    result_name = "sent"
+
+
+@dataclass
+class RecvOp:
+    """Receive a batch: blocks until ≥1 packet or the timeout elapses."""
+
+    queue: "RxQueue"
+    bufs: "BufArray"
+    timeout_ns: Optional[float] = None
+
+
+@dataclass
+class SleepOp:
+    """Idle the core for a fixed simulated duration."""
+
+    duration_ns: float
+
+
+@dataclass
+class CyclesOp:
+    """Charge raw cycles (models script work outside the standard ops)."""
+
+    cycles: float
+
+
+@dataclass
+class BarrierOp:
+    """Wait until a set of signals has triggered (inter-task sync)."""
+
+    signals: List[object] = field(default_factory=list)

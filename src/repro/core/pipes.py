@@ -1,0 +1,70 @@
+"""Inter-task communication pipes.
+
+Section 3.4: "Tasks only share state through the underlying MoonGen library
+which offers inter-task communication facilities such as pipes."  A
+:class:`Pipe` is a bounded FIFO between tasks; receiving blocks via the op
+protocol, sending fails fast when the pipe is full (the original's
+lock-free pipes drop on overflow rather than block the fast path).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional
+
+from repro.errors import ConfigurationError
+from repro.nicsim.eventloop import Signal
+
+
+@dataclass
+class PipeRecvOp:
+    """Op: receive one message from a pipe (blocks until available)."""
+
+    pipe: "Pipe"
+    timeout_ns: Optional[float] = None
+
+
+class Pipe:
+    """A bounded FIFO channel between tasks.
+
+    ``send`` is non-blocking and returns False when the pipe is full —
+    callers on the fast path must not stall on a slow consumer.  Receivers
+    yield :meth:`recv` ops.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"pipe capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._queue: Deque[Any] = deque()
+        self.data_signal = Signal()
+        self.sent = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def send(self, message: Any) -> bool:
+        """Enqueue a message; returns False (and counts a drop) when full."""
+        if self.full:
+            self.dropped += 1
+            return False
+        self._queue.append(message)
+        self.sent += 1
+        self.data_signal.trigger()
+        return True
+
+    def try_recv(self) -> Any:
+        """Non-blocking receive; returns None when empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def recv(self, timeout_ns: Optional[float] = None) -> PipeRecvOp:
+        """Blocking receive op for use inside tasks: ``msg = yield pipe.recv()``."""
+        return PipeRecvOp(self, timeout_ns)

@@ -1,0 +1,105 @@
+"""Classic software rate control: the push model of Section 7.1.
+
+Existing software generators pace packets by *waiting* between sends: the
+software pushes one descriptor, sleeps, pushes the next.  Two mechanisms
+ruin the precision (Figure 5):
+
+* the OS/CPU timer has finite resolution and wakeup jitter, so the sleep
+  never ends exactly on time;
+* the NIC fetches descriptors asynchronously via DMA on its own schedule,
+  so even a perfectly timed doorbell does not control the wire timing.
+
+:class:`SleepPacedLoadTask` implements this mechanism over the simulated
+NIC, with both imperfections modelled explicitly.  Benches compare it
+against hardware rate control and the CRC-gap method on the same 82580
+measurement path — the event-driven counterpart of Section 7.3.
+
+Note the queueing constraint the paper highlights: to avoid back-to-back
+transmission the sender may keep only ONE packet in flight (Figure 5),
+which also kills batching — a second reason software pacing cannot scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.memory import MemPool
+from repro.core.ratecontrol import TrafficPattern
+from repro.errors import ConfigurationError
+
+#: A typical high-resolution timer on a busy-polling core.
+DEFAULT_TIMER_RESOLUTION_NS = 250.0
+#: DMA descriptor fetch latency: the NIC pulls the packet "later" on its
+#: own schedule (Section 7.1), with PCIe arbitration jitter.
+DEFAULT_DMA_BASE_NS = 300.0
+DEFAULT_DMA_JITTER_NS = 150.0
+
+
+class SleepPacedLoadTask:
+    """A software-paced packet generator (the mechanism MoonGen replaces)."""
+
+    def __init__(
+        self,
+        env,
+        queue,
+        pattern: TrafficPattern,
+        craft: Optional[Callable] = None,
+        frame_size: int = 64,
+        timer_resolution_ns: float = DEFAULT_TIMER_RESOLUTION_NS,
+        dma_base_ns: float = DEFAULT_DMA_BASE_NS,
+        dma_jitter_ns: float = DEFAULT_DMA_JITTER_NS,
+        seed: int = 0,
+    ) -> None:
+        if timer_resolution_ns <= 0:
+            raise ConfigurationError("timer resolution must be positive")
+        self.env = env
+        self.queue = queue
+        self.pattern = pattern
+        self.craft = craft
+        self.frame_size = frame_size
+        self.timer_resolution_ns = timer_resolution_ns
+        self.dma_base_ns = dma_base_ns
+        self.dma_jitter_ns = dma_jitter_ns
+        self.rng = random.Random(seed)
+        self.sent = 0
+        self._pool = MemPool(n_buffers=256)
+
+    def _sleep_actual_ns(self, desired_ns: float) -> float:
+        """What the timer actually delivers for a requested sleep.
+
+        Wakeups land on the next timer tick at or after the deadline, plus
+        scheduler jitter — the classic source of gap imprecision.
+        """
+        res = self.timer_resolution_ns
+        ticks = -(-desired_ns // res)  # ceil: never wake early
+        jitter = abs(self.rng.gauss(0.0, res / 3))
+        return ticks * res + jitter
+
+    def task(self, n_packets: int):
+        """Slave task: send one packet, wait out the gap, repeat.
+
+        One packet in flight at a time (Figure 5's queueing constraint).
+        """
+        env = self.env
+        bufs = self._pool.buf_array(1)
+        gaps = self.pattern.iter_gaps_ns()
+        next_send_ns = env.now_ns
+        while self.sent < n_packets and env.running():
+            bufs.alloc(self.frame_size - 4)
+            if self.craft is not None:
+                self.craft(bufs[0], self.sent)
+            else:
+                bufs[0].eth_packet.fill(eth_type=0x0800)
+            # The NIC fetches the descriptor asynchronously: the software
+            # cannot control when the packet actually leaves (Section 7.1).
+            dma_delay = self.dma_base_ns + self.rng.uniform(
+                0.0, self.dma_jitter_ns)
+            yield env.sleep_ns(dma_delay)
+            yield self.queue.send(bufs)
+            self.sent += 1
+            gap = next(gaps)
+            next_send_ns += gap
+            remaining = next_send_ns - env.now_ns
+            if remaining > 0:
+                yield env.sleep_ns(self._sleep_actual_ns(remaining))

@@ -1,0 +1,205 @@
+"""Traffic statistics counters (the analog of MoonGen's ``stats.lua``).
+
+Counters sample rates over fixed intervals of *simulated* time and report
+averages and standard deviations of the per-interval rates, exactly like the
+original's per-second console output.  Two formatter styles exist: ``plain``
+(human-readable, used by the example scripts) and ``csv`` (the default in
+the original, for easy post-processing); output can be diverted to any
+stream.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Callable, List, Optional, TextIO
+
+from repro.errors import ConfigurationError
+
+#: Default sampling interval: one simulated second, like the original.
+DEFAULT_INTERVAL_NS = 1_000_000_000.0
+
+
+def _fmt_rate(pps: float, byte_rate: float) -> str:
+    mbit = byte_rate * 8 / 1e6
+    return f"{pps / 1e6:.2f} Mpps, {mbit:.0f} MBit/s"
+
+
+class _BaseCounter:
+    """Shared interval-sampling machinery."""
+
+    def __init__(
+        self,
+        name: str,
+        fmt: str = "csv",
+        now_ns: Optional[Callable[[], float]] = None,
+        stream: Optional[TextIO] = None,
+        interval_ns: float = DEFAULT_INTERVAL_NS,
+        direction: str = "TX",
+    ) -> None:
+        if fmt not in ("plain", "csv"):
+            raise ConfigurationError(f"unknown stats format: {fmt!r}")
+        self.name = str(name)
+        self.fmt = fmt
+        self.now_ns = now_ns or (lambda: 0.0)
+        self.stream = stream if stream is not None else sys.stdout
+        self.interval_ns = interval_ns
+        self.direction = direction
+        self.total_packets = 0
+        self.total_bytes = 0
+        self._interval_packets = 0
+        self._interval_bytes = 0
+        self._interval_start_ns = self.now_ns()
+        self._start_ns = self._interval_start_ns
+        self.interval_pps: List[float] = []
+        self.interval_byte_rates: List[float] = []
+        self._finalized = False
+        if fmt == "csv":
+            self.stream.write("name,direction,interval,packets,bytes,pps,byte_rate\n")
+
+    # -- accounting --------------------------------------------------------------
+
+    def _account(self, packets: int, nbytes: int) -> None:
+        if self._finalized:
+            raise ConfigurationError(f"counter {self.name!r} already finalized")
+        self.total_packets += packets
+        self.total_bytes += nbytes
+        self._interval_packets += packets
+        self._interval_bytes += nbytes
+        self._maybe_roll()
+
+    def _maybe_roll(self) -> None:
+        now = self.now_ns()
+        while now - self._interval_start_ns >= self.interval_ns:
+            self._close_interval(self._interval_start_ns + self.interval_ns)
+
+    def _close_interval(self, end_ns: float) -> None:
+        seconds = self.interval_ns / 1e9
+        pps = self._interval_packets / seconds
+        byte_rate = self._interval_bytes / seconds
+        self.interval_pps.append(pps)
+        self.interval_byte_rates.append(byte_rate)
+        index = len(self.interval_pps)
+        if self.fmt == "plain":
+            self.stream.write(
+                f"[{self.name}] {self.direction}: {_fmt_rate(pps, byte_rate)}\n"
+            )
+        else:
+            self.stream.write(
+                f"{self.name},{self.direction},{index},"
+                f"{self._interval_packets},{self._interval_bytes},"
+                f"{pps:.1f},{byte_rate:.1f}\n"
+            )
+        self._interval_packets = 0
+        self._interval_bytes = 0
+        self._interval_start_ns = end_ns
+
+    # -- results ----------------------------------------------------------------------
+
+    def average_pps(self) -> float:
+        """Average packet rate over the whole measurement."""
+        elapsed_ns = max(self.now_ns() - self._start_ns, 1.0)
+        return self.total_packets / (elapsed_ns / 1e9)
+
+    def average_byte_rate(self) -> float:
+        elapsed_ns = max(self.now_ns() - self._start_ns, 1.0)
+        return self.total_bytes / (elapsed_ns / 1e9)
+
+    def average_mbit(self) -> float:
+        return self.average_byte_rate() * 8 / 1e6
+
+    def stddev_pps(self) -> float:
+        """Standard deviation of the per-interval packet rates."""
+        rates = self.interval_pps
+        if len(rates) < 2:
+            return 0.0
+        mean = sum(rates) / len(rates)
+        var = sum((r - mean) ** 2 for r in rates) / (len(rates) - 1)
+        return math.sqrt(var)
+
+    def finalize(self) -> None:
+        """Flush and print the final summary (``ctr:finalize()``)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        pps = self.average_pps()
+        byte_rate = self.average_byte_rate()
+        if self.fmt == "plain":
+            self.stream.write(
+                f"[{self.name}] {self.direction} total: {self.total_packets} "
+                f"packets, {self.total_bytes} bytes, "
+                f"{_fmt_rate(pps, byte_rate)} "
+                f"(StdDev {self.stddev_pps() / 1e6:.2f} Mpps)\n"
+            )
+        else:
+            self.stream.write(
+                f"{self.name},{self.direction},total,"
+                f"{self.total_packets},{self.total_bytes},"
+                f"{pps:.1f},{byte_rate:.1f}\n"
+            )
+
+
+class ManualTxCounter(_BaseCounter):
+    """Manually updated transmit counter (Listing 2's ``newManualTxCounter``)."""
+
+    def __init__(self, name: str, fmt: str = "csv", **kwargs) -> None:
+        super().__init__(name, fmt, direction="TX", **kwargs)
+
+    def update_with_size(self, packets: int, pkt_size: int) -> None:
+        """Account ``packets`` transmitted frames of ``pkt_size`` bytes."""
+        self._account(packets, packets * pkt_size)
+
+    def update(self, packets: int, nbytes: int) -> None:
+        self._account(packets, nbytes)
+
+
+class ManualRxCounter(_BaseCounter):
+    """Manually updated receive counter."""
+
+    def __init__(self, name: str, fmt: str = "csv", **kwargs) -> None:
+        super().__init__(name, fmt, direction="RX", **kwargs)
+
+    def update(self, packets: int, nbytes: int) -> None:
+        self._account(packets, nbytes)
+
+
+class PktRxCounter(_BaseCounter):
+    """Per-packet receive counter (Listing 3's ``newPktRxCounter``)."""
+
+    def __init__(self, name: str, fmt: str = "csv", **kwargs) -> None:
+        super().__init__(name, fmt, direction="RX", **kwargs)
+
+    def count_packet(self, buf) -> None:
+        """Account one received packet buffer."""
+        self._account(1, buf.pkt.size + 4)  # size on the wire includes FCS
+
+
+class DeviceTxCounter(_BaseCounter):
+    """Counter fed from the device's hardware statistics registers."""
+
+    def __init__(self, device, fmt: str = "csv", **kwargs) -> None:
+        super().__init__(f"dev{device.port_id}", fmt, direction="TX", **kwargs)
+        self.device = device
+        self._last_packets = device.tx_packets
+        self._last_bytes = device.tx_bytes
+
+    def sample(self) -> None:
+        """Read the statistics registers and account the delta."""
+        packets, nbytes = self.device.tx_packets, self.device.tx_bytes
+        self._account(packets - self._last_packets, nbytes - self._last_bytes)
+        self._last_packets, self._last_bytes = packets, nbytes
+
+
+class DeviceRxCounter(_BaseCounter):
+    """Receive-side device register counter."""
+
+    def __init__(self, device, fmt: str = "csv", **kwargs) -> None:
+        super().__init__(f"dev{device.port_id}", fmt, direction="RX", **kwargs)
+        self.device = device
+        self._last_packets = device.rx_packets
+        self._last_bytes = device.rx_bytes
+
+    def sample(self) -> None:
+        packets, nbytes = self.device.rx_packets, self.device.rx_bytes
+        self._account(packets - self._last_packets, nbytes - self._last_bytes)
+        self._last_packets, self._last_bytes = packets, nbytes

@@ -1,0 +1,32 @@
+"""Device-under-test models.
+
+The paper's rate-control experiments (Sections 7.4, 8.2, 8.3) measure how a
+Linux software forwarder — Open vSwitch with the ixgbe driver — reacts to
+different traffic patterns.  This package provides:
+
+* :mod:`repro.dut.interrupts` — the ixgbe-style adaptive interrupt
+  moderation (ITR) plus NAPI polling semantics,
+* :mod:`repro.dut.forwarder` — an event-driven forwarder that plugs into
+  the NIC simulation (integration tests, examples),
+* :mod:`repro.dut.fastpath` — a per-packet simulation over arrival-time
+  arrays, fast enough for the million-packet benches (Figures 7, 10, 11),
+* :mod:`repro.dut.switch` — a store-and-forward switch that drops bad-CRC
+  frames (the Section 8.4 workaround for hardware DuTs).
+"""
+
+from repro.dut.interrupts import ItrConfig, InterruptModerator
+from repro.dut.forwarder import DutConfig, OvsForwarder
+from repro.dut.fastpath import FastForwarderResult, simulate_forwarder
+from repro.dut.hardware import HardwareAppliance
+from repro.dut.switch import StoreAndForwardSwitch
+
+__all__ = [
+    "DutConfig",
+    "FastForwarderResult",
+    "HardwareAppliance",
+    "InterruptModerator",
+    "ItrConfig",
+    "OvsForwarder",
+    "StoreAndForwardSwitch",
+    "simulate_forwarder",
+]

@@ -1,0 +1,135 @@
+"""Vectorizable forwarder simulation over arrival-time arrays.
+
+The benches for Figures 7, 10 and 11 need millions of packets; driving the
+event loop for each would dominate runtime.  This module simulates the same
+forwarder semantics — NAPI polling, adaptive ITR, a finite rx ring, fixed
+per-packet service cost — in a single pass over a sorted arrival-time
+array.
+
+Semantics (matching :class:`repro.dut.forwarder.OvsForwarder`):
+
+* if the CPU is idle when a packet arrives, an interrupt fires no earlier
+  than the moderation interval allows; the CPU wakes, pays the interrupt
+  overhead, and polls;
+* while the CPU is processing (NAPI poll mode), no interrupts fire and
+  packets queue in the rx ring;
+* a packet arriving to a full ring is dropped (the ~2 ms overload latency
+  of Section 8.3 is the ring capacity times the service time);
+* each processed packet costs ``service_ns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dut.interrupts import InterruptModerator, ItrConfig
+
+#: Per-packet forwarding cost of the single-core Open vSwitch DuT.  The
+#: paper's DuT overloads at ~1.9 Mpps (Section 8.3) → ~526 ns per packet.
+DEFAULT_SERVICE_NS = 526.0
+#: rx descriptor ring; 4096 × 526 ns ≈ 2.15 ms, the observed overload
+#: latency plateau ("about 2 ms in this test setup").
+DEFAULT_RING_SIZE = 4096
+#: Constant per-packet pipeline latency through the DuT's kernel stack and
+#: transmit path (independent of load; calibrates the Figure 11 baseline).
+DEFAULT_PIPELINE_NS = 15_000.0
+
+
+@dataclass
+class FastForwarderResult:
+    """Outcome of a fastpath run."""
+
+    arrivals_ns: np.ndarray
+    departures_ns: np.ndarray  # NaN for dropped packets
+    latencies_ns: np.ndarray   # NaN for dropped packets
+    dropped: int
+    interrupts: int
+    duration_ns: float
+    moderator: InterruptModerator = field(repr=False, default=None)
+
+    @property
+    def forwarded(self) -> int:
+        return int(np.sum(~np.isnan(self.departures_ns)))
+
+    @property
+    def interrupt_rate_hz(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.interrupts / (self.duration_ns / 1e9)
+
+    def latency_percentiles(self, percentiles=(25, 50, 75)) -> tuple:
+        ok = self.latencies_ns[~np.isnan(self.latencies_ns)]
+        if ok.size == 0:
+            raise ValueError("no forwarded packets")
+        return tuple(float(np.percentile(ok, p)) for p in percentiles)
+
+    @property
+    def drop_rate(self) -> float:
+        if self.arrivals_ns.size == 0:
+            return 0.0
+        return self.dropped / self.arrivals_ns.size
+
+
+def simulate_forwarder(
+    arrivals_ns: np.ndarray,
+    pkt_size: int = 64,
+    service_ns: float = DEFAULT_SERVICE_NS,
+    ring_size: int = DEFAULT_RING_SIZE,
+    itr: Optional[ItrConfig] = None,
+    pipeline_ns: float = DEFAULT_PIPELINE_NS,
+) -> FastForwarderResult:
+    """Run the forwarder over sorted packet arrival times (ns)."""
+    arrivals = np.asarray(arrivals_ns, dtype=float)
+    if arrivals.size == 0:
+        raise ValueError("no arrivals")
+    if np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrival times must be sorted")
+    moderator = InterruptModerator(itr or ItrConfig())
+    overhead = moderator.config.interrupt_overhead_ns
+
+    n = arrivals.size
+    departures = np.full(n, np.nan)
+    cpu_free = float("-inf")
+    dropped = 0
+    accepted = 0
+    dep_ptr = 0          # departures are non-decreasing for accepted packets
+    done_times = []      # departure times of accepted packets, in order
+
+    for i in range(n):
+        a = arrivals[i]
+        moderator.observe_arrival(a)
+        # Advance the departed pointer to compute ring occupancy.
+        while dep_ptr < len(done_times) and done_times[dep_ptr] <= a:
+            dep_ptr += 1
+        if accepted - dep_ptr >= ring_size:
+            dropped += 1
+            continue
+        if cpu_free <= a:
+            # CPU idle, interrupts armed: fire (moderated) and wake.
+            wake = max(a, moderator.next_allowed_ns())
+            moderator.fire(wake)
+            start = wake + overhead
+        else:
+            # NAPI poll mode: the packet is handled when the CPU gets to it.
+            start = cpu_free
+        dep = start + service_ns
+        cpu_free = dep
+        moderator.account(1, pkt_size)
+        # The frame leaves the DuT after the (load-independent) tx pipeline.
+        departures[i] = dep + pipeline_ns
+        done_times.append(dep)
+        accepted += 1
+
+    duration = float(arrivals[-1] - arrivals[0]) if n > 1 else 0.0
+    return FastForwarderResult(
+        arrivals_ns=arrivals,
+        departures_ns=departures,
+        latencies_ns=departures - arrivals,
+        dropped=dropped,
+        interrupts=moderator.interrupts,
+        duration_ns=duration,
+        moderator=moderator,
+    )

@@ -1,0 +1,143 @@
+"""Event-driven Open-vSwitch-like forwarder.
+
+Plugs into the NIC simulation as a wire sink: frames arrive from the load
+generator's wire, pass the DuT NIC's CRC check (invalid CRC-gap fillers are
+dropped in hardware and only counted), queue in the rx ring, and are
+forwarded by a single-core software switch with NAPI/ITR semantics onto the
+output wire.
+
+This component is for integration tests and examples; benches over millions
+of packets use :mod:`repro.dut.fastpath`, which implements identical
+semantics without per-packet event scheduling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.dut.fastpath import (
+    DEFAULT_PIPELINE_NS,
+    DEFAULT_RING_SIZE,
+    DEFAULT_SERVICE_NS,
+)
+from repro.dut.interrupts import InterruptModerator, ItrConfig
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import Wire
+from repro.nicsim.nic import SimFrame
+
+
+@dataclass
+class DutConfig:
+    """Forwarder parameters; defaults match the paper's OvS DuT."""
+
+    service_ns: float = DEFAULT_SERVICE_NS
+    ring_size: int = DEFAULT_RING_SIZE
+    pipeline_ns: float = DEFAULT_PIPELINE_NS
+    itr: ItrConfig = field(default_factory=ItrConfig)
+
+
+class OvsForwarder:
+    """A single-core software forwarder with interrupt moderation."""
+
+    def __init__(self, loop: EventLoop, config: Optional[DutConfig] = None) -> None:
+        self.loop = loop
+        self.config = config or DutConfig()
+        self.moderator = InterruptModerator(self.config.itr)
+        self.ring: Deque[SimFrame] = deque()
+        self.output: Optional[Wire] = None
+        self._busy = False
+        self._interrupt_scheduled = False
+        # Counters.
+        self.rx_crc_errors = 0
+        self.rx_packets = 0
+        self.rx_dropped = 0
+        self.forwarded = 0
+        self._start_ps: Optional[int] = None
+        self._last_activity_ps = 0
+
+    def connect_output(self, wire: Wire) -> None:
+        """Attach the wire the forwarder transmits onto."""
+        self.output = wire
+
+    # -- ingress (wire sink) -------------------------------------------------
+
+    def ingress(self, frame: SimFrame, arrival_ps: int) -> None:
+        """Receive a frame from the wire (use as ``wire.connect`` sink)."""
+        if self._start_ps is None:
+            self._start_ps = arrival_ps
+        self._last_activity_ps = arrival_ps
+        if not frame.fcs_ok:
+            # Dropped by the DuT NIC before it reaches any software — the
+            # load of invalid packets causes no system activity (Section 8.2).
+            self.rx_crc_errors += 1
+            return
+        self.moderator.observe_arrival(arrival_ps / 1000.0)
+        if len(self.ring) >= self.config.ring_size:
+            self.rx_dropped += 1
+            return
+        frame.meta["dut_arrival_ps"] = arrival_ps
+        self.ring.append(frame)
+        self.rx_packets += 1
+        if not self._busy:
+            self._schedule_interrupt()
+
+    # -- interrupt + NAPI machinery -----------------------------------------------
+
+    def _schedule_interrupt(self) -> None:
+        if self._interrupt_scheduled or self._busy:
+            return
+        self._interrupt_scheduled = True
+        now_ns = self.loop.now_ps / 1000.0
+        fire_ns = max(now_ns, self.moderator.next_allowed_ns())
+        self.loop.schedule(round((fire_ns - now_ns) * 1000), self._interrupt)
+
+    def _interrupt(self) -> None:
+        self._interrupt_scheduled = False
+        if self._busy or not self.ring:
+            return
+        self.moderator.fire(self.loop.now_ps / 1000.0)
+        self._busy = True
+        overhead_ps = round(self.config.itr.interrupt_overhead_ns * 1000)
+        self.loop.schedule(overhead_ps, self._poll)
+
+    def _poll(self) -> None:
+        """NAPI poll: process one packet, then re-poll or go idle."""
+        if not self.ring:
+            # Ring drained: re-enable interrupts.
+            self._busy = False
+            if self.ring:
+                self._schedule_interrupt()
+            return
+        frame = self.ring.popleft()
+        service_ps = round(self.config.service_ns * 1000)
+
+        def done(frame=frame) -> None:
+            self.moderator.account(1, frame.size)
+            self.forwarded += 1
+            pipeline_ps = round(self.config.pipeline_ns * 1000)
+            departure = self.loop.now_ps + pipeline_ps
+            frame.meta["dut_departure_ps"] = departure
+            if self.output is not None:
+                out = self.output
+
+                def egress(frame=frame, out=out) -> None:
+                    out.transmit(frame, frame.size)
+
+                self.loop.schedule(pipeline_ps, egress)
+            self._poll()
+
+        self.loop.schedule(service_ps, done)
+
+    # -- results ---------------------------------------------------------------------
+
+    @property
+    def interrupts(self) -> int:
+        return self.moderator.interrupts
+
+    def interrupt_rate_hz(self) -> float:
+        if self._start_ps is None:
+            return 0.0
+        duration_ns = (self._last_activity_ps - self._start_ps) / 1000.0
+        return self.moderator.rate_hz(duration_ns)

@@ -1,0 +1,83 @@
+"""A hardware-appliance DuT that is *not* transparent to invalid frames.
+
+Section 8.4: "our approach is optimized for experiments in which the DuT is
+a software-based packet processing system... Hardware might be affected by
+an invalid packet.  In such a scenario, we suggest to route the test
+traffic through a store-and-forward switch".
+
+This model makes the problem concrete: the appliance's lookup pipeline
+processes *every* arriving frame — including bad-CRC fillers, which it only
+discards after the lookup stage — so CRC-gap filler load eats into its
+forwarding capacity and inflates latency.  Benches use it to demonstrate
+why the switch workaround exists and that the workaround restores clean
+behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import Wire
+from repro.nicsim.nic import SimFrame
+
+
+class HardwareAppliance:
+    """A fixed-pipeline forwarding appliance.
+
+    Every frame, valid or not, occupies one pipeline slot for
+    ``pipeline_ns``; invalid frames are discarded at the end of the
+    pipeline instead of being forwarded.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        pipeline_ns: float = 400.0,
+        queue_frames: int = 1024,
+    ) -> None:
+        self.loop = loop
+        self.pipeline_ns = pipeline_ns
+        self.queue_frames = queue_frames
+        self.output: Optional[Wire] = None
+        self._queue: Deque[SimFrame] = deque()
+        self._busy = False
+        self.forwarded = 0
+        self.discarded_invalid = 0
+        self.dropped = 0
+        self.latency_samples_ns = []
+
+    def connect_output(self, wire: Wire) -> None:
+        self.output = wire
+
+    def ingress(self, frame: SimFrame, arrival_ps: int) -> None:
+        if len(self._queue) >= self.queue_frames:
+            self.dropped += 1
+            return
+        frame.meta["hw_arrival_ps"] = arrival_ps
+        self._queue.append(frame)
+        if not self._busy:
+            self._process_next()
+
+    def _process_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        frame = self._queue.popleft()
+
+        def done(frame=frame) -> None:
+            if frame.fcs_ok:
+                self.forwarded += 1
+                self.latency_samples_ns.append(
+                    (self.loop.now_ps - frame.meta["hw_arrival_ps"]) / 1000.0
+                )
+                if self.output is not None:
+                    self.output.transmit(frame, frame.size)
+            else:
+                # The invalid frame consumed a pipeline slot anyway.
+                self.discarded_invalid += 1
+            self._process_next()
+
+        self.loop.schedule(round(self.pipeline_ns * 1000), done)

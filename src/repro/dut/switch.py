@@ -1,0 +1,65 @@
+"""Store-and-forward switch.
+
+Section 8.4 proposes routing CRC-gap test traffic through a store-and-
+forward switch when the DuT is a hardware appliance: the switch drops the
+invalid frames, effectively replacing them with real gaps on the wire, and
+can multiplex several generator streams onto one output.
+
+The model: a frame is fully received (it already is, by the time the wire
+delivers it), looked up (fixed latency), and queued for the output port,
+which serializes at line rate.  The paper warns that the switch's effect on
+inter-arrival times must be evaluated — the queueing here is exactly that
+effect, observable in the output timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import Wire
+from repro.nicsim.nic import SimFrame
+
+
+class StoreAndForwardSwitch:
+    """A single-output switch fed by any number of input wires."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        forwarding_latency_ns: float = 800.0,
+        queue_bytes: int = 512 * 1024,
+    ) -> None:
+        self.loop = loop
+        self.forwarding_latency_ns = forwarding_latency_ns
+        self.queue_bytes = queue_bytes
+        self.output: Optional[Wire] = None
+        self._queued_bytes = 0
+        self.rx_packets = 0
+        self.rx_crc_errors = 0
+        self.tx_packets = 0
+        self.dropped = 0
+
+    def connect_output(self, wire: Wire) -> None:
+        self.output = wire
+
+    def ingress(self, frame: SimFrame, arrival_ps: int) -> None:
+        """Wire-sink entry point for any input port."""
+        if not frame.fcs_ok:
+            # The switch validates the FCS after full reception and drops
+            # the frame: the CRC-gap filler becomes a real gap downstream.
+            self.rx_crc_errors += 1
+            return
+        self.rx_packets += 1
+        if self._queued_bytes + frame.size > self.queue_bytes:
+            self.dropped += 1
+            return
+        self._queued_bytes += frame.size
+
+        def forward(frame=frame) -> None:
+            self._queued_bytes -= frame.size
+            self.tx_packets += 1
+            if self.output is not None:
+                self.output.transmit(frame, frame.size)
+
+        self.loop.schedule(round(self.forwarding_latency_ns * 1000), forward)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the MoonGen reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A device, queue, or task was configured with invalid parameters."""
+
+
+class DeviceError(ReproError):
+    """An operation was attempted on a device in the wrong state."""
+
+
+class QueueError(ReproError):
+    """A queue operation failed (unknown queue, exhausted ring, ...)."""
+
+
+class PacketError(ReproError):
+    """Packet crafting or parsing failed."""
+
+
+class AddressError(PacketError):
+    """A MAC or IP address could not be parsed or is out of range."""
+
+
+class TimestampingError(ReproError):
+    """The timestamping engine was misused or hit a hardware restriction."""
+
+
+class RateControlError(ReproError):
+    """A rate-control configuration is invalid or unsupported."""
+
+
+class GapError(RateControlError):
+    """A requested inter-packet gap cannot be represented on the wire."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TaskError(ReproError):
+    """A master/slave task failed or was misused."""

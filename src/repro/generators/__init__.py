@@ -1,0 +1,27 @@
+"""Departure-time models of the compared packet generators.
+
+Section 7.3 of the paper measures the inter-arrival time distributions that
+MoonGen (hardware rate control), Pktgen-DPDK, and zsend produce at 500 and
+1000 kpps on a GbE link.  These modules model the *mechanisms* the paper
+identifies — quantized hardware pacing for MoonGen, software push-model
+pacing with timer jitter for Pktgen-DPDK, and the burst bug in zsend /
+PF_RING ZC — calibrated against the measured Table 4 bucket fractions.
+
+Each model produces packet departure times; feed them to
+:func:`repro.dut.fastpath.simulate_forwarder` (Figure 7) or to
+:mod:`repro.analysis.interarrival` (Figure 8 / Table 4).
+"""
+
+from repro.generators.base import DepartureModel, enforce_wire_spacing
+from repro.generators.moongen import MoonGenCrcGapModel, MoonGenHwRateModel
+from repro.generators.pktgen_dpdk import PktgenDpdkModel
+from repro.generators.zsend import ZsendModel
+
+__all__ = [
+    "DepartureModel",
+    "MoonGenCrcGapModel",
+    "MoonGenHwRateModel",
+    "PktgenDpdkModel",
+    "ZsendModel",
+    "enforce_wire_spacing",
+]

@@ -1,0 +1,189 @@
+"""Common machinery for generator departure-time models.
+
+A model produces inter-departure gaps for a requested packet rate.  Gaps are
+"as measured" by the receive side of the paper's testbed (an Intel 82580
+timestamping every packet at 64 ns precision), so model calibration targets
+the measured Table 4 fractions directly.
+
+All models guarantee two physical invariants:
+
+* no gap is shorter than the frame's wire time (packets cannot overlap),
+* the *average* gap equals the requested one (the generators are rate-
+  accurate; they differ in precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+
+
+def wire_gap_ns(frame_size: int = units.MIN_FRAME_SIZE,
+                speed_bps: int = units.SPEED_1G) -> float:
+    """Back-to-back start-to-start spacing (672 ns for 64 B at GbE)."""
+    return units.frame_time_ns(frame_size, speed_bps)
+
+
+def enforce_wire_spacing(gaps_ns: np.ndarray, frame_size: int = 64,
+                         speed_bps: int = units.SPEED_1G) -> np.ndarray:
+    """Clamp gaps to at least the wire time, preserving the total duration.
+
+    Clamping adds time; the surplus is subtracted from the largest gaps so
+    the average rate stays intact.
+    """
+    floor = wire_gap_ns(frame_size, speed_bps)
+    gaps = np.asarray(gaps_ns, dtype=float).copy()
+    deficit = float(np.sum(np.maximum(floor - gaps, 0.0)))
+    np.maximum(gaps, floor, out=gaps)
+    if deficit > 0:
+        # Absorb the surplus in the gaps with the most headroom so the bulk
+        # of the distribution is untouched (a real pacer catches up during
+        # its longest idle periods, not by nudging every gap).
+        headroom = gaps - floor
+        order = np.argsort(headroom)[::-1]
+        capacity = headroom[order] * 0.9
+        cum = np.cumsum(capacity)
+        k = int(np.searchsorted(cum, deficit)) + 1
+        k = min(k, gaps.size)
+        take = capacity[:k].copy()
+        if k > 0 and cum[k - 1] > deficit:
+            take[-1] -= cum[k - 1] - deficit
+        gaps[order[:k]] -= np.maximum(take, 0.0)
+    return gaps
+
+
+@dataclass(frozen=True)
+class MixtureComponent:
+    """One deviation component: discrete offset or gaussian blob."""
+
+    offset_ns: float
+    weight: float
+    sigma_ns: float = 0.0
+    #: Mirror the component at -offset as well (keeps the mixture zero-mean).
+    symmetric: bool = False
+
+
+@dataclass(frozen=True)
+class RateProfile:
+    """Calibrated deviation mixture for one packet rate.
+
+    ``burst_fraction`` is the probability that an interval collapses to
+    back-to-back spacing (a micro-burst); the missing time is added to the
+    following interval so the average rate stays exact.  ``burst_run`` is
+    the mean number of consecutive back-to-back intervals per burst.
+    """
+
+    pps: float
+    components: Tuple[MixtureComponent, ...]
+    burst_fraction: float = 0.0
+    burst_run: int = 1
+
+
+def _expand(components: Sequence[MixtureComponent]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    offsets: List[float] = []
+    weights: List[float] = []
+    sigmas: List[float] = []
+    for comp in components:
+        if comp.symmetric and comp.offset_ns != 0:
+            for sign in (1.0, -1.0):
+                offsets.append(sign * comp.offset_ns)
+                weights.append(comp.weight)
+                sigmas.append(comp.sigma_ns)
+        else:
+            offsets.append(comp.offset_ns)
+            weights.append(comp.weight)
+            sigmas.append(comp.sigma_ns)
+    w = np.asarray(weights)
+    return np.asarray(offsets), w / w.sum(), np.asarray(sigmas)
+
+
+def sample_deviations(profile: RateProfile, n: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` zero-mean deviations from a profile's mixture."""
+    offsets, weights, sigmas = _expand(profile.components)
+    idx = rng.choice(len(offsets), size=n, p=weights)
+    out = offsets[idx].astype(float)
+    jitter_mask = sigmas[idx] > 0
+    if np.any(jitter_mask):
+        out[jitter_mask] += rng.normal(0.0, sigmas[idx][jitter_mask])
+    return out
+
+
+def blend_profiles(a: RateProfile, b: RateProfile, pps: float) -> Tuple[RateProfile, RateProfile, float]:
+    """Interpolation weights between two calibrated profiles."""
+    if pps <= a.pps:
+        return a, b, 1.0
+    if pps >= b.pps:
+        return a, b, 0.0
+    frac_a = (b.pps - pps) / (b.pps - a.pps)
+    return a, b, frac_a
+
+
+class DepartureModel:
+    """Base class: inter-departure gaps and cumulative departure times."""
+
+    name = "base"
+    frame_size = units.MIN_FRAME_SIZE
+    speed_bps = units.SPEED_1G
+
+    def gaps_ns(self, pps: float, n: int, seed: int = 0) -> np.ndarray:
+        raise NotImplementedError
+
+    def departures_ns(self, pps: float, n: int, seed: int = 0,
+                      start_ns: float = 0.0) -> np.ndarray:
+        """Departure (start) times of ``n`` packets."""
+        gaps = self.gaps_ns(pps, n - 1, seed) if n > 1 else np.empty(0)
+        times = np.empty(n)
+        times[0] = start_ns
+        if n > 1:
+            times[1:] = start_ns + np.cumsum(gaps)
+        return times
+
+    # -- shared burst machinery ----------------------------------------------
+
+    def _apply_profile(self, profile_lo: RateProfile, profile_hi: RateProfile,
+                       pps: float, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Gaps from two calibrated profiles blended for the rate."""
+        lo, hi, frac_lo = blend_profiles(profile_lo, profile_hi, pps)
+        base_gap = units.NS_PER_S / pps
+        floor = wire_gap_ns(self.frame_size, self.speed_bps)
+        # Per-gap profile choice implements the blend.
+        use_lo = rng.random(n) < frac_lo
+        gaps = np.full(n, base_gap)
+        dev_lo = sample_deviations(lo, n, rng)
+        dev_hi = sample_deviations(hi, n, rng)
+        gaps += np.where(use_lo, dev_lo, dev_hi)
+        burst_fraction = frac_lo * lo.burst_fraction + (1 - frac_lo) * hi.burst_fraction
+        burst_run = round(frac_lo * lo.burst_run + (1 - frac_lo) * hi.burst_run)
+        gaps = self._insert_bursts(gaps, base_gap, floor, burst_fraction,
+                                   max(1, burst_run), rng)
+        return enforce_wire_spacing(gaps, self.frame_size, self.speed_bps)
+
+    @staticmethod
+    def _insert_bursts(gaps: np.ndarray, base_gap: float, floor: float,
+                       fraction: float, run: int,
+                       rng: np.random.Generator) -> np.ndarray:
+        """Collapse a fraction of intervals to back-to-back spacing.
+
+        Bursts come in runs of ``run`` consecutive intervals; the time the
+        burst stole is credited to the interval right after the run, so the
+        long-term rate is unchanged.
+        """
+        n = gaps.size
+        if fraction <= 0 or n < run + 1:
+            return gaps
+        n_runs = int(round(fraction * n / run))
+        if n_runs == 0:
+            return gaps
+        starts = rng.choice(n - run - 1, size=n_runs, replace=False)
+        for s in np.sort(starts):
+            stolen = float(np.sum(gaps[s: s + run] - floor))
+            if stolen <= 0:
+                continue
+            gaps[s: s + run] = floor
+            gaps[s + run] += stolen
+        return gaps

@@ -1,0 +1,48 @@
+"""Simulated hardware substrate.
+
+This package replaces the testbed hardware of the paper — Intel NICs, wires,
+and down-clocked Xeon CPUs — with a deterministic discrete-event simulation:
+
+* :mod:`repro.nicsim.eventloop` — the event engine and coroutine processes,
+* :mod:`repro.nicsim.clock` — per-NIC PTP clocks with drift and granularity,
+* :mod:`repro.nicsim.cpu` — cycle-cost model for userscript operations,
+* :mod:`repro.nicsim.nic` — chip descriptors and NIC port state
+  (rings, FIFOs, rate limiters, timestamp units, counters),
+* :mod:`repro.nicsim.link` — wires: serialization, propagation, PHY jitter.
+
+All timing constants are calibrated to the values the paper reports; see
+DESIGN.md section 5 for the calibration table.
+"""
+
+from repro.nicsim.eventloop import EventLoop, Process, Signal
+from repro.nicsim.clock import NicClock
+from repro.nicsim.cpu import CpuCore, CycleCostModel, OpCosts
+from repro.nicsim.link import Cable, Wire
+from repro.nicsim.nic import (
+    CHIP_82580,
+    CHIP_82599,
+    CHIP_X520,
+    CHIP_X540,
+    CHIP_XL710,
+    ChipModel,
+    NicPort,
+)
+
+__all__ = [
+    "Cable",
+    "CHIP_82580",
+    "CHIP_82599",
+    "CHIP_X520",
+    "CHIP_X540",
+    "CHIP_XL710",
+    "ChipModel",
+    "CpuCore",
+    "CycleCostModel",
+    "EventLoop",
+    "NicClock",
+    "NicPort",
+    "OpCosts",
+    "Process",
+    "Signal",
+    "Wire",
+]

@@ -1,0 +1,124 @@
+"""Simulated NIC PTP clocks.
+
+Models the timestamping clocks of the Intel chips the paper uses
+(Section 6.1):
+
+* 82599 / X540 run at 156.25 MHz on 10 GbE links → 6.4 ns precision; at
+  1 GbE the frequency drops to 15.625 MHz → 64 ns.
+* On the 82599 the latched timer increments only every *two* clock cycles,
+  so timestamps land on a 12.8 ns grid even though timestamping operates at
+  6.4 ns — this produces the bimodal latency the paper observes for the
+  8.5 m fiber cable.
+* The 82580 produces timestamps of the form ``t = n * 64 ns + k * 8 ns``
+  with ``k`` constant between resets.
+
+Each clock may drift relative to simulation (wall) time; the paper measured
+up to 35 µs/s (35 ppm) between a mainboard NIC and a discrete NIC.  Clocks
+support atomic adjustment, which the synchronisation algorithm in
+:mod:`repro.core.timestamping` uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nicsim.eventloop import EventLoop
+
+#: 82599/X540 timestamp clock tick at 10 GbE speeds (156.25 MHz).
+TICK_10G_NS = 6.4
+#: Same clock divided down at 1 GbE speeds (15.625 MHz).
+TICK_1G_NS = 64.0
+#: 82580 (GbE) timestamp precision.
+TICK_82580_NS = 64.0
+
+
+class NicClock:
+    """A free-running NIC timestamp clock.
+
+    ``tick_ns``
+        granularity of the free-running timer,
+    ``latch_ticks``
+        how many ticks the *latched* (timestamp) value advances per update —
+        2 on the 82599, 1 elsewhere,
+    ``phase_ns``
+        a constant offset of the tick grid (the 82580's ``k * 8 ns``),
+    ``drift_ppm``
+        clock rate error relative to simulation time in parts per million.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        tick_ns: float = TICK_10G_NS,
+        latch_ticks: int = 1,
+        phase_ns: float = 0.0,
+        drift_ppm: float = 0.0,
+        offset_ns: float = 0.0,
+    ) -> None:
+        self.loop = loop
+        self.tick_ns = float(tick_ns)
+        self.latch_ticks = int(latch_ticks)
+        self.phase_ns = float(phase_ns)
+        self.drift_ppm = float(drift_ppm)
+        self._offset_ns = float(offset_ns)
+
+    # -- raw clock ------------------------------------------------------------
+
+    def raw_time_ns(self, at_ps: Optional[int] = None) -> float:
+        """Unquantized clock reading at simulation time ``at_ps`` (default now)."""
+        sim_ns = (self.loop.now_ps if at_ps is None else at_ps) / 1000.0
+        return sim_ns * (1.0 + self.drift_ppm * 1e-6) + self._offset_ns
+
+    def _quantize(self, value_ns: float, grain_ns: float) -> float:
+        steps = (value_ns - self.phase_ns) // grain_ns
+        return steps * grain_ns + self.phase_ns
+
+    def read_ns(self, at_ps: Optional[int] = None) -> float:
+        """Read the free-running timer (SYSTIM register), tick-quantized."""
+        return self._quantize(self.raw_time_ns(at_ps), self.tick_ns)
+
+    def timestamp_ns(self, at_ps: Optional[int] = None) -> float:
+        """The value latched into a timestamp register for an event now.
+
+        Quantized to ``latch_ticks * tick_ns`` — coarser than the timer on
+        chips like the 82599 that update the latch every other cycle.
+        """
+        return self._quantize(
+            self.raw_time_ns(at_ps), self.tick_ns * self.latch_ticks
+        )
+
+    # -- adjustment (used by clock synchronisation) ----------------------------
+
+    def adjust(self, delta_ns: float) -> None:
+        """Atomically add ``delta_ns`` to the clock (read-modify-write on HW)."""
+        self._offset_ns += float(delta_ns)
+
+    def set_drift_ppm(self, drift_ppm: float) -> None:
+        """Change the drift rate, preserving the current clock reading.
+
+        Without rebasing, changing the rate would retroactively move past
+        readings; the offset is folded so the raw time is continuous.
+        """
+        now_raw = self.raw_time_ns()
+        self.drift_ppm = float(drift_ppm)
+        sim_ns = self.loop.now_ps / 1000.0
+        self._offset_ns = now_raw - sim_ns * (1.0 + self.drift_ppm * 1e-6)
+
+    def offset_to(self, other: "NicClock", at_ps: Optional[int] = None) -> float:
+        """Unquantized difference ``self - other`` at a given instant."""
+        return self.raw_time_ns(at_ps) - other.raw_time_ns(at_ps)
+
+
+def clock_for_speed(
+    loop: EventLoop,
+    speed_bps: int,
+    latch_ticks: int = 1,
+    drift_ppm: float = 0.0,
+    phase_ns: float = 0.0,
+) -> NicClock:
+    """Build a clock with the tick the chip uses at the given link speed."""
+    tick = TICK_10G_NS if speed_bps >= 10 * 10 ** 9 else TICK_1G_NS
+    return NicClock(
+        loop, tick_ns=tick, latch_ticks=latch_ticks,
+        phase_ns=phase_ns, drift_ppm=drift_ppm,
+    )

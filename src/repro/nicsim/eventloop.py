@@ -1,0 +1,240 @@
+"""Deterministic discrete-event loop.
+
+Time is integer picoseconds.  Events scheduled for the same instant fire in
+insertion order (a monotonically increasing sequence number breaks ties), so
+simulations are reproducible bit-for-bit given the same seeds.
+
+Two execution styles coexist:
+
+* **callback style** — components such as NIC MACs schedule plain callbacks;
+* **process style** — tasks are generator coroutines wrapped in
+  :class:`Process`; they ``yield`` delays (picoseconds) or :class:`Signal`
+  objects to block.  This is how userscript slave tasks run (the analog of
+  MoonGen's one-LuaJIT-VM-per-core model).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time_ps", "callback", "cancelled")
+
+    def __init__(self, time_ps: int, callback: Callable[[], None]) -> None:
+        self.time_ps = time_ps
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """The simulation scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._seq = itertools.count()
+        self.now_ps = 0
+        self._running = False
+        self._processes: List["Process"] = []
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self.now_ps / 1000.0
+
+    def schedule(self, delay_ps: int, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay_ps`` picoseconds."""
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay_ps}")
+        return self.schedule_at(self.now_ps + int(delay_ps), callback)
+
+    def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute time ``time_ps``."""
+        if time_ps < self.now_ps:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps, now is {self.now_ps} ps"
+            )
+        event = Event(int(time_ps), callback)
+        heapq.heappush(self._queue, (event.time_ps, next(self._seq), event))
+        return event
+
+    def step(self) -> bool:
+        """Run the next pending event; returns False if none are left."""
+        while self._queue:
+            time_ps, _, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now_ps = time_ps
+            event.callback()
+            return True
+        return False
+
+    def run(self, until_ps: Optional[int] = None, max_events: int = 50_000_000) -> None:
+        """Run events until the queue drains or ``until_ps`` is reached.
+
+        ``max_events`` guards against runaway simulations; exceeding it is a
+        bug in the caller, not a normal exit.
+        """
+        count = 0
+        while self._queue:
+            time_ps = self._queue[0][0]
+            if until_ps is not None and time_ps > until_ps:
+                break
+            if not self.step():
+                break
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events at "
+                    f"{self.now_ps} ps"
+                )
+        if until_ps is not None and until_ps > self.now_ps:
+            self.now_ps = until_ps
+
+    def run_for(self, duration_ps: int) -> None:
+        """Run for ``duration_ps`` picoseconds of simulated time."""
+        self.run(until_ps=self.now_ps + int(duration_ps))
+
+    def spawn(self, generator: Generator[Any, Any, Any], name: str = "") -> "Process":
+        """Start a coroutine process on this loop."""
+        process = Process(self, generator, name)
+        self._processes.append(process)
+        return process
+
+    @property
+    def processes(self) -> List["Process"]:
+        return list(self._processes)
+
+
+class Signal:
+    """A broadcast condition processes and callbacks can wait on.
+
+    ``trigger(value)`` wakes every current waiter exactly once.  Unlike a
+    queue, values are not buffered: waiters registered after a trigger wait
+    for the next one.
+    """
+
+    __slots__ = ("_waiters",)
+
+    def __init__(self) -> None:
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        self._waiters.append(callback)
+
+    def trigger(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    @property
+    def has_waiters(self) -> bool:
+        return bool(self._waiters)
+
+
+class Process:
+    """A generator coroutine driven by the event loop.
+
+    The generator may yield:
+
+    * ``int``/``float`` — sleep that many picoseconds,
+    * :class:`Signal` — block until the signal triggers; the trigger value is
+      sent back into the generator,
+    * ``None`` — reschedule immediately (cooperative yield).
+
+    Termination (``StopIteration``) completes the process; uncaught
+    exceptions are stored in :attr:`error` and re-raised by :meth:`check`.
+    """
+
+    def __init__(self, loop: EventLoop, generator: Generator, name: str = "") -> None:
+        self.loop = loop
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.finished = False
+        self.error: Optional[BaseException] = None
+        self.result: Any = None
+        self.done_signal = Signal()
+        self._stopped = False
+        loop.schedule(0, lambda: self._advance(None))
+
+    def stop(self) -> None:
+        """Ask the process to stop: the pending yield raises GeneratorExit."""
+        self._stopped = True
+
+    def _advance(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            if self._stopped:
+                self.generator.close()
+                raise StopIteration
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = getattr(stop, "value", None)
+            self.done_signal.trigger(self.result)
+            return
+        except BaseException as exc:  # noqa: BLE001 - stored and re-raised
+            self.finished = True
+            self.error = exc
+            self.done_signal.trigger(None)
+            return
+        if yielded is None:
+            self.loop.schedule(0, lambda: self._advance(None))
+        elif isinstance(yielded, Signal):
+            yielded.wait(lambda v: self._advance(v))
+        elif isinstance(yielded, (int, float)):
+            self.loop.schedule(int(yielded), lambda: self._advance(None))
+        else:
+            self.finished = True
+            self.error = SimulationError(
+                f"process {self.name!r} yielded unsupported value "
+                f"{yielded!r}; expected delay, Signal, or None"
+            )
+            self.done_signal.trigger(None)
+
+    def check(self) -> None:
+        """Re-raise any exception the process died with."""
+        if self.error is not None:
+            raise self.error
+
+    def kill(self) -> None:
+        """Terminate the process immediately (it may be parked on a signal)."""
+        if self.finished:
+            return
+        self.finished = True
+        self.generator.close()
+        self.done_signal.trigger(None)
+
+
+def wait_any(loop: EventLoop, signals: List[Signal], timeout_ps: Optional[int] = None) -> Signal:
+    """A signal that fires when any source signal fires or a timeout elapses.
+
+    Late stragglers are ignored; the pending timeout event is cancelled when
+    a signal wins, so no dead callbacks accumulate in the queue.
+    """
+    combined = Signal()
+    state = {"fired": False, "event": None}
+
+    def fire(value: Any = None) -> None:
+        if state["fired"]:
+            return
+        state["fired"] = True
+        if state["event"] is not None:
+            state["event"].cancel()
+        combined.trigger(value)
+
+    for signal in signals:
+        signal.wait(fire)
+    if timeout_ps is not None:
+        state["event"] = loop.schedule(max(0, int(timeout_ps)), fire)
+    return combined

@@ -1,0 +1,204 @@
+"""Wire and cable models.
+
+Implements the physical layer the timestamping accuracy experiments
+(Table 3) depend on:
+
+* propagation delay ``l / v_p`` with the measured propagation speeds
+  (0.72 c on OM3 fiber, 0.69 c on Cat 5e copper),
+* a constant (de)modulation time ``k`` per medium (310.7 ns on the
+  82599+SFP+ fiber path, 2147.2 ns on the X540 10GBASE-T path — the heavier
+  line code of 10GBASE-T),
+* PHY jitter: none measurable on fiber, a block-code-induced spread on
+  10GBASE-T (> 99.5 % of samples within ±6.4 ns of the median, total range
+  64 ns),
+* serialization at line rate including preamble/SFD/IFG,
+* optionally, 10GBASE-T's 3200-bit physical-layer frames (Section 8.4),
+  which deliver back-to-back packets as bursts to the receiver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro import units
+from repro.nicsim.eventloop import EventLoop
+
+#: Speed of light in meters per nanosecond.
+C_M_PER_NS = 0.299792458
+
+
+@dataclass(frozen=True)
+class Medium:
+    """A cable technology: propagation speed, modulation time, jitter."""
+
+    name: str
+    #: Propagation speed as a fraction of c.
+    velocity_factor: float
+    #: Constant (de)modulation/encoding time in ns (the k of Table 3).
+    modulation_ns: float
+    #: Jitter distribution: maps an RNG to a delay offset in ns.
+    jitter_name: str = "none"
+
+    def propagation_ns(self, length_m: float) -> float:
+        """One-way propagation delay for a cable of the given length."""
+        return length_m / (self.velocity_factor * C_M_PER_NS)
+
+    def jitter_ns(self, rng: random.Random) -> float:
+        return _JITTER_MODELS[self.jitter_name](rng)
+
+
+def _no_jitter(rng: random.Random) -> float:
+    return 0.0
+
+
+#: 10GBASE-T block-code jitter, quantized to the 6.4 ns symbol grid.
+#: Calibrated to Section 6.1: >99.5 % of measurements within ±6.4 ns of the
+#: median, min-max range 64 ns (±32 ns), independent of cable length.
+_10GBASET_STEPS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.600),
+    (-6.4, 0.199), (6.4, 0.199),
+    (-12.8, 0.00045), (12.8, 0.00045),
+    (-19.2, 0.00030), (19.2, 0.00030),
+    (-25.6, 0.00015), (25.6, 0.00015),
+    (-32.0, 0.00010), (32.0, 0.00010),
+)
+
+
+def _10gbaset_jitter(rng: random.Random) -> float:
+    roll = rng.random()
+    acc = 0.0
+    for value, prob in _10GBASET_STEPS:
+        acc += prob
+        if roll < acc:
+            return value
+    return 0.0
+
+
+_JITTER_MODELS: dict = {
+    "none": _no_jitter,
+    "10gbaset": _10gbaset_jitter,
+}
+
+#: OM3 multimode fiber with 10GBASE-SR SFP+ modules (82599 test setup).
+FIBER_OM3 = Medium("om3-fiber", velocity_factor=0.72, modulation_ns=310.7)
+#: Cat 5e copper with 10GBASE-T (X540 test setup).
+COPPER_CAT5E = Medium(
+    "cat5e-copper", velocity_factor=0.69, modulation_ns=2147.2,
+    jitter_name="10gbaset",
+)
+
+
+@dataclass(frozen=True)
+class Cable:
+    """A physical cable: a medium plus a length."""
+
+    medium: Medium
+    length_m: float
+
+    def latency_ns(self) -> float:
+        """True one-way latency: modulation + propagation (no jitter)."""
+        return self.medium.modulation_ns + self.medium.propagation_ns(self.length_m)
+
+
+#: A zero-length ideal cable for experiments where the wire is irrelevant.
+IDEAL_CABLE = Cable(Medium("ideal", 1.0, 0.0), 0.0)
+
+
+class Wire:
+    """One direction of a link: serializes frames and delivers them.
+
+    ``Wire`` is used by the event-driven NIC model; it enforces line-rate
+    serialization (a frame occupies the wire for its wire-length) and applies
+    the cable's latency and jitter.  Frames are delivered in order.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        speed_bps: int,
+        cable: Cable = IDEAL_CABLE,
+        seed: int = 0,
+        phy_frame_bits: int = 0,
+        corrupt_rate: float = 0.0,
+    ) -> None:
+        """``phy_frame_bits`` models 10GBASE-T's physical-layer framing
+        (Section 8.4: 3200-bit PHY frames deliver close packets as bursts).
+        ``corrupt_rate`` injects bit errors: the affected frame arrives with
+        a broken FCS and is dropped by the receiving NIC."""
+        self.loop = loop
+        self.speed_bps = speed_bps
+        self.cable = cable
+        self.rng = random.Random(seed)
+        self.phy_frame_bits = phy_frame_bits
+        self.corrupt_rate = corrupt_rate
+        self.corrupted = 0
+        self.sink: Optional[Callable[[object, int], None]] = None
+        #: Time the wire becomes free (end of last serialization), ps.
+        self.busy_until_ps = 0
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self._last_delivery_ps = 0
+
+    def connect(self, sink: Callable[[object, int], None]) -> None:
+        """Attach the receiving port: called as ``sink(frame, arrival_ps)``."""
+        self.sink = sink
+
+    def serialization_ps(self, frame_size: int) -> int:
+        """Wire occupancy of a frame including preamble/SFD/IFG."""
+        return units.frame_time_ps(frame_size, self.speed_bps)
+
+    def transmit(self, frame: object, frame_size: int, start_ps: Optional[int] = None) -> int:
+        """Put a frame on the wire; returns the time the wire becomes free.
+
+        ``frame_size`` is the frame length including FCS.  ``start_ps``
+        defaults to now; transmission never begins before the wire is free
+        (the MAC serializes frames one after another).
+        """
+        start = max(
+            self.loop.now_ps if start_ps is None else start_ps,
+            self.busy_until_ps,
+        )
+        end = start + self.serialization_ps(frame_size)
+        self.busy_until_ps = end
+        self.frames_sent += 1
+        self.bytes_sent += frame_size
+        if self.sink is not None:
+            latency_ns = self.cable.latency_ns() + self.cable.medium.jitter_ns(self.rng)
+            arrival = end + round(latency_ns * 1000)
+            if self.phy_frame_bits:
+                # The PHY ships fixed-size layer-1 frames: a packet is only
+                # handed up when the PHY frame containing its end arrives,
+                # so packets within one PHY frame appear back-to-back.
+                phy_ps = round(self.phy_frame_bits * 1e12 / self.speed_bps)
+                arrival = -(-arrival // phy_ps) * phy_ps
+            if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
+                # A bit error on the wire: the FCS no longer matches.
+                frame = self._corrupt(frame)
+                self.corrupted += 1
+            # Keep in-order delivery even if jitter would reorder frames.
+            arrival = max(arrival, self._last_delivery_ps + 1)
+            self._last_delivery_ps = arrival
+            sink = self.sink
+            self.loop.schedule_at(arrival, lambda f=frame, a=arrival: sink(f, a))
+        return end
+
+    @staticmethod
+    def _corrupt(frame: object) -> object:
+        if hasattr(frame, "fcs_ok"):
+            frame.fcs_ok = False
+        return frame
+
+    def utilization(self) -> float:
+        """Fraction of elapsed wire time spent serializing frames.
+
+        Frames never overlap, so bytes × byte-time (plus per-frame
+        preamble/SFD/IFG overhead) is the exact busy time; the elapsed
+        span runs from time zero to the end of the last serialization.
+        """
+        if self.busy_until_ps <= 0:
+            return 0.0
+        byte_ps = units.byte_time_ps(self.speed_bps)
+        busy_ps = (self.bytes_sent + self.frames_sent * units.WIRE_OVERHEAD) * byte_ps
+        return min(1.0, busy_ps / self.busy_until_ps)

@@ -1,0 +1,583 @@
+"""Simulated NIC ports.
+
+Implements the hardware architecture Section 3.3 of the paper describes and
+the rest of the paper exploits:
+
+* multiple independent transmit/receive queues per port (descriptor rings),
+* the asynchronous push-pull model: software enqueues descriptors, the NIC
+  fetches and serializes frames on its own schedule (Section 7.1's Figure 5),
+* per-queue hardware rate control (CBR) with the granularity of the chip's
+  internal rate-control clock (Section 7.2/7.3),
+* PTP timestamp units: one tx and one rx timestamp register that must be
+  read back before the next packet can be timestamped (Section 6), or —
+  on the 82580 — timestamping of *all* received packets,
+* CRC checking on receive: frames with a bad FCS are dropped before queue
+  assignment, only an error counter increments (the property Section 8's
+  software rate control relies on),
+* chip-specific capacity limits (the XL710's packet-rate and aggregate
+  bandwidth caps from Section 5.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro import units
+from repro.errors import ConfigurationError, QueueError
+from repro.nicsim.clock import NicClock, clock_for_speed
+from repro.nicsim.eventloop import EventLoop, Signal
+from repro.nicsim.link import Wire
+from repro.packet.ethernet import EtherType
+from repro.packet.ip4 import IpProtocol
+from repro.packet.ptp import PTP_UDP_PORT
+
+_frame_seq = itertools.count()
+
+
+@dataclass
+class SimFrame:
+    """A frame in flight: an immutable snapshot of a packet buffer.
+
+    ``data`` excludes the FCS; ``fcs_ok`` says whether the NIC computed a
+    correct FCS (the CRC-gap mechanism intentionally sends broken ones).
+    """
+
+    data: bytes
+    fcs_ok: bool = True
+    seq: int = field(default_factory=lambda: next(_frame_seq))
+    #: Free-form metadata: flow ids, software send time, filler marks...
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Frame size including FCS, the paper's "packet size"."""
+        return len(self.data) + units.FCS_SIZE
+
+    @property
+    def wire_size(self) -> int:
+        return units.wire_length(self.size)
+
+    def is_ptp(self) -> bool:
+        """True if the frame matches the NIC PTP timestamp filters.
+
+        Either PTP over Ethernet (EtherType 0x88F7) or PTP over UDP port
+        319; only the EtherType / port matters, plus a version byte check —
+        exactly the filters the Intel chips implement.
+        """
+        d = self.data
+        if len(d) < 14:
+            return False
+        ether_type = (d[12] << 8) | d[13]
+        if ether_type == EtherType.PTP:
+            return len(d) >= 16 and (d[15] & 0x0F) == 2
+        if ether_type == EtherType.IP4 and len(d) >= 38:
+            ihl = (d[14] & 0x0F) * 4
+            if d[23] != IpProtocol.UDP:
+                return False
+            l4 = 14 + ihl
+            if len(d) < l4 + 8 + 2:
+                return False
+            dst_port = (d[l4 + 2] << 8) | d[l4 + 3]
+            if dst_port != PTP_UDP_PORT:
+                return False
+            # Section 6.4: the NICs refuse to timestamp UDP PTP packets
+            # smaller than the expected 80 bytes.
+            if self.size < 80:
+                return False
+            return (d[l4 + 8 + 1] & 0x0F) == 2
+        return False
+
+    def ptp_sequence(self) -> Optional[int]:
+        """The PTP sequence id, used to match timestamps to probes."""
+        d = self.data
+        if len(d) < 14:
+            return None
+        ether_type = (d[12] << 8) | d[13]
+        if ether_type == EtherType.PTP:
+            offset = 14 + 30
+        elif ether_type == EtherType.IP4:
+            ihl = (d[14] & 0x0F) * 4
+            offset = 14 + ihl + 8 + 30
+        else:
+            return None
+        if len(d) < offset + 2:
+            return None
+        return (d[offset] << 8) | d[offset + 1]
+
+
+@dataclass(frozen=True)
+class ChipModel:
+    """Static description of a NIC chip family."""
+
+    name: str
+    speed_bps: int
+    queues: int
+    tx_fifo_bytes: int
+    rx_fifo_bytes: int
+    #: Supports per-queue hardware rate control.
+    hw_rate_control: bool
+    #: Supports PTP timestamp registers.
+    hw_timestamping: bool
+    #: Timestamps every received packet (82580-style buffer prepend).
+    timestamp_all_rx: bool = False
+    #: Latch granularity in clock ticks (2 on the 82599, Section 6.1).
+    latch_ticks: int = 1
+    #: Grid phase term: the 82580's k*8 ns constant (set per reset).
+    phase_step_ns: float = 0.0
+    #: Hardware rate control becomes unpredictable above this rate
+    #: (Section 7.5: ~9 Mpps on X520/X540).
+    hw_rate_max_pps: float = float("inf")
+    #: Max packet rate the MAC can emit per port regardless of size
+    #: (Section 8.1: 15.6 Mpps with short frames on X540/82599; the XL710's
+    #: small-packet bottleneck).
+    max_pps: float = float("inf")
+    #: Aggregate packet rate over all ports of one card (XL710: 42 Mpps).
+    card_max_pps: float = float("inf")
+    #: Aggregate wire bandwidth over all ports of one card
+    #: (XL710: 50 Gbit/s measured, Section 5.4).
+    card_max_bps: float = float("inf")
+    #: Rate-control clock tick in ns (estimated; scales with link speed,
+    #: Section 7.3 predicts 10x finer granularity at 10 GbE).
+    rate_clock_ns: float = 2.56
+
+
+CHIP_82599 = ChipModel(
+    name="82599", speed_bps=units.SPEED_10G, queues=128,
+    tx_fifo_bytes=160 * 1024, rx_fifo_bytes=512 * 1024,
+    hw_rate_control=True, hw_timestamping=True,
+    latch_ticks=2, hw_rate_max_pps=9e6, max_pps=15.6e6,
+)
+
+CHIP_X520 = ChipModel(
+    name="X520", speed_bps=units.SPEED_10G, queues=128,
+    tx_fifo_bytes=160 * 1024, rx_fifo_bytes=512 * 1024,
+    hw_rate_control=True, hw_timestamping=True,
+    latch_ticks=2, hw_rate_max_pps=9e6, max_pps=15.6e6,
+)
+
+CHIP_X540 = ChipModel(
+    name="X540", speed_bps=units.SPEED_10G, queues=128,
+    tx_fifo_bytes=160 * 1024, rx_fifo_bytes=512 * 1024,
+    hw_rate_control=True, hw_timestamping=True,
+    latch_ticks=1, hw_rate_max_pps=9e6, max_pps=15.6e6,
+)
+
+CHIP_82580 = ChipModel(
+    name="82580", speed_bps=units.SPEED_1G, queues=8,
+    tx_fifo_bytes=40 * 1024, rx_fifo_bytes=64 * 1024,
+    hw_rate_control=False, hw_timestamping=True,
+    timestamp_all_rx=True, phase_step_ns=8.0, rate_clock_ns=25.6,
+)
+
+CHIP_XL710 = ChipModel(
+    name="XL710", speed_bps=units.SPEED_40G, queues=384,
+    tx_fifo_bytes=512 * 1024, rx_fifo_bytes=1024 * 1024,
+    hw_rate_control=False, hw_timestamping=False,
+    max_pps=32e6, card_max_pps=42e6, card_max_bps=50e9,
+)
+
+#: Default descriptor ring size (DPDK's usual default).
+DEFAULT_RING_SIZE = 512
+
+
+class TxQueueSim:
+    """A transmit queue: descriptor ring + optional hardware rate limiter."""
+
+    def __init__(self, port: "NicPort", index: int,
+                 ring_size: int = DEFAULT_RING_SIZE) -> None:
+        self.port = port
+        self.index = index
+        self.ring_size = ring_size
+        self.ring: Deque[SimFrame] = deque()
+        self.space_signal = Signal()
+        #: Rate limit in bits/s of wire occupancy; 0 disables.
+        self.rate_bps = 0.0
+        self.next_allowed_ps = 0
+        self._rate_error_ps = 0.0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    @property
+    def free_slots(self) -> int:
+        return self.ring_size - len(self.ring)
+
+    def set_rate(self, mbps: float) -> None:
+        """Configure hardware CBR rate control (MoonGen's ``setRate``).
+
+        ``mbps`` counts wire occupancy (frame + preamble/SFD/IFG) like the
+        NIC's own pacer.  Raises if the chip has no rate control.
+        """
+        if not self.port.chip.hw_rate_control and mbps > 0:
+            raise ConfigurationError(
+                f"chip {self.port.chip.name} has no hardware rate control"
+            )
+        if mbps < 0:
+            raise ConfigurationError(f"negative rate: {mbps}")
+        self.rate_bps = mbps * 1e6
+
+    def set_rate_pps(self, pps: float, frame_size: int) -> None:
+        """Configure the limiter for a target packet rate at a frame size."""
+        wire_bits = units.wire_length(frame_size) * 8
+        self.set_rate(pps * wire_bits / 1e6)
+
+    def enqueue(self, frames: List[SimFrame]) -> int:
+        """Append descriptors; returns how many fit into the ring."""
+        accepted = 0
+        for frame in frames:
+            if len(self.ring) >= self.ring_size:
+                break
+            self.ring.append(frame)
+            accepted += 1
+        if accepted:
+            self.port._mac_kick()
+        return accepted
+
+    def _advance_rate_limiter(self, start_ps: int, frame: SimFrame) -> None:
+        """Move the earliest next transmit time per the configured rate.
+
+        The inter-departure time is quantized to the chip's rate-control
+        clock; the quantization error is carried over so the average rate is
+        exact (this is the dithering that causes the ±256 ns oscillation the
+        paper measures in Section 7.3).
+        """
+        if self.rate_bps <= 0:
+            self.next_allowed_ps = start_ps
+            return
+        gap_ps = frame.wire_size * 8 * 1e12 / self.rate_bps
+        tick_ps = self.port.rate_clock_ps
+        ideal = gap_ps + self._rate_error_ps
+        ticks = max(1, round(ideal / tick_ps))
+        actual = ticks * tick_ps
+        self._rate_error_ps = ideal - actual
+        self.next_allowed_ps = start_ps + round(actual)
+
+
+class RxQueueSim:
+    """A receive queue: descriptor ring filled by the NIC, drained by software."""
+
+    def __init__(self, port: "NicPort", index: int,
+                 ring_size: int = DEFAULT_RING_SIZE) -> None:
+        self.port = port
+        self.index = index
+        self.ring_size = ring_size
+        self.ring: Deque[SimFrame] = deque()
+        self.packet_signal = Signal()
+        self.rx_packets = 0
+        self.rx_bytes = 0
+
+    def deliver(self, frame: SimFrame) -> bool:
+        """NIC-side delivery; False if the ring overflowed."""
+        if len(self.ring) >= self.ring_size:
+            return False
+        self.ring.append(frame)
+        self.rx_packets += 1
+        self.rx_bytes += frame.size
+        self.packet_signal.trigger()
+        return True
+
+    def fetch(self, max_frames: int) -> List[SimFrame]:
+        """Software-side poll: take up to ``max_frames`` from the ring."""
+        out = []
+        while self.ring and len(out) < max_frames:
+            out.append(self.ring.popleft())
+        return out
+
+
+class NicCard:
+    """A physical adapter: shares aggregate limits between its ports.
+
+    Needed for the XL710, whose MAC layer caps the *sum* of both ports
+    (Section 5.4); for other chips the caps are infinite and this class is
+    inert bookkeeping.
+    """
+
+    def __init__(self, chip: ChipModel) -> None:
+        self.chip = chip
+        self.ports: List["NicPort"] = []
+
+    def active_tx_ports(self) -> int:
+        return sum(1 for p in self.ports if p.has_pending_tx()) or 1
+
+    def effective_frame_time_ps(self, frame: SimFrame, speed_bps: int) -> int:
+        """MAC occupancy per frame after applying all hardware caps."""
+        times = [units.frame_time_ps(frame.size, speed_bps)]
+        chip = self.chip
+        if chip.max_pps != float("inf"):
+            times.append(round(1e12 / chip.max_pps))
+        active = self.active_tx_ports()
+        if chip.card_max_pps != float("inf"):
+            times.append(round(1e12 * active / chip.card_max_pps))
+        if chip.card_max_bps != float("inf"):
+            bits = frame.wire_size * 8
+            times.append(round(bits * 1e12 * active / chip.card_max_bps))
+        return max(times)
+
+
+class NicPort:
+    """One network port of a simulated NIC."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        chip: ChipModel = CHIP_X540,
+        port_id: int = 0,
+        n_tx_queues: int = 1,
+        n_rx_queues: int = 1,
+        speed_bps: Optional[int] = None,
+        card: Optional[NicCard] = None,
+        clock_drift_ppm: float = 0.0,
+        clock_phase_steps: int = 0,
+    ) -> None:
+        if n_tx_queues > chip.queues or n_rx_queues > chip.queues:
+            raise ConfigurationError(
+                f"{chip.name} supports {chip.queues} queues, requested "
+                f"{n_tx_queues} tx / {n_rx_queues} rx"
+            )
+        self.loop = loop
+        self.chip = chip
+        self.port_id = port_id
+        self.speed_bps = speed_bps or chip.speed_bps
+        self.card = card or NicCard(chip)
+        self.card.ports.append(self)
+        self.tx_queues = [TxQueueSim(self, i) for i in range(n_tx_queues)]
+        self.rx_queues = [RxQueueSim(self, i) for i in range(n_rx_queues)]
+        self.clock: NicClock = clock_for_speed(
+            loop, self.speed_bps,
+            latch_ticks=chip.latch_ticks,
+            drift_ppm=clock_drift_ppm,
+            phase_ns=chip.phase_step_ns * clock_phase_steps,
+        )
+        self.wire: Optional[Wire] = None
+        #: Rate-control clock tick (ps); scales with link speed (Section 7.3).
+        scale = chip.speed_bps / self.speed_bps
+        self.rate_clock_ps = round(chip.rate_clock_ns * scale * 1000)
+        # Timestamp registers (one each for tx and rx, Section 6).
+        self._tx_timestamp: Optional[float] = None
+        self._tx_timestamp_seq: Optional[int] = None
+        self._rx_timestamp: Optional[float] = None
+        self._rx_timestamp_seq: Optional[int] = None
+        self.timestamp_missed = 0
+        # RX dispatch.
+        self.rx_filter: Optional[Callable[[SimFrame], int]] = None
+        # Counters (the NIC statistics registers).
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.rx_crc_errors = 0
+        self.rx_missed = 0
+        # MAC state.
+        self._mac_busy = False
+        self._mac_wakeup = None
+        self._rr_next = 0
+        # On-chip transmit FIFO (Section 3.2: 160 kB on the X540 conceals
+        # ~128 µs of pauses at 10 GbE).  The NIC prefetches descriptors
+        # from unpaced queues into the FIFO; rate-limited queues are
+        # fetched on their pacing schedule instead.
+        self._fifo: Deque[SimFrame] = deque()
+        self._fifo_bytes = 0
+        self._prefetching = False
+        #: Observers called with (frame, tx_start_ps) for every sent frame;
+        #: benches use this to record exact departure times.
+        self.tx_observers: List[Callable[[SimFrame, int], None]] = []
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach_wire(self, wire: Wire) -> None:
+        """Connect the transmit side of this port to a wire."""
+        self.wire = wire
+
+    def get_tx_queue(self, index: int) -> TxQueueSim:
+        try:
+            return self.tx_queues[index]
+        except IndexError:
+            raise QueueError(f"port {self.port_id} has no tx queue {index}") from None
+
+    def get_rx_queue(self, index: int) -> RxQueueSim:
+        try:
+            return self.rx_queues[index]
+        except IndexError:
+            raise QueueError(f"port {self.port_id} has no rx queue {index}") from None
+
+    def set_rx_filter(self, fn: Callable[[SimFrame], int]) -> None:
+        """Install a Flow-Director-style filter mapping frames to rx queues."""
+        self.rx_filter = fn
+
+    def has_pending_tx(self) -> bool:
+        return (self._mac_busy or bool(self._fifo)
+                or any(q.ring for q in self.tx_queues))
+
+    # -- transmit path -----------------------------------------------------------
+
+    def _pick_queue(self) -> Optional[TxQueueSim]:
+        """Round-robin over queues that are non-empty and rate-eligible."""
+        n = len(self.tx_queues)
+        now = self.loop.now_ps
+        for i in range(n):
+            queue = self.tx_queues[(self._rr_next + i) % n]
+            if queue.ring and queue.next_allowed_ps <= now:
+                self._rr_next = (self.tx_queues.index(queue) + 1) % n
+                return queue
+        return None
+
+    def _earliest_pending_ps(self) -> Optional[int]:
+        pending = [q.next_allowed_ps for q in self.tx_queues if q.ring]
+        return min(pending) if pending else None
+
+    def _fetch_from_ring(self, queue: TxQueueSim) -> SimFrame:
+        """DMA one descriptor out of a ring: recycle + wake the producer."""
+        frame = queue.ring.popleft()
+        recycle = frame.meta.pop("recycle", None)
+        if recycle is not None:
+            # The NIC has fetched the packet: DPDK's transmit function can
+            # recycle the buffer into its mempool (Section 4.2).
+            recycle()
+        queue.space_signal.trigger()
+        return frame
+
+    def _prefetch(self) -> None:
+        """Fill the on-chip FIFO from unpaced queues (Section 3.2).
+
+        Rate-limited queues are fetched on their pacing schedule instead,
+        so hardware rate control timing is unaffected.
+        """
+        n = len(self.tx_queues)
+        progress = True
+        while progress and self._fifo_bytes < self.chip.tx_fifo_bytes:
+            progress = False
+            for i in range(n):
+                if self._fifo_bytes >= self.chip.tx_fifo_bytes:
+                    break
+                queue = self.tx_queues[i]
+                if queue.rate_bps or not queue.ring:
+                    continue
+                frame = self._fetch_from_ring(queue)
+                frame.meta["_tx_queue"] = queue
+                self._fifo.append(frame)
+                self._fifo_bytes += frame.size
+                progress = True
+
+    def _next_frame(self):
+        """The frame the MAC transmits next: FIFO first, then paced rings."""
+        if self._fifo:
+            frame = self._fifo.popleft()
+            self._fifo_bytes -= frame.size
+            return frame, frame.meta.pop("_tx_queue", None)
+        queue = self._pick_queue()
+        if queue is None:
+            return None, None
+        frame = self._fetch_from_ring(queue)
+        return frame, queue
+
+    def _mac_kick(self) -> None:
+        """Advance the MAC: send the next eligible frame, if any.
+
+        The descriptor DMA (prefetch) runs on every kick — even while the
+        MAC is serializing — so the FIFO fills in the background; the
+        guard prevents re-entrant prefetching when a space signal resumes
+        a task that immediately enqueues more frames.
+        """
+        if not self._prefetching:
+            self._prefetching = True
+            try:
+                self._prefetch()
+            finally:
+                self._prefetching = False
+        if self._mac_busy:
+            return
+        # Mark the MAC busy *before* waking software: space signals can
+        # synchronously resume a task that immediately enqueues and kicks.
+        self._mac_busy = True
+        frame, queue = self._next_frame()
+        if frame is None:
+            self._mac_busy = False
+            nxt = self._earliest_pending_ps()
+            if nxt is not None and (
+                self._mac_wakeup is None or self._mac_wakeup.cancelled
+            ):
+                self._mac_wakeup = self.loop.schedule_at(
+                    max(nxt, self.loop.now_ps), self._mac_kick
+                )
+            return
+        if self._mac_wakeup is not None:
+            self._mac_wakeup.cancel()
+            self._mac_wakeup = None
+        now = self.loop.now_ps
+        mac_time = self.card.effective_frame_time_ps(frame, self.speed_bps)
+        # Timestamp late in the transmit path (Section 6: as the frame hits
+        # the wire), if the descriptor asked for it and the register is free.
+        if frame.meta.get("timestamp") and self.chip.hw_timestamping and frame.is_ptp():
+            if self._tx_timestamp is None:
+                self._tx_timestamp = self.clock.timestamp_ns(now)
+                self._tx_timestamp_seq = frame.ptp_sequence()
+            else:
+                self.timestamp_missed += 1
+        frame.meta["tx_start_ps"] = now
+        for observer in self.tx_observers:
+            observer(frame, now)
+        if self.wire is not None:
+            self.wire.transmit(frame, frame.size, start_ps=now)
+        self.tx_packets += 1
+        self.tx_bytes += frame.size
+        if queue is not None:
+            queue.tx_packets += 1
+            queue.tx_bytes += frame.size
+            queue._advance_rate_limiter(now, frame)
+
+        def done() -> None:
+            self._mac_busy = False
+            self._mac_kick()
+
+        self.loop.schedule(mac_time, done)
+
+    # -- receive path --------------------------------------------------------------
+
+    def receive(self, frame: SimFrame, arrival_ps: int) -> None:
+        """Wire-side delivery into this port (the wire's sink callback)."""
+        if not frame.fcs_ok:
+            # Dropped before queue assignment; packet processing logic is
+            # unaffected — the property Section 8 relies on.
+            self.rx_crc_errors += 1
+            return
+        if self.chip.hw_timestamping:
+            # Timestamps are taken early in the receive path, referenced to
+            # the start of the frame (the wire delivers at frame end).
+            stamp_ps = arrival_ps - units.frame_time_ps(frame.size, self.speed_bps)
+            if self.chip.timestamp_all_rx:
+                frame.meta["rx_timestamp_ns"] = self.clock.timestamp_ns(stamp_ps)
+            elif frame.is_ptp():
+                if self._rx_timestamp is None:
+                    self._rx_timestamp = self.clock.timestamp_ns(stamp_ps)
+                    self._rx_timestamp_seq = frame.ptp_sequence()
+                else:
+                    self.timestamp_missed += 1
+        queue_idx = 0
+        if self.rx_filter is not None:
+            queue_idx = self.rx_filter(frame) % len(self.rx_queues)
+        self.rx_packets += 1
+        self.rx_bytes += frame.size
+        if not self.rx_queues[queue_idx].deliver(frame):
+            self.rx_missed += 1
+
+    # -- timestamp registers ----------------------------------------------------------
+
+    def read_tx_timestamp(self) -> Optional[tuple]:
+        """Read and clear the tx timestamp register: (value_ns, ptp_seq)."""
+        if self._tx_timestamp is None:
+            return None
+        value = (self._tx_timestamp, self._tx_timestamp_seq)
+        self._tx_timestamp = None
+        self._tx_timestamp_seq = None
+        return value
+
+    def read_rx_timestamp(self) -> Optional[tuple]:
+        """Read and clear the rx timestamp register: (value_ns, ptp_seq)."""
+        if self._rx_timestamp is None:
+            return None
+        value = (self._rx_timestamp, self._rx_timestamp_seq)
+        self._rx_timestamp = None
+        self._rx_timestamp_seq = None
+        return value

@@ -1,0 +1,74 @@
+"""Packet crafting and parsing.
+
+This package implements the packet layer of the MoonGen reproduction: typed
+header views over shared byte buffers, protocol stacks with MoonGen-style
+``fill()`` semantics, checksum and CRC helpers, and address types.
+
+The central entry points are :class:`repro.packet.packet.PacketData` (a raw
+buffer) and the stack views obtained from it, e.g.::
+
+    pkt = PacketData(60)
+    udp = pkt.udp_packet
+    udp.fill(eth_src="aa:bb:cc:dd:ee:ff", ip_dst="10.0.0.1", udp_dst=319)
+"""
+
+from repro.packet.address import (
+    Ip4Address,
+    Ip6Address,
+    MacAddress,
+    parse_ip_address,
+)
+from repro.packet.checksum import (
+    ethernet_fcs,
+    internet_checksum,
+    pseudo_header_checksum,
+)
+from repro.packet.ethernet import EtherType, EthernetHeader
+from repro.packet.vlan import (
+    VlanTag,
+    insert_vlan_tag,
+    is_vlan_tagged,
+    read_vlan_tag,
+    strip_vlan_tag,
+)
+from repro.packet.packet import (
+    ArpPacket,
+    EthPacket,
+    Icmp4Packet,
+    Ip4Packet,
+    Ip6Packet,
+    PacketData,
+    PtpPacket,
+    Tcp4Packet,
+    Udp4Packet,
+    Udp6Packet,
+    EspPacket,
+)
+
+__all__ = [
+    "ArpPacket",
+    "EspPacket",
+    "EthPacket",
+    "EtherType",
+    "EthernetHeader",
+    "Icmp4Packet",
+    "Ip4Address",
+    "Ip4Packet",
+    "Ip6Address",
+    "Ip6Packet",
+    "MacAddress",
+    "PacketData",
+    "PtpPacket",
+    "Tcp4Packet",
+    "Udp4Packet",
+    "Udp6Packet",
+    "VlanTag",
+    "ethernet_fcs",
+    "insert_vlan_tag",
+    "internet_checksum",
+    "is_vlan_tagged",
+    "parse_ip_address",
+    "pseudo_header_checksum",
+    "read_vlan_tag",
+    "strip_vlan_tag",
+]

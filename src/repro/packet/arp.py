@@ -1,0 +1,35 @@
+"""ARP header (Ethernet/IPv4)."""
+
+from __future__ import annotations
+
+from repro.packet.fields import Header, UIntField, ip4_field, mac_field
+
+
+class ArpOp:
+    """ARP operation codes."""
+
+    REQUEST = 1
+    REPLY = 2
+
+
+class ArpHeader(Header):
+    """The 28-byte ARP header for Ethernet + IPv4."""
+
+    SIZE = 28
+
+    hardware_type = UIntField(0, 2, "1 for Ethernet")
+    protocol_type = UIntField(2, 2, "0x0800 for IPv4")
+    hardware_length = UIntField(4, 1, "6 for MAC addresses")
+    protocol_length = UIntField(5, 1, "4 for IPv4 addresses")
+    operation = UIntField(6, 2, "1 request / 2 reply")
+    sha = mac_field(8, "Sender hardware address")
+    spa = ip4_field(14, "Sender protocol address")
+    tha = mac_field(18, "Target hardware address")
+    tpa = ip4_field(24, "Target protocol address")
+
+    def set_defaults(self) -> None:
+        self.hardware_type = 1
+        self.protocol_type = 0x0800
+        self.hardware_length = 6
+        self.protocol_length = 4
+        self.operation = ArpOp.REQUEST

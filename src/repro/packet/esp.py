@@ -1,0 +1,24 @@
+"""IPsec ESP header (RFC 4303).
+
+MoonGen's example scripts include IPsec load generation; the reproduction
+provides the ESP header so the same traffic types can be crafted.  Only the
+cleartext parts (SPI, sequence number) are modelled — payload encryption is
+out of scope for a packet generator, which transmits pre-crafted ciphertext.
+"""
+
+from __future__ import annotations
+
+from repro.packet.fields import Header, UIntField
+
+
+class EspHeader(Header):
+    """The 8-byte ESP header preceding the encrypted payload."""
+
+    SIZE = 8
+
+    spi = UIntField(0, 4, "Security parameters index")
+    sequence = UIntField(4, 4, "Anti-replay sequence number")
+
+    def set_defaults(self) -> None:
+        self.spi = 0
+        self.sequence = 1

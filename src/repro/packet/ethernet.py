@@ -1,0 +1,28 @@
+"""Ethernet II header."""
+
+from __future__ import annotations
+
+from repro.packet.fields import Header, UIntField, mac_field
+
+
+class EtherType:
+    """Well-known EtherType values used by the example scripts."""
+
+    IP4 = 0x0800
+    ARP = 0x0806
+    IP6 = 0x86DD
+    #: PTP directly over Ethernet (IEEE 1588), used for hardware timestamping.
+    PTP = 0x88F7
+
+
+class EthernetHeader(Header):
+    """The 14-byte Ethernet II header."""
+
+    SIZE = 14
+
+    dst = mac_field(0, "Destination MAC address")
+    src = mac_field(6, "Source MAC address")
+    ether_type = UIntField(12, 2, "EtherType of the payload")
+
+    def set_type(self, ether_type: int) -> None:
+        self.ether_type = ether_type

@@ -1,0 +1,34 @@
+"""ICMP (v4) header."""
+
+from __future__ import annotations
+
+from repro.packet.checksum import internet_checksum
+from repro.packet.fields import Header, UIntField
+
+
+class IcmpType:
+    """Common ICMP message types."""
+
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+
+
+class IcmpHeader(Header):
+    """The 8-byte ICMP echo-style header."""
+
+    SIZE = 8
+
+    type = UIntField(0, 1, "Message type")
+    code = UIntField(1, 1, "Message code")
+    checksum = UIntField(2, 2, "Checksum over the ICMP message")
+    identifier = UIntField(4, 2, "Echo identifier")
+    sequence = UIntField(6, 2, "Echo sequence number")
+
+    def calculate_checksum(self, message: bytes) -> int:
+        """Compute and store the checksum over the full ICMP message."""
+        self.checksum = 0
+        value = internet_checksum(message)
+        self.checksum = value
+        return value

@@ -1,0 +1,72 @@
+"""IPv4 header."""
+
+from __future__ import annotations
+
+from repro.packet.checksum import internet_checksum
+from repro.packet.fields import BitsField, Header, UIntField, ip4_field
+
+
+class IpProtocol:
+    """IPv4 protocol numbers used by the library."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+    ESP = 50
+    AH = 51
+
+
+class Ip4Header(Header):
+    """The 20-byte IPv4 header (no options)."""
+
+    SIZE = 20
+
+    version = BitsField(0, 4, 4, "IP version, 4")
+    ihl = BitsField(0, 0, 4, "Header length in 32-bit words")
+    tos = UIntField(1, 1, "Type of service / DSCP+ECN")
+    length = UIntField(2, 2, "Total length: header + payload")
+    identification = UIntField(4, 2)
+    flags = BitsField(6, 5, 3, "Flags: reserved / DF / MF")
+    # Fragment offset spans the low 5 bits of byte 6 and byte 7; expose it
+    # through explicit accessors rather than a simple field.
+    ttl = UIntField(8, 1, "Time to live")
+    protocol = UIntField(9, 1, "Payload protocol number")
+    checksum = UIntField(10, 2, "Header checksum")
+    src = ip4_field(12, "Source address")
+    dst = ip4_field(16, "Destination address")
+
+    @property
+    def fragment_offset(self) -> int:
+        high = self._data[self._offset + 6] & 0x1F
+        low = self._data[self._offset + 7]
+        return (high << 8) | low
+
+    @fragment_offset.setter
+    def fragment_offset(self, value: int) -> None:
+        value = int(value) & 0x1FFF
+        pos = self._offset + 6
+        self._data[pos] = (self._data[pos] & 0xE0) | (value >> 8)
+        self._data[pos + 1] = value & 0xFF
+
+    def set_defaults(self) -> None:
+        """Fill the fields every IPv4 packet needs."""
+        self.version = 4
+        self.ihl = 5
+        self.ttl = 64
+
+    def header_length(self) -> int:
+        """Header length in bytes, from the IHL field."""
+        return self.ihl * 4
+
+    def calculate_checksum(self) -> int:
+        """Compute and store the header checksum; returns the new value."""
+        self.checksum = 0
+        start = self._offset
+        value = internet_checksum(self._data[start:start + self.header_length()])
+        self.checksum = value
+        return value
+
+    def verify_checksum(self) -> bool:
+        """True if the stored header checksum is correct."""
+        start = self._offset
+        return internet_checksum(self._data[start:start + self.header_length()]) == 0

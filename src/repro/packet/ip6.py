@@ -1,0 +1,61 @@
+"""IPv6 header."""
+
+from __future__ import annotations
+
+from repro.packet.fields import Header, UIntField, ip6_field
+
+
+class Ip6Header(Header):
+    """The fixed 40-byte IPv6 header."""
+
+    SIZE = 40
+
+    next_header = UIntField(6, 1, "Protocol of the payload")
+    hop_limit = UIntField(7, 1, "Hop limit (TTL)")
+    src = ip6_field(8, "Source address")
+    dst = ip6_field(24, "Destination address")
+
+    @property
+    def version(self) -> int:
+        return self._data[self._offset] >> 4
+
+    @version.setter
+    def version(self, value: int) -> None:
+        pos = self._offset
+        self._data[pos] = ((int(value) & 0xF) << 4) | (self._data[pos] & 0x0F)
+
+    @property
+    def traffic_class(self) -> int:
+        pos = self._offset
+        return ((self._data[pos] & 0x0F) << 4) | (self._data[pos + 1] >> 4)
+
+    @traffic_class.setter
+    def traffic_class(self, value: int) -> None:
+        value = int(value) & 0xFF
+        pos = self._offset
+        self._data[pos] = (self._data[pos] & 0xF0) | (value >> 4)
+        self._data[pos + 1] = ((value & 0x0F) << 4) | (self._data[pos + 1] & 0x0F)
+
+    @property
+    def flow_label(self) -> int:
+        pos = self._offset
+        return (
+            ((self._data[pos + 1] & 0x0F) << 16)
+            | (self._data[pos + 2] << 8)
+            | self._data[pos + 3]
+        )
+
+    @flow_label.setter
+    def flow_label(self, value: int) -> None:
+        value = int(value) & 0xFFFFF
+        pos = self._offset
+        self._data[pos + 1] = (self._data[pos + 1] & 0xF0) | (value >> 16)
+        self._data[pos + 2] = (value >> 8) & 0xFF
+        self._data[pos + 3] = value & 0xFF
+
+    payload_length = UIntField(4, 2, "Length of the payload after this header")
+
+    def set_defaults(self) -> None:
+        """Fill the fields every IPv6 packet needs."""
+        self.version = 6
+        self.hop_limit = 64

@@ -1,0 +1,49 @@
+"""IEEE 1588 (PTP) header.
+
+The paper's timestamping engine (Section 6) relies on NICs that timestamp
+PTP packets — either directly over Ethernet (EtherType 0x88F7) or as UDP
+payload (port 319).  Only the first payload byte (message type) and the
+second byte (PTP version) matter to the timestamping hardware; all other
+fields may hold arbitrary values.
+"""
+
+from __future__ import annotations
+
+from repro.packet.fields import BitsField, Header, UIntField
+
+#: UDP destination port for PTP event messages.
+PTP_UDP_PORT = 319
+
+
+class PtpMessageType:
+    """PTP message types relevant for hardware timestamp filters."""
+
+    SYNC = 0x0
+    DELAY_REQ = 0x1
+    PDELAY_REQ = 0x2
+    PDELAY_RESP = 0x3
+    FOLLOW_UP = 0x8
+    DELAY_RESP = 0x9
+    ANNOUNCE = 0xB
+
+
+class PtpHeader(Header):
+    """The 34-byte PTPv2 common message header."""
+
+    SIZE = 34
+
+    transport_specific = BitsField(0, 4, 4)
+    message_type = BitsField(0, 0, 4, "Message type, checked by NIC filters")
+    version = BitsField(1, 0, 4, "PTP version, must be 2 for timestamping")
+    message_length = UIntField(2, 2)
+    domain_number = UIntField(4, 1)
+    flags = UIntField(6, 2)
+    correction_field = UIntField(8, 8)
+    sequence_id = UIntField(30, 2, "Sequence number, used to match samples")
+    control_field = UIntField(32, 1)
+    log_message_interval = UIntField(33, 1)
+
+    def set_defaults(self) -> None:
+        self.message_type = PtpMessageType.SYNC
+        self.version = 2
+        self.message_length = self.SIZE

@@ -1,0 +1,59 @@
+"""TCP header."""
+
+from __future__ import annotations
+
+from repro.packet.checksum import internet_checksum
+from repro.packet.fields import BitsField, Header, UIntField
+
+
+class TcpFlags:
+    """TCP flag bit masks."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+class TcpHeader(Header):
+    """The 20-byte TCP header (no options)."""
+
+    SIZE = 20
+
+    src_port = UIntField(0, 2, "Source port")
+    dst_port = UIntField(2, 2, "Destination port")
+    seq_number = UIntField(4, 4, "Sequence number")
+    ack_number = UIntField(8, 4, "Acknowledgement number")
+    data_offset = BitsField(12, 4, 4, "Header length in 32-bit words")
+    flags = UIntField(13, 1, "Flag byte, see TcpFlags")
+    window = UIntField(14, 2, "Receive window")
+    checksum = UIntField(16, 2, "Checksum over pseudo header + segment")
+    urgent_pointer = UIntField(18, 2)
+
+    def set_defaults(self) -> None:
+        self.data_offset = 5
+        self.window = 0xFFFF
+
+    def has_flag(self, mask: int) -> bool:
+        return bool(self.flags & mask)
+
+    def set_flag(self, mask: int, value: bool = True) -> None:
+        if value:
+            self.flags = self.flags | mask
+        else:
+            self.flags = self.flags & ~mask & 0xFF
+
+    def header_length(self) -> int:
+        """Header length in bytes, from the data-offset field."""
+        return self.data_offset * 4
+
+    def calculate_checksum(self, pseudo_header_sum: int, segment: bytes) -> int:
+        """Compute and store the TCP checksum (see UdpHeader for arguments)."""
+        self.checksum = 0
+        value = internet_checksum(segment, pseudo_header_sum)
+        self.checksum = value
+        return value

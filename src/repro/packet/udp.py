@@ -1,0 +1,45 @@
+"""UDP header."""
+
+from __future__ import annotations
+
+from repro.packet.checksum import internet_checksum
+from repro.packet.fields import Header, UIntField
+
+
+class UdpHeader(Header):
+    """The 8-byte UDP header."""
+
+    SIZE = 8
+
+    src_port = UIntField(0, 2, "Source port")
+    dst_port = UIntField(2, 2, "Destination port")
+    length = UIntField(4, 2, "Length of header + payload")
+    checksum = UIntField(6, 2, "Checksum over pseudo header + segment")
+
+    # MoonGen-style accessors (``udp:getDstPort()`` in the Lua API).
+    def get_src_port(self) -> int:
+        return self.src_port
+
+    def get_dst_port(self) -> int:
+        return self.dst_port
+
+    def set_src_port(self, port: int) -> None:
+        self.src_port = port
+
+    def set_dst_port(self, port: int) -> None:
+        self.dst_port = port
+
+    def calculate_checksum(self, pseudo_header_sum: int, segment: bytes) -> int:
+        """Compute and store the UDP checksum.
+
+        ``segment`` is the full UDP segment (header + payload) with the
+        checksum field zeroed; ``pseudo_header_sum`` is the unfolded sum from
+        :func:`repro.packet.checksum.pseudo_header_sum_v4` / ``_v6``.
+        An all-zero result is transmitted as 0xFFFF per RFC 768.
+        """
+        self.checksum = 0
+        value = internet_checksum(segment, pseudo_header_sum)
+        if value == 0:
+            value = 0xFFFF
+        self.checksum = value
+        return value

@@ -1,0 +1,102 @@
+"""IEEE 802.1Q VLAN tagging.
+
+Benchmark setups routinely tag test traffic (e.g. steering flows through a
+switch under test), and MoonGen's packet library handles VLAN headers.
+The 4-byte tag sits between the Ethernet source address and the original
+EtherType: TPID 0x8100, then PCP/DEI/VID.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PacketError
+from repro.packet.fields import Header, UIntField
+
+#: Tag protocol identifier for 802.1Q.
+TPID_VLAN = 0x8100
+#: Outer TPID for QinQ (802.1ad) stacking.
+TPID_QINQ = 0x88A8
+
+
+class VlanTag(Header):
+    """The 4-byte 802.1Q tag (TPID + TCI), viewed at its own offset."""
+
+    SIZE = 4
+
+    tpid = UIntField(0, 2, "Tag protocol identifier, 0x8100")
+    tci = UIntField(2, 2, "Tag control information: PCP/DEI/VID")
+
+    @property
+    def vid(self) -> int:
+        """VLAN identifier (12 bits)."""
+        return self.tci & 0x0FFF
+
+    @vid.setter
+    def vid(self, value: int) -> None:
+        self.tci = (self.tci & 0xF000) | (int(value) & 0x0FFF)
+
+    @property
+    def pcp(self) -> int:
+        """Priority code point (3 bits) — the QoS priority field."""
+        return self.tci >> 13
+
+    @pcp.setter
+    def pcp(self, value: int) -> None:
+        self.tci = ((int(value) & 0x7) << 13) | (self.tci & 0x1FFF)
+
+    @property
+    def dei(self) -> int:
+        """Drop eligible indicator (1 bit)."""
+        return (self.tci >> 12) & 0x1
+
+    @dei.setter
+    def dei(self, value: int) -> None:
+        self.tci = (self.tci & 0xEFFF) | ((int(value) & 0x1) << 12)
+
+
+def insert_vlan_tag(pkt, vid: int, pcp: int = 0, dei: int = 0,
+                    tpid: int = TPID_VLAN) -> VlanTag:
+    """Tag a crafted frame in place, growing it by 4 bytes.
+
+    The payload from byte 12 (the original EtherType) moves back by four
+    bytes; length fields of encapsulated headers are unaffected because the
+    tag lives purely at layer 2.
+    """
+    if pkt.size < 14:
+        raise PacketError("frame too short to tag")
+    if pkt.size + VlanTag.SIZE > len(pkt.data):
+        raise PacketError("no capacity for a VLAN tag")
+    if not 0 <= vid <= 0x0FFF:
+        raise PacketError(f"VLAN id out of range: {vid}")
+    pkt.data[16:pkt.size + 4] = pkt.data[12:pkt.size]
+    pkt.size = pkt.size + 4
+    tag = VlanTag(pkt.data, 12)
+    tag.tpid = tpid
+    tag.tci = 0
+    tag.vid = vid
+    tag.pcp = pcp
+    tag.dei = dei
+    return tag
+
+
+def strip_vlan_tag(pkt) -> int:
+    """Remove the outermost tag in place; returns the VID it carried."""
+    tag = read_vlan_tag(pkt)
+    vid = tag.vid
+    pkt.data[12:pkt.size - 4] = pkt.data[16:pkt.size]
+    pkt.size = pkt.size - 4
+    return vid
+
+
+def read_vlan_tag(pkt) -> VlanTag:
+    """View the outermost 802.1Q tag of a frame."""
+    if not is_vlan_tagged(pkt):
+        raise PacketError("frame carries no VLAN tag")
+    return VlanTag(pkt.data, 12)
+
+
+def is_vlan_tagged(pkt) -> bool:
+    """True if the frame's EtherType position holds a VLAN TPID."""
+    if pkt.size < 18:
+        return False
+    ether_type = (pkt.data[12] << 8) | pkt.data[13]
+    return ether_type in (TPID_VLAN, TPID_QINQ)

@@ -1,0 +1,128 @@
+"""Units and wire-time arithmetic.
+
+All simulation time is integer **picoseconds** internally where exactness
+matters (a 64 B frame at 10 GbE is 67.2 ns — not representable in integer
+nanoseconds), but the public API speaks nanoseconds as floats, like the
+paper does.  This module centralises the Ethernet framing math the paper
+relies on:
+
+* a frame of ``n`` payload bytes occupies ``n + 20`` bytes on the wire
+  (7 B preamble + 1 B start-of-frame delimiter + 12 B inter-frame gap);
+  the 4 B FCS is part of ``n`` for a full frame, see :func:`wire_length`;
+* 10 GbE line rate with minimum-sized (64 B) frames is 14.88 Mpps, i.e. one
+  frame per 67.2 ns.
+"""
+
+from __future__ import annotations
+
+# --- byte-level Ethernet constants -----------------------------------------
+
+PREAMBLE_SIZE = 7
+SFD_SIZE = 1
+INTER_FRAME_GAP = 12
+FCS_SIZE = 4
+
+#: Per-frame wire overhead in bytes beyond the Ethernet frame itself
+#: (preamble + start-of-frame delimiter + inter-frame gap).
+WIRE_OVERHEAD = PREAMBLE_SIZE + SFD_SIZE + INTER_FRAME_GAP  # 20 bytes
+
+#: Minimum Ethernet frame size including FCS.
+MIN_FRAME_SIZE = 64
+#: Maximum standard Ethernet frame size including FCS.
+MAX_FRAME_SIZE = 1518
+
+#: Minimum wire length (frame + overhead) the paper's NICs will emit at all
+#: (Section 8.1: frames shorter than 33 B wire length are refused).
+MIN_WIRE_LENGTH = 33
+
+# --- common link speeds -----------------------------------------------------
+
+GIGABIT = 10 ** 9
+SPEED_1G = 1 * GIGABIT
+SPEED_10G = 10 * GIGABIT
+SPEED_40G = 40 * GIGABIT
+SPEED_100G = 100 * GIGABIT
+
+#: 10 GbE line rate with 64 B frames (Mpps * 1e6), the paper's headline rate.
+LINE_RATE_10G_64B_PPS = 14_880_952  # 10e9 / (84 * 8) packets per second
+
+PS_PER_NS = 1000
+NS_PER_US = 1000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+PS_PER_S = NS_PER_S * PS_PER_NS
+
+
+def wire_length(frame_size: int) -> int:
+    """Bytes a frame occupies on the wire, including preamble/SFD/IFG.
+
+    ``frame_size`` counts the full Ethernet frame including the FCS, as the
+    paper does ("wire-length (including Ethernet preamble, start-of-frame
+    delimiter, and inter-frame gap)").
+    """
+    return frame_size + WIRE_OVERHEAD
+
+
+def byte_time_ps(speed_bps: int) -> float:
+    """Duration of one byte on a link of the given speed, in picoseconds."""
+    return 8 * PS_PER_S / speed_bps
+
+
+def frame_time_ps(frame_size: int, speed_bps: int) -> int:
+    """Wire occupancy of a frame in integer picoseconds.
+
+    At the speeds used in the paper (1/10/40 GbE) a byte is an integral
+    number of picoseconds (800/80/20 ps), so this is exact.
+    """
+    return round(wire_length(frame_size) * byte_time_ps(speed_bps))
+
+
+def frame_time_ns(frame_size: int, speed_bps: int) -> float:
+    """Wire occupancy of a frame in (float) nanoseconds."""
+    return frame_time_ps(frame_size, speed_bps) / PS_PER_NS
+
+
+def line_rate_pps(frame_size: int, speed_bps: int) -> float:
+    """Maximum packets per second for back-to-back frames of a given size."""
+    return speed_bps / (8 * wire_length(frame_size))
+
+
+def pps_to_gap_ns(pps: float) -> float:
+    """Inter-departure time (start-to-start) in ns for a packet rate."""
+    if pps <= 0:
+        raise ValueError(f"packet rate must be positive, got {pps}")
+    return NS_PER_S / pps
+
+
+def mpps(value: float) -> float:
+    """Convert a packet rate in Mpps to packets per second."""
+    return value * 1e6
+
+
+def to_mpps(pps: float) -> float:
+    """Convert packets per second to Mpps."""
+    return pps / 1e6
+
+
+def gbit(value: float) -> int:
+    """Convert Gbit/s to bit/s."""
+    return round(value * GIGABIT)
+
+
+def to_gbit(bps: float) -> float:
+    """Convert bit/s to Gbit/s."""
+    return bps / GIGABIT
+
+
+def throughput_gbps(pps: float, frame_size: int) -> float:
+    """Wire-level throughput in Gbit/s for a packet rate and frame size.
+
+    Uses the frame size *without* wire overhead, i.e. the conventional
+    "rate" a packet generator reports (bits of Ethernet frames per second).
+    """
+    return pps * frame_size * 8 / GIGABIT
+
+
+def wire_rate_gbps(pps: float, frame_size: int) -> float:
+    """Wire occupancy in Gbit/s including preamble/SFD/IFG overhead."""
+    return pps * wire_length(frame_size) * 8 / GIGABIT

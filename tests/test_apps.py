@@ -1,0 +1,156 @@
+"""Tests for the scanner and analyzer applications (Section 10)."""
+
+import pytest
+
+from repro import MoonGenEnv
+from repro.apps import FlowAnalyzer, ResponderPopulation, SynScanner
+from repro.errors import ConfigurationError
+
+
+class TestSynScanner:
+    def build(self, count=500, response_probability=0.1, seed=3):
+        env = MoonGenEnv(seed=seed)
+        dev = env.config_device(0, tx_queues=1, rx_queues=1)
+        population = ResponderPopulation(
+            env.loop, response_probability=response_probability, seed=seed)
+        env.connect_to_sink(dev, population.ingress)
+        population.connect_output(env.wire_to_device(dev))
+        scanner = SynScanner(env, dev, "45.0.0.0", count,
+                             probe_rate_pps=5e6)
+        env.launch(scanner.scan_task)
+        env.launch(scanner.collect_task)
+        env.wait_for_slaves(duration_ns=count * 300.0 + 5e6)
+        return scanner, population
+
+    def test_all_probes_sent(self):
+        scanner, population = self.build(count=300)
+        assert scanner.probes_sent == 300
+        assert population.probes_seen == 300
+
+    def test_finds_exactly_the_responders(self):
+        scanner, population = self.build(count=500)
+        expected = population.expected_responders("45.0.0.0", 500)
+        assert expected > 10  # the population is non-trivial
+        assert scanner.open_hosts == expected
+
+    def test_rst_answers_counted_separately(self):
+        scanner, population = self.build(count=400)
+        assert scanner.rst_seen > 0
+        # RSTs are closed ports, not responders.
+        assert scanner.open_hosts + scanner.rst_seen <= 400
+
+    def test_density_scales_with_probability(self):
+        sparse, _ = self.build(count=400, response_probability=0.05, seed=5)
+        dense, _ = self.build(count=400, response_probability=0.5, seed=5)
+        assert dense.open_hosts > 3 * sparse.open_hosts
+
+    def test_rejects_empty_range(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, tx_queues=1, rx_queues=1)
+        with pytest.raises(ConfigurationError):
+            SynScanner(env, dev, "45.0.0.0", 0)
+
+    def test_scan_is_deterministic(self):
+        a, _ = self.build(count=300, seed=7)
+        b, _ = self.build(count=300, seed=7)
+        assert a.responders == b.responders
+
+
+class TestFlowAnalyzer:
+    def build(self, n_flows=20, packets_per_flow=30, queues=4):
+        env = MoonGenEnv(seed=11)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=queues)
+        env.connect(tx, rx)
+        analyzer = FlowAnalyzer(env, rx)
+        analyzer.launch_all()
+
+        def sender(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array(n_flows)
+            for _ in range(packets_per_flow):
+                bufs.alloc(60)
+                for i, buf in enumerate(bufs):
+                    p = buf.udp_packet
+                    p.ip.src = 0x0A000000 + i
+                    p.udp.src_port = 1000 + i
+                    p.udp.dst_port = 80
+                yield queue.send(bufs)
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=20_000_000)
+        return analyzer
+
+    def test_counts_every_packet(self):
+        analyzer = self.build(n_flows=20, packets_per_flow=30)
+        assert analyzer.total_packets == 600
+
+    def test_flow_table_contents(self):
+        analyzer = self.build(n_flows=10, packets_per_flow=25)
+        merged = analyzer.merged()
+        assert len(merged) == 10
+        assert all(s.packets == 25 for s in merged.values())
+        assert all(s.bytes == 25 * 64 for s in merged.values())
+
+    def test_rss_spreads_queues(self):
+        analyzer = self.build(n_flows=64, packets_per_flow=10, queues=4)
+        loads = analyzer.queue_loads()
+        assert sum(loads) == 640
+        assert all(load > 0 for load in loads)
+
+    def test_flows_never_split_across_queues(self):
+        """RSS stickiness: each flow lives in exactly one table."""
+        analyzer = self.build(n_flows=32, packets_per_flow=10, queues=4)
+        seen = set()
+        for table in analyzer.tables:
+            for key in table:
+                assert key not in seen
+                seen.add(key)
+
+    def test_top_flows(self):
+        env = MoonGenEnv(seed=12)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=2)
+        env.connect(tx, rx)
+        analyzer = FlowAnalyzer(env, rx)
+        analyzer.launch_all()
+
+        def sender(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array(1)
+            # Flow A: 50 packets; flow B: 5 packets.
+            for i in range(55):
+                bufs.alloc(60)
+                p = bufs[0].udp_packet
+                p.ip.src = 0x0A000001 if i < 50 else 0x0A000002
+                p.udp.src_port = 1111 if i < 50 else 2222
+                yield queue.send(bufs)
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=10_000_000)
+        top = analyzer.top_flows(1)
+        assert top[0][1].packets == 50
+        assert top[0][0][2] == 1111
+
+    def test_non_ip_counted(self):
+        env = MoonGenEnv(seed=13)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=2)
+        env.connect(tx, rx)
+        analyzer = FlowAnalyzer(env, rx)
+        analyzer.launch_all()
+
+        def sender(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(4)
+            bufs.alloc(60)
+            for buf in bufs:
+                buf.pkt.arp_packet.fill()
+            yield queue.send(bufs)
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=5_000_000)
+        assert analyzer.non_ip == 4
+        assert analyzer.total_packets == 0

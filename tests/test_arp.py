@@ -1,0 +1,111 @@
+"""Tests for the ARP responder/resolver task."""
+
+import pytest
+
+from repro import MoonGenEnv
+from repro.core.arp import ArpResponder
+from repro.packet.arp import ArpOp
+
+
+def two_hosts():
+    env = MoonGenEnv(seed=2)
+    a = env.config_device(0, tx_queues=1, rx_queues=1)
+    b = env.config_device(1, tx_queues=1, rx_queues=1)
+    env.connect(a, b)
+    return env, a, b
+
+
+class TestArpResponder:
+    def test_answers_request_for_owned_address(self):
+        env, a, b = two_hosts()
+        responder = ArpResponder(env, b, ["10.0.0.2"])
+        env.launch(responder.task)
+
+        def requester(env, queue):
+            pool = env.create_mempool(n_buffers=8, buf_capacity=128)
+            bufs = pool.buf_array(1)
+            bufs.alloc(60)
+            ArpResponder(env, a, []).craft_request(
+                bufs[0], "10.0.0.2", "10.0.0.1")
+            yield queue.send(bufs)
+            # Wait for the reply to land.
+            got = []
+            rx_bufs = pool.buf_array(4)
+            while env.running() and not got:
+                n = yield a.get_rx_queue(0).recv(rx_bufs, timeout_ns=500_000)
+                for i in range(n):
+                    pkt = rx_bufs[i].pkt
+                    if pkt.classify() == "arp":
+                        arp = pkt.arp_packet.arp
+                        if arp.operation == ArpOp.REPLY:
+                            got.append((str(arp.sha), str(arp.spa)))
+                rx_bufs.free_all()
+            return got
+
+        task = env.launch(requester, env, a.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=5_000_000)
+        assert task.result == [(str(b.mac), "10.0.0.2")]
+        assert responder.requests_answered == 1
+
+    def test_ignores_unowned_address(self):
+        env, a, b = two_hosts()
+        responder = ArpResponder(env, b, ["10.0.0.2"])
+        env.launch(responder.task)
+
+        def requester(env, queue):
+            pool = env.create_mempool(n_buffers=8, buf_capacity=128)
+            bufs = pool.buf_array(1)
+            bufs.alloc(60)
+            ArpResponder(env, a, []).craft_request(
+                bufs[0], "10.0.0.99", "10.0.0.1")
+            yield queue.send(bufs)
+
+        env.launch(requester, env, a.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=3_000_000)
+        assert responder.requests_answered == 0
+        assert a.rx_packets == 0
+
+    def test_resolve_roundtrip(self):
+        """Host A resolves host B's MAC through request/reply."""
+        env, a, b = two_hosts()
+        responder_b = ArpResponder(env, b, ["10.0.0.2"])
+        resolver_a = ArpResponder(env, a, ["10.0.0.1"])
+        env.launch(responder_b.task)
+        env.launch(resolver_a.task)
+        resolve = env.launch(
+            resolver_a.resolve_task, "10.0.0.2", "10.0.0.1"
+        )
+        env.wait_for_slaves(duration_ns=8_000_000)
+        assert resolve.result == b.mac
+        assert resolver_a.lookup("10.0.0.2") == b.mac
+
+    def test_resolve_times_out_without_peer(self):
+        env, a, b = two_hosts()
+        resolver = ArpResponder(env, a, ["10.0.0.1"])
+        env.launch(resolver.task)
+        resolve = env.launch(
+            resolver.resolve_task, "10.0.0.50", "10.0.0.1",
+        )
+        env.wait_for_slaves(duration_ns=8_000_000)
+        assert resolve.result is None
+
+    def test_learns_from_gratuitous_reply(self):
+        env, a, b = two_hosts()
+        resolver = ArpResponder(env, a, ["10.0.0.1"])
+        env.launch(resolver.task)
+
+        def announcer(env, queue):
+            pool = env.create_mempool(n_buffers=8, buf_capacity=128)
+            bufs = pool.buf_array(1)
+            bufs.alloc(60)
+            bufs[0].pkt.arp_packet.fill(
+                eth_src=b.mac, eth_dst="ff:ff:ff:ff:ff:ff",
+                arp_operation=ArpOp.REPLY,
+                arp_hw_src=b.mac, arp_proto_src="10.0.0.7",
+            )
+            yield queue.send(bufs)
+
+        env.launch(announcer, env, b.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=3_000_000)
+        assert resolver.lookup("10.0.0.7") == b.mac
+        assert resolver.replies_seen == 1

@@ -1,0 +1,81 @@
+"""Tests for the moongen-repro command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(argv)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_version(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["load-latency"])
+        assert args.rate == 1.0
+        assert args.mode == "hardware"
+
+    def test_mode_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load-latency", "--mode", "magic"])
+
+
+class TestCommands:
+    def test_quickstart(self):
+        code, out = run_cli(["quickstart", "--duration-ms", "0.5"])
+        assert code == 0
+        assert "Mpps" in out
+
+    def test_load_latency_hardware(self):
+        code, out = run_cli([
+            "load-latency", "--rate", "0.5", "--duration-ms", "5",
+            "--probes", "30",
+        ])
+        assert code == 0
+        assert "DuT forwarded" in out
+        assert "median" in out
+
+    def test_load_latency_poisson_uses_crc(self):
+        code, out = run_cli([
+            "load-latency", "--rate", "0.5", "--pattern", "poisson",
+            "--duration-ms", "5", "--probes", "20",
+        ])
+        assert code == 0
+        assert "poisson via crc" in out
+        assert "fillers dropped in NIC" in out
+
+    def test_inter_arrival(self):
+        code, out = run_cli(["inter-arrival", "--packets", "20000"])
+        assert code == 0
+        for name in ("MoonGen", "Pktgen-DPDK", "zsend"):
+            assert name in out
+
+    def test_rfc2544(self):
+        code, out = run_cli(["rfc2544", "--resolution", "0.05"])
+        assert code == 0
+        assert "zero-loss throughput" in out
+
+    def test_timestamps(self):
+        code, out = run_cli(["timestamps", "--probes", "50"])
+        assert code == 0
+        assert "82599/fiber" in out and "X540/copper" in out
+        assert "320.0 ns" in out  # the 2 m fiber physical latency

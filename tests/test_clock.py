@@ -1,0 +1,91 @@
+"""Tests for the NIC PTP clock models (Section 6.1 artifacts)."""
+
+import pytest
+
+from repro.nicsim.clock import (
+    NicClock,
+    TICK_10G_NS,
+    TICK_1G_NS,
+    TICK_82580_NS,
+    clock_for_speed,
+)
+from repro.nicsim.eventloop import EventLoop
+from repro import units
+
+
+def at(loop, ns):
+    return round(ns * 1000)
+
+
+class TestQuantization:
+    def test_tick_constants(self):
+        assert TICK_10G_NS == 6.4    # 156.25 MHz
+        assert TICK_1G_NS == 64.0    # 15.625 MHz
+        assert TICK_82580_NS == 64.0
+
+    def test_read_quantizes_down(self):
+        loop = EventLoop()
+        clock = NicClock(loop, tick_ns=6.4)
+        assert clock.read_ns(at(loop, 10.0)) == pytest.approx(6.4)
+        assert clock.read_ns(at(loop, 12.8)) == pytest.approx(12.8)
+
+    def test_latch_coarser_than_tick(self):
+        # The 82599 latches every 2 cycles: 12.8 ns grid (Section 6.1).
+        loop = EventLoop()
+        clock = NicClock(loop, tick_ns=6.4, latch_ticks=2)
+        assert clock.timestamp_ns(at(loop, 19.0)) == pytest.approx(12.8)
+        assert clock.read_ns(at(loop, 19.0)) == pytest.approx(12.8)
+        assert clock.read_ns(at(loop, 6.5)) == pytest.approx(6.4)
+        assert clock.timestamp_ns(at(loop, 6.5)) == pytest.approx(0.0)
+
+    def test_82580_phase(self):
+        # t = n*64 + k*8 ns with constant k (Section 6.1).
+        loop = EventLoop()
+        clock = NicClock(loop, tick_ns=64.0, phase_ns=3 * 8.0)
+        stamp = clock.timestamp_ns(at(loop, 1000.0))
+        assert (stamp - 24.0) % 64.0 == pytest.approx(0.0)
+
+    def test_clock_for_speed(self):
+        loop = EventLoop()
+        assert clock_for_speed(loop, units.SPEED_10G).tick_ns == TICK_10G_NS
+        assert clock_for_speed(loop, units.SPEED_1G).tick_ns == TICK_1G_NS
+
+
+class TestDrift:
+    def test_drift_accumulates(self):
+        loop = EventLoop()
+        fast = NicClock(loop, drift_ppm=35.0)  # worst case of Section 6.3
+        slow = NicClock(loop, drift_ppm=0.0)
+        one_second_ps = 10 ** 12
+        diff = fast.raw_time_ns(one_second_ps) - slow.raw_time_ns(one_second_ps)
+        assert diff == pytest.approx(35_000.0)  # 35 µs per second
+
+    def test_set_drift_preserves_reading(self):
+        loop = EventLoop()
+        loop.run_for(10 ** 9)
+        clock = NicClock(loop, drift_ppm=0.0)
+        before = clock.raw_time_ns()
+        clock.set_drift_ppm(35.0)
+        assert clock.raw_time_ns() == pytest.approx(before, abs=1e-6)
+
+    def test_offset_to(self):
+        loop = EventLoop()
+        a = NicClock(loop, offset_ns=100.0)
+        b = NicClock(loop, offset_ns=30.0)
+        assert a.offset_to(b) == pytest.approx(70.0)
+
+
+class TestAdjust:
+    def test_adjust_shifts_reading(self):
+        loop = EventLoop()
+        clock = NicClock(loop)
+        base = clock.raw_time_ns()
+        clock.adjust(123.4)
+        assert clock.raw_time_ns() == pytest.approx(base + 123.4)
+
+    def test_adjust_is_cumulative(self):
+        loop = EventLoop()
+        clock = NicClock(loop)
+        clock.adjust(10.0)
+        clock.adjust(-4.0)
+        assert clock.raw_time_ns() == pytest.approx(6.0)

@@ -1,0 +1,160 @@
+"""Tests for the cycle-cost model: Table 1 / Table 2 calibration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nicsim.cpu import (
+    CpuCore,
+    CycleCostModel,
+    OpCost,
+    OpCosts,
+    REFERENCE_FREQ_HZ,
+    frequency_steps,
+    predict_throughput_pps,
+)
+
+
+class TestOpCost:
+    def test_pure_cycles_frequency_independent(self):
+        op = OpCost(cycles=10.0, stall_ns=0.0)
+        assert op.at(1.2e9) == op.at(2.4e9) == 10.0
+
+    def test_stall_scales_with_frequency(self):
+        op = OpCost(cycles=0.0, stall_ns=10.0)
+        assert op.at(1e9) == pytest.approx(10.0)
+        assert op.at(2e9) == pytest.approx(20.0)
+
+
+class TestTable1Calibration:
+    """Costs at the reference 2.4 GHz must match Table 1 of the paper."""
+
+    @pytest.mark.parametrize("name,expected,tol", [
+        # Tolerances are the paper's own ± uncertainties from Table 1.
+        ("tx_base", 76.0, 0.8),
+        ("modify", 9.1, 1.2),
+        ("modify_two_cachelines", 15.0, 1.3),
+        ("offload_ip", 15.2, 1.2),
+        ("offload_udp", 33.1, 3.5),
+        ("offload_tcp", 34.0, 3.3),
+    ])
+    def test_reference_costs(self, name, expected, tol):
+        costs = OpCosts()
+        assert getattr(costs, name).at(REFERENCE_FREQ_HZ) == pytest.approx(
+            expected, abs=tol
+        )
+
+    def test_baseline_write_plus_send(self):
+        # Section 5.6.2's baseline: constant write + send = 85.1 cycles/pkt.
+        costs = OpCosts()
+        total = costs.tx_base.at(REFERENCE_FREQ_HZ) + costs.modify.at(REFERENCE_FREQ_HZ)
+        assert total == pytest.approx(85.1, abs=0.2)
+
+
+class TestTable2Calibration:
+    @pytest.mark.parametrize("n,expected", [(1, 32.3), (2, 39.8), (4, 66.0), (8, 133.5)])
+    def test_random_measured_points(self, n, expected):
+        assert OpCosts().random_cost(n) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("n,expected", [(1, 27.1), (2, 33.1), (4, 38.1), (8, 41.7)])
+    def test_counter_measured_points(self, n, expected):
+        assert OpCosts().counter_cost(n) == pytest.approx(expected)
+
+    def test_random_interpolation(self):
+        costs = OpCosts()
+        assert costs.random_cost(3) == pytest.approx((39.8 + 66.0) / 2)
+
+    def test_random_extrapolation_uses_marginal(self):
+        # Section 5.6.2: ~17 cycles per additional random field.
+        costs = OpCosts()
+        assert costs.random_cost(9) == pytest.approx(133.5 + 17.0)
+
+    def test_counter_extrapolation(self):
+        # ~1 cycle per additional wrapping-counter field.
+        costs = OpCosts()
+        assert costs.counter_cost(10) == pytest.approx(41.7 + 2.0)
+
+    def test_zero_fields_cost_nothing(self):
+        assert OpCosts().random_cost(0) == 0.0
+        assert OpCosts().counter_cost(0) == 0.0
+
+    def test_counters_cheaper_than_random(self):
+        # The paper's conclusion: prefer wrapping counters when possible.
+        costs = OpCosts()
+        for n in (1, 2, 4, 8):
+            assert costs.counter_cost(n) < costs.random_cost(n)
+
+
+class TestCycleCostModel:
+    def test_noise_reproducible(self):
+        a = CycleCostModel(seed=5)
+        b = CycleCostModel(seed=5)
+        op = OpCosts().tx_base
+        assert a.op_cycles(op, 2.4e9, 10) == b.op_cycles(op, 2.4e9, 10)
+
+    def test_noiseless_mode_exact(self):
+        model = CycleCostModel(noisy=False)
+        op = OpCosts().modify
+        assert model.op_cycles(op, 2.4e9, 100) == pytest.approx(9.1 * 100)
+
+    def test_batch_scales(self):
+        model = CycleCostModel(noisy=False)
+        op = OpCosts().tx_base
+        assert model.op_cycles(op, 2.4e9, 63) == pytest.approx(63 * 76.0)
+
+
+class TestCpuCore:
+    def test_charge_accounts_cycles(self):
+        core = CpuCore(0, freq_hz=1e9, model=CycleCostModel(noisy=False))
+        ps = core.charge(1000.0)
+        assert ps == 1_000_000  # 1000 cycles at 1 GHz = 1 µs
+        assert core.busy_cycles == 1000.0
+
+    def test_frequency_changes(self):
+        core = CpuCore(0, freq_hz=2.4e9)
+        core.set_frequency(1.2e9)
+        assert core.cycles_to_ps(1.2e9) == 10 ** 12
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            CpuCore(0, freq_hz=0)
+        core = CpuCore(0)
+        with pytest.raises(ConfigurationError):
+            core.set_frequency(-1)
+
+
+class TestPrediction:
+    def test_simple_prediction(self):
+        # 229.2 cycles/pkt at 2.4 GHz -> 10.47 Mpps (Section 5.6.3).
+        assert predict_throughput_pps(229.2, 2.4e9) == pytest.approx(
+            10.47e6, rel=1e-3
+        )
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ConfigurationError):
+            predict_throughput_pps(0, 1e9)
+
+    def test_frequency_steps(self):
+        steps = frequency_steps()
+        assert steps[0] == pytest.approx(1.2e9)
+        assert steps[-1] == pytest.approx(2.4e9)
+        assert len(steps) == 13  # 100 MHz steps (Section 5.1)
+
+
+class TestSection52Calibration:
+    """The memory-stall term reconciles the Section 5.2 observations."""
+
+    def light_script_cost(self, freq_hz):
+        costs = OpCosts()
+        return (
+            costs.tx_base.at(freq_hz)
+            + costs.random_cost(1)
+            + costs.offload_udp.at(freq_hz)
+        )
+
+    def test_moongen_line_rate_at_1_5ghz(self):
+        pps = 1.5e9 / self.light_script_cost(1.5e9)
+        assert pps >= 14.87e6  # reaches 14.88 Mpps line rate
+
+    def test_moongen_below_line_rate_at_1_4ghz(self):
+        pps = 1.4e9 / self.light_script_cost(1.4e9)
+        assert pps < 14.88e6

@@ -1,0 +1,184 @@
+"""Tests for MoonGenEnv and Device configuration."""
+
+import pytest
+
+from repro import MoonGenEnv
+from repro.errors import DeviceError, QueueError
+from repro.nicsim.nic import CHIP_82580, CHIP_XL710, NicCard
+
+
+class TestConfigDevice:
+    def test_basic_config(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, rx_queues=1, tx_queues=2)
+        assert dev.port_id == 0
+        assert dev.chip.name == "X540"
+        assert dev.get_tx_queue(1) is not None
+
+    def test_duplicate_port_rejected(self):
+        env = MoonGenEnv()
+        env.config_device(0)
+        with pytest.raises(DeviceError):
+            env.config_device(0)
+
+    def test_unknown_queue_raises(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, tx_queues=1, rx_queues=1)
+        with pytest.raises(QueueError):
+            dev.get_tx_queue(1)
+        with pytest.raises(QueueError):
+            dev.get_rx_queue(1)
+
+    def test_chip_selection(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, chip=CHIP_82580)
+        assert dev.chip.name == "82580"
+        assert dev.port.speed_bps == 10 ** 9
+
+    def test_shared_card(self):
+        env = MoonGenEnv()
+        card = NicCard(CHIP_XL710)
+        a = env.config_device(0, chip=CHIP_XL710, card=card)
+        b = env.config_device(1, chip=CHIP_XL710, card=card)
+        assert a.port.card is b.port.card
+
+    def test_unique_macs(self):
+        env = MoonGenEnv()
+        a = env.config_device(0)
+        b = env.config_device(1)
+        assert a.mac != b.mac
+
+    def test_wait_for_links_noop(self):
+        MoonGenEnv().wait_for_links()
+
+    def test_clock_drift_configured(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, clock_drift_ppm=35.0)
+        assert dev.clock.drift_ppm == 35.0
+
+
+class TestRunning:
+    def test_running_until_horizon(self):
+        env = MoonGenEnv()
+        assert env.running()
+
+        def slave(env):
+            while env.running():
+                yield env.sleep_us(10)
+            return env.now_ns
+
+        task = env.launch(slave, env)
+        env.wait_for_slaves(duration_ns=100_000)
+        assert task.result >= 100.0
+
+    def test_stop_immediately(self):
+        env = MoonGenEnv()
+        env.stop()
+        assert not env.running()
+
+    def test_run_for_advances_clock(self):
+        env = MoonGenEnv()
+        env.run_for(5000.0)
+        assert env.now_ns == pytest.approx(5000.0)
+
+
+class TestLaunch:
+    def test_each_task_gets_a_core(self):
+        env = MoonGenEnv()
+
+        def slave(env):
+            yield env.sleep_ns(1)
+
+        env.launch(slave, env)
+        env.launch(slave, env)
+        assert len(env.cores) == 2
+        assert env.cores[0].core_id != env.cores[1].core_id
+
+    def test_per_task_frequency(self):
+        env = MoonGenEnv(core_freq_hz=2.4e9)
+
+        def slave(env):
+            yield env.charge_cycles(1200)
+            return env.now_ns
+
+        fast = env.launch(slave, env, freq_hz=2.4e9)
+        slow = env.launch(slave, env, freq_hz=1.2e9)
+        env.wait_for_slaves()
+        assert slow.result == pytest.approx(2 * fast.result)
+
+    def test_task_results_and_check(self):
+        env = MoonGenEnv()
+
+        def slave(env):
+            yield env.sleep_ns(5)
+            return 17
+
+        task = env.launch(slave, env)
+        env.wait_for_slaves()
+        assert task.finished and task.result == 17
+        task.check()  # no error
+
+
+class TestWiring:
+    def test_connect_is_full_duplex(self):
+        env = MoonGenEnv()
+        a = env.config_device(0, tx_queues=1, rx_queues=1)
+        b = env.config_device(1, tx_queues=1, rx_queues=1)
+        env.connect(a, b)
+
+        def sender(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(2)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        env.launch(sender, env, a.get_tx_queue(0))
+        env.launch(sender, env, b.get_tx_queue(0))
+        env.wait_for_slaves()
+        assert a.rx_packets == 2 and b.rx_packets == 2
+
+    def test_connect_to_sink(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0)
+        seen = []
+        env.connect_to_sink(dev, lambda frame, t: seen.append(frame))
+
+        def sender(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(3)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        env.launch(sender, env, dev.get_tx_queue(0))
+        env.wait_for_slaves()
+        assert len(seen) == 3
+
+    def test_wire_to_device(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, rx_queues=1)
+        wire = env.wire_to_device(dev)
+        from repro.nicsim.nic import SimFrame
+        wire.transmit(SimFrame(b"\x00" * 60), 64)
+        env.loop.run()
+        assert dev.rx_packets == 1
+
+    def test_device_counters(self):
+        env = MoonGenEnv()
+        a = env.config_device(0)
+        b = env.config_device(1)
+        env.connect(a, b)
+
+        def sender(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(5)
+            bufs.alloc(60)
+            bufs[0].corrupt_fcs = True
+            yield queue.send(bufs)
+
+        env.launch(sender, env, a.get_tx_queue(0))
+        env.wait_for_slaves()
+        assert a.tx_packets == 5
+        assert a.tx_bytes == 5 * 64
+        assert b.rx_packets == 4
+        assert b.rx_crc_errors == 1
+        assert b.rx_missed == 0

@@ -1,0 +1,253 @@
+"""Tests for the discrete-event loop, processes, and signals."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nicsim.eventloop import EventLoop, Process, Signal, wait_any
+
+
+class TestEventLoop:
+    def test_schedule_and_run(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(100, lambda: fired.append(loop.now_ps))
+        loop.schedule(50, lambda: fired.append(loop.now_ps))
+        loop.run()
+        assert fired == [50, 100]
+
+    def test_same_time_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.schedule(10, lambda i=i: fired.append(i))
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_no_scheduling_into_past(self):
+        loop = EventLoop()
+        loop.schedule(10, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-1, lambda: None)
+
+    def test_run_until(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(100, lambda: fired.append("a"))
+        loop.schedule(300, lambda: fired.append("b"))
+        loop.run(until_ps=200)
+        assert fired == ["a"]
+        assert loop.now_ps == 200  # clock advanced to the horizon
+        loop.run()
+        assert fired == ["a", "b"]
+
+    def test_run_for(self):
+        loop = EventLoop()
+        loop.run_for(500)
+        assert loop.now_ps == 500
+
+    def test_now_ns(self):
+        loop = EventLoop()
+        loop.schedule(1500, lambda: None)
+        loop.run()
+        assert loop.now_ns == pytest.approx(1.5)
+
+    def test_event_budget_guard(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule(1, reschedule)
+
+        loop.schedule(1, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+    def test_events_scheduled_during_run(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(10, lambda: loop.schedule(10, lambda: fired.append(2)))
+        loop.run()
+        assert fired == [2] and loop.now_ps == 20
+
+
+class TestSignal:
+    def test_trigger_wakes_all(self):
+        sig = Signal()
+        got = []
+        sig.wait(got.append)
+        sig.wait(got.append)
+        sig.trigger("x")
+        assert got == ["x", "x"]
+
+    def test_waiters_fire_once(self):
+        sig = Signal()
+        got = []
+        sig.wait(got.append)
+        sig.trigger(1)
+        sig.trigger(2)
+        assert got == [1]
+
+    def test_has_waiters(self):
+        sig = Signal()
+        assert not sig.has_waiters
+        sig.wait(lambda v: None)
+        assert sig.has_waiters
+
+
+class TestProcess:
+    def test_delays(self):
+        loop = EventLoop()
+        trace = []
+
+        def proc():
+            trace.append(loop.now_ps)
+            yield 100
+            trace.append(loop.now_ps)
+            yield 50
+            trace.append(loop.now_ps)
+
+        loop.spawn(proc())
+        loop.run()
+        assert trace == [0, 100, 150]
+
+    def test_signal_wait_and_value(self):
+        loop = EventLoop()
+        sig = Signal()
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append(value)
+
+        loop.spawn(waiter())
+        loop.schedule(10, lambda: sig.trigger("hello"))
+        loop.run()
+        assert got == ["hello"]
+
+    def test_result(self):
+        loop = EventLoop()
+
+        def proc():
+            yield 1
+            return 42
+
+        p = loop.spawn(proc())
+        loop.run()
+        assert p.finished and p.result == 42
+
+    def test_error_stored_and_reraised(self):
+        loop = EventLoop()
+
+        def proc():
+            yield 1
+            raise ValueError("boom")
+
+        p = loop.spawn(proc())
+        loop.run()
+        assert p.finished
+        with pytest.raises(ValueError):
+            p.check()
+
+    def test_unsupported_yield(self):
+        loop = EventLoop()
+
+        def proc():
+            yield "nonsense"
+
+        p = loop.spawn(proc())
+        loop.run()
+        with pytest.raises(SimulationError):
+            p.check()
+
+    def test_yield_none_reschedules(self):
+        loop = EventLoop()
+        trace = []
+
+        def proc():
+            yield None
+            trace.append(loop.now_ps)
+
+        loop.spawn(proc())
+        loop.run()
+        assert trace == [0]
+
+    def test_kill_parked_process(self):
+        loop = EventLoop()
+        sig = Signal()
+
+        def proc():
+            yield sig
+
+        p = loop.spawn(proc())
+        loop.run()
+        assert not p.finished
+        p.kill()
+        assert p.finished
+
+    def test_done_signal(self):
+        loop = EventLoop()
+        done = []
+
+        def child():
+            yield 10
+            return "ok"
+
+        def parent(child_proc):
+            value = yield child_proc.done_signal
+            done.append(value)
+
+        c = loop.spawn(child())
+        loop.spawn(parent(c))
+        loop.run()
+        assert done == ["ok"]
+
+
+class TestWaitAny:
+    def test_signal_wins(self):
+        loop = EventLoop()
+        sig = Signal()
+        got = []
+
+        def proc():
+            value = yield wait_any(loop, [sig], timeout_ps=1000)
+            got.append((value, loop.now_ps))
+
+        loop.spawn(proc())
+        loop.schedule(100, lambda: sig.trigger("sig"))
+        loop.run()
+        assert got == [("sig", 100)]
+
+    def test_timeout_wins(self):
+        loop = EventLoop()
+        sig = Signal()
+        got = []
+
+        def proc():
+            value = yield wait_any(loop, [sig], timeout_ps=100)
+            got.append((value, loop.now_ps))
+
+        loop.spawn(proc())
+        loop.run()
+        assert got == [(None, 100)]
+
+    def test_fires_only_once(self):
+        loop = EventLoop()
+        sig = Signal()
+        count = []
+        combined = wait_any(loop, [sig], timeout_ps=100)
+        combined.wait(lambda v: count.append(v))
+        loop.schedule(50, lambda: sig.trigger("first"))
+        loop.run()
+        assert count == ["first"]

@@ -1,0 +1,136 @@
+"""Tests for Flow Director and RSS receive filters (Section 3.3)."""
+
+import pytest
+
+from repro import MoonGenEnv
+from repro.core.filters import (
+    FlowDirector,
+    RssHash,
+    install_flow_director,
+    install_rss,
+)
+from repro.errors import ConfigurationError
+from repro.nicsim.nic import SimFrame
+from repro.packet import PacketData
+
+
+def udp_frame(dst_port=42, src_ip="10.0.0.1", src_port=1000):
+    pkt = PacketData(60)
+    pkt.udp_packet.fill(pkt_length=60, ip_src=src_ip, udp_src=src_port,
+                        udp_dst=dst_port)
+    return SimFrame(pkt.bytes())
+
+
+class TestFlowDirector:
+    def test_rule_match(self):
+        director = FlowDirector(default_queue=0)
+        director.add_rule(43, 1)
+        assert director(udp_frame(dst_port=43)) == 1
+        assert director(udp_frame(dst_port=42)) == 0
+        assert director.matched == 1
+        assert director.missed == 1
+
+    def test_non_udp_goes_default(self):
+        director = FlowDirector(default_queue=2)
+        director.add_rule(43, 1)
+        pkt = PacketData(60)
+        pkt.ptp_packet.fill()
+        assert director(SimFrame(pkt.bytes())) == 2
+
+    def test_rule_removal(self):
+        director = FlowDirector()
+        director.add_rule(43, 1)
+        director.remove_rule(43)
+        assert director(udp_frame(dst_port=43)) == 0
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowDirector().add_rule(70000, 1)
+
+    def test_install_validates_queues(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, rx_queues=2)
+        with pytest.raises(ConfigurationError):
+            install_flow_director(dev, {42: 5})
+
+    def test_end_to_end_steering(self):
+        """The QoS setup: two flows steered to separate queues."""
+        env = MoonGenEnv(seed=1)
+        tx = env.config_device(0, tx_queues=2)
+        rx = env.config_device(1, rx_queues=2)
+        env.connect(tx, rx)
+        install_flow_director(rx, {42: 0, 43: 1})
+
+        def sender(env, queue, port):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60, udp_dst=port))
+            bufs = mem.buf_array(8)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        env.launch(sender, env, tx.get_tx_queue(0), 42)
+        env.launch(sender, env, tx.get_tx_queue(1), 43)
+        env.wait_for_slaves(duration_ns=1_000_000)
+        assert rx.get_rx_queue(0).rx_packets == 8
+        assert rx.get_rx_queue(1).rx_packets == 8
+
+
+class TestRss:
+    def test_flow_sticky(self):
+        rss = RssHash(4)
+        frame = udp_frame(dst_port=80, src_ip="10.1.2.3", src_port=5555)
+        queue = rss(frame)
+        for _ in range(5):
+            assert rss(udp_frame(dst_port=80, src_ip="10.1.2.3",
+                                 src_port=5555)) == queue
+
+    def test_spreads_flows(self):
+        rss = RssHash(4)
+        queues = {
+            rss(udp_frame(src_ip=f"10.0.{i // 256}.{i % 256}", src_port=i))
+            for i in range(256)
+        }
+        assert queues == {0, 1, 2, 3}
+
+    def test_roughly_uniform(self):
+        rss = RssHash(2)
+        counts = [0, 0]
+        for i in range(2000):
+            counts[rss(udp_frame(src_port=i, dst_port=i * 7 % 65536))] += 1
+        assert 0.4 < counts[0] / 2000 < 0.6
+
+    def test_non_ip_to_queue_zero(self):
+        rss = RssHash(8)
+        pkt = PacketData(60)
+        pkt.arp_packet.fill()
+        assert rss(SimFrame(pkt.bytes())) == 0
+
+    def test_rejects_zero_queues(self):
+        with pytest.raises(ConfigurationError):
+            RssHash(0)
+
+    def test_install_rss_end_to_end(self):
+        env = MoonGenEnv(seed=2)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=4)
+        env.connect(tx, rx)
+        install_rss(rx)
+
+        def sender(env, queue):
+            import random
+            rng = random.Random(7)
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array(32)
+            for _ in range(8):
+                bufs.alloc(60)
+                for buf in bufs:
+                    buf.udp_packet.ip.src = rng.randrange(1 << 32)
+                    buf.udp_packet.udp.src_port = rng.randrange(65536)
+                yield queue.send(bufs)
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=2_000_000)
+        per_queue = [rx.get_rx_queue(i).rx_packets for i in range(4)]
+        assert sum(per_queue) == 256
+        assert all(count > 20 for count in per_queue)  # spread out

@@ -1,0 +1,93 @@
+"""Tests for the hardware-appliance DuT and the switch workaround."""
+
+import pytest
+
+from repro import CbrPattern, GapFiller, MoonGenEnv
+from repro.dut import HardwareAppliance, StoreAndForwardSwitch
+from repro.nicsim.nic import SimFrame
+
+
+class TestHardwareAppliance:
+    def test_forwards_valid_frames(self):
+        env = MoonGenEnv()
+        hw = HardwareAppliance(env.loop)
+        for i in range(5):
+            env.loop.schedule_at(i * 1_000_000, lambda: hw.ingress(
+                SimFrame(b"\x00" * 60), env.loop.now_ps))
+        env.loop.run()
+        assert hw.forwarded == 5
+
+    def test_invalid_frames_consume_pipeline(self):
+        """Unlike the NICs' early drop, the appliance pays for fillers."""
+        env = MoonGenEnv()
+        hw = HardwareAppliance(env.loop, pipeline_ns=400.0)
+        # One valid frame behind 10 invalid ones, all arriving at once.
+        for _ in range(10):
+            hw.ingress(SimFrame(b"\x00" * 60, fcs_ok=False), 0)
+        hw.ingress(SimFrame(b"\x00" * 60), 0)
+        env.loop.run()
+        assert hw.discarded_invalid == 10
+        assert hw.forwarded == 1
+        # The valid frame waited behind all ten fillers.
+        assert hw.latency_samples_ns[0] == pytest.approx(11 * 400.0)
+
+    def test_queue_overflow(self):
+        env = MoonGenEnv()
+        hw = HardwareAppliance(env.loop, queue_frames=4)
+        for _ in range(10):
+            hw.ingress(SimFrame(b"\x00" * 60), 0)
+        env.loop.run()
+        assert hw.dropped > 0
+        assert hw.forwarded + hw.dropped == 10
+
+
+class TestSwitchWorkaround:
+    def run_crc_load(self, use_switch: bool, n_packets: int = 150):
+        """CRC-gap CBR stream into the appliance, optionally via a switch."""
+        env = MoonGenEnv(seed=4)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        hw = HardwareAppliance(env.loop, pipeline_ns=400.0)
+        if use_switch:
+            switch = StoreAndForwardSwitch(env.loop)
+            env.connect_to_sink(tx, switch.ingress)
+            switch.connect_output(self._wire(env, tx, hw))
+        else:
+            env.connect_to_sink(tx, hw.ingress)
+        hw.connect_output(env.wire_to_device(rx))
+        filler = GapFiller()
+
+        def craft(buf, index):
+            buf.eth_packet.fill(eth_type=0x0800)
+
+        env.launch(filler.load_task, env, tx.get_tx_queue(0),
+                   CbrPattern(1.5e6), n_packets, craft)
+        env.wait_for_slaves(duration_ns=10_000_000)
+        return hw
+
+    @staticmethod
+    def _wire(env, tx, hw):
+        from repro.nicsim.link import Wire
+        wire = Wire(env.loop, tx.port.speed_bps)
+        wire.connect(hw.ingress)
+        return wire
+
+    def test_fillers_inflate_appliance_latency(self):
+        """Without the switch, invalid fillers load the hardware DuT —
+        the Section 8.4 caveat."""
+        direct = self.run_crc_load(use_switch=False)
+        assert direct.discarded_invalid > 0
+        assert direct.forwarded > 0
+
+    def test_switch_strips_fillers(self):
+        """With the switch in front, the appliance never sees fillers and
+        its latency reflects only real traffic."""
+        via_switch = self.run_crc_load(use_switch=True)
+        direct = self.run_crc_load(use_switch=False)
+        assert via_switch.discarded_invalid == 0
+        assert via_switch.forwarded == direct.forwarded
+        # Median appliance latency improves without the filler load.
+        import statistics
+        lat_switch = statistics.median(via_switch.latency_samples_ns)
+        lat_direct = statistics.median(direct.latency_samples_ns)
+        assert lat_switch <= lat_direct

@@ -1,0 +1,253 @@
+"""Tests for the declarative header field framework and all header types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.packet.arp import ArpHeader, ArpOp
+from repro.packet.esp import EspHeader
+from repro.packet.ethernet import EtherType, EthernetHeader
+from repro.packet.fields import Header
+from repro.packet.icmp import IcmpHeader, IcmpType
+from repro.packet.ip4 import Ip4Header, IpProtocol
+from repro.packet.ip6 import Ip6Header
+from repro.packet.ptp import PTP_UDP_PORT, PtpHeader, PtpMessageType
+from repro.packet.tcp import TcpFlags, TcpHeader
+from repro.packet.udp import UdpHeader
+
+
+def buf(size=128):
+    return bytearray(size)
+
+
+class TestFramework:
+    def test_header_needs_room(self):
+        with pytest.raises(ValueError):
+            EthernetHeader(bytearray(10))
+
+    def test_header_at_offset(self):
+        data = buf()
+        eth = EthernetHeader(data, 4)
+        eth.ether_type = 0x0800
+        assert data[16] == 0x08 and data[17] == 0x00
+
+    def test_raw(self):
+        data = buf()
+        eth = EthernetHeader(data)
+        assert eth.raw() == bytes(14)
+
+    def test_repr_contains_fields(self):
+        eth = EthernetHeader(buf())
+        assert "ether_type" in repr(eth)
+
+    def test_uint_field_masks(self):
+        udp = UdpHeader(buf())
+        udp.src_port = 0x1FFFF  # wider than 16 bits
+        assert udp.src_port == 0xFFFF
+
+
+class TestEthernet:
+    def test_addresses(self):
+        eth = EthernetHeader(buf())
+        eth.src = "02:00:00:00:00:01"
+        eth.dst = "10:11:12:13:14:15"
+        assert str(eth.src) == "02:00:00:00:00:01"
+        assert str(eth.dst) == "10:11:12:13:14:15"
+
+    def test_ethertype_constants(self):
+        assert EtherType.PTP == 0x88F7
+        assert EtherType.IP4 == 0x0800
+        assert EtherType.IP6 == 0x86DD
+
+
+class TestIp4:
+    def test_defaults(self):
+        ip = Ip4Header(buf())
+        ip.set_defaults()
+        assert ip.version == 4 and ip.ihl == 5 and ip.ttl == 64
+
+    def test_version_ihl_share_byte(self):
+        data = buf()
+        ip = Ip4Header(data)
+        ip.version = 4
+        ip.ihl = 5
+        assert data[0] == 0x45
+
+    def test_fragment_offset_spans_bytes(self):
+        ip = Ip4Header(buf())
+        ip.flags = 0b010
+        ip.fragment_offset = 0x1234 & 0x1FFF
+        assert ip.fragment_offset == 0x1234 & 0x1FFF
+        assert ip.flags == 0b010  # unaffected by offset write
+
+    def test_checksum_roundtrip(self):
+        ip = Ip4Header(buf())
+        ip.set_defaults()
+        ip.src = "10.0.0.1"
+        ip.dst = "10.0.0.2"
+        ip.length = 60
+        ip.protocol = IpProtocol.UDP
+        ip.calculate_checksum()
+        assert ip.verify_checksum()
+
+    def test_checksum_detects_corruption(self):
+        data = buf()
+        ip = Ip4Header(data)
+        ip.set_defaults()
+        ip.calculate_checksum()
+        data[8] ^= 0xFF  # flip the TTL
+        assert not ip.verify_checksum()
+
+    def test_header_length(self):
+        ip = Ip4Header(buf())
+        ip.ihl = 5
+        assert ip.header_length() == 20
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_tos_roundtrip(self, value):
+        ip = Ip4Header(buf())
+        ip.tos = value
+        assert ip.tos == value
+
+
+class TestIp6:
+    def test_defaults(self):
+        ip = Ip6Header(buf())
+        ip.set_defaults()
+        assert ip.version == 6 and ip.hop_limit == 64
+
+    def test_traffic_class_straddles_bytes(self):
+        data = buf()
+        ip = Ip6Header(data)
+        ip.version = 6
+        ip.traffic_class = 0xAB
+        assert ip.traffic_class == 0xAB
+        assert ip.version == 6
+
+    def test_flow_label(self):
+        ip = Ip6Header(buf())
+        ip.version = 6
+        ip.traffic_class = 0xFF
+        ip.flow_label = 0xABCDE
+        assert ip.flow_label == 0xABCDE
+        assert ip.traffic_class == 0xFF
+
+    def test_addresses(self):
+        ip = Ip6Header(buf())
+        ip.src = "2001:db8::1"
+        ip.dst = "2001:db8::2"
+        assert str(ip.src) == "2001:db8::1"
+        assert str(ip.dst) == "2001:db8::2"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFF))
+    def test_flow_label_roundtrip(self, value):
+        ip = Ip6Header(buf())
+        ip.flow_label = value
+        assert ip.flow_label == value
+
+
+class TestUdp:
+    def test_ports(self):
+        udp = UdpHeader(buf())
+        udp.set_src_port(1234)
+        udp.set_dst_port(319)
+        assert udp.get_src_port() == 1234
+        assert udp.get_dst_port() == 319
+
+    def test_checksum_never_zero(self):
+        # RFC 768: an all-zero checksum is transmitted as 0xFFFF.
+        udp = UdpHeader(buf(8))
+        value = udp.calculate_checksum(0, bytes(8))
+        assert value == 0xFFFF
+
+
+class TestTcp:
+    def test_defaults(self):
+        tcp = TcpHeader(buf())
+        tcp.set_defaults()
+        assert tcp.data_offset == 5
+        assert tcp.header_length() == 20
+
+    def test_flags(self):
+        tcp = TcpHeader(buf())
+        tcp.set_flag(TcpFlags.SYN)
+        tcp.set_flag(TcpFlags.ACK)
+        assert tcp.has_flag(TcpFlags.SYN) and tcp.has_flag(TcpFlags.ACK)
+        tcp.set_flag(TcpFlags.SYN, False)
+        assert not tcp.has_flag(TcpFlags.SYN)
+        assert tcp.has_flag(TcpFlags.ACK)
+
+    def test_seq_ack(self):
+        tcp = TcpHeader(buf())
+        tcp.seq_number = 0xDEADBEEF
+        tcp.ack_number = 0x01020304
+        assert tcp.seq_number == 0xDEADBEEF
+        assert tcp.ack_number == 0x01020304
+
+
+class TestIcmp:
+    def test_echo_fields(self):
+        icmp = IcmpHeader(buf())
+        icmp.type = IcmpType.ECHO_REQUEST
+        icmp.identifier = 77
+        icmp.sequence = 3
+        assert (icmp.type, icmp.identifier, icmp.sequence) == (8, 77, 3)
+
+    def test_checksum(self):
+        data = buf(8)
+        icmp = IcmpHeader(data)
+        icmp.type = IcmpType.ECHO_REQUEST
+        icmp.calculate_checksum(bytes(data[:8]))
+        from repro.packet.checksum import internet_checksum
+        assert internet_checksum(data[:8]) == 0
+
+
+class TestArp:
+    def test_defaults(self):
+        arp = ArpHeader(buf())
+        arp.set_defaults()
+        assert arp.hardware_type == 1
+        assert arp.protocol_type == 0x0800
+        assert arp.operation == ArpOp.REQUEST
+
+    def test_addresses(self):
+        arp = ArpHeader(buf())
+        arp.sha = "02:00:00:00:00:01"
+        arp.spa = "10.0.0.1"
+        arp.tha = "ff:ff:ff:ff:ff:ff"
+        arp.tpa = "10.0.0.2"
+        assert str(arp.spa) == "10.0.0.1"
+        assert str(arp.tpa) == "10.0.0.2"
+
+
+class TestPtp:
+    def test_defaults(self):
+        ptp = PtpHeader(buf())
+        ptp.set_defaults()
+        assert ptp.version == 2
+        assert ptp.message_type == PtpMessageType.SYNC
+        assert ptp.message_length == PtpHeader.SIZE
+
+    def test_sequence(self):
+        ptp = PtpHeader(buf())
+        ptp.sequence_id = 0xBEEF
+        assert ptp.sequence_id == 0xBEEF
+
+    def test_type_and_transport_share_byte(self):
+        data = buf()
+        ptp = PtpHeader(data)
+        ptp.transport_specific = 0xF
+        ptp.message_type = PtpMessageType.DELAY_REQ
+        assert data[0] == 0xF1
+
+    def test_udp_port_constant(self):
+        assert PTP_UDP_PORT == 319
+
+
+class TestEsp:
+    def test_fields(self):
+        esp = EspHeader(buf())
+        esp.set_defaults()
+        esp.spi = 0xCAFEBABE
+        esp.sequence = 42
+        assert esp.spi == 0xCAFEBABE
+        assert esp.sequence == 42

@@ -1,0 +1,135 @@
+"""Tests for the Histogram container."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.histogram import Histogram
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestBasics:
+    def test_update_and_len(self):
+        h = Histogram()
+        h.update(1.0)
+        h.extend([2.0, 3.0])
+        assert len(h) == 3
+
+    def test_min_max_avg(self):
+        h = Histogram([1.0, 2.0, 3.0, 4.0])
+        assert h.min() == 1.0
+        assert h.max() == 4.0
+        assert h.avg() == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().avg()
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+
+    def test_stddev(self):
+        h = Histogram([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert h.stddev() == pytest.approx(2.138, abs=0.01)
+
+    def test_stddev_single_sample(self):
+        assert Histogram([1.0]).stddev() == 0.0
+
+    def test_merge(self):
+        merged = Histogram([1.0, 2.0]).merge(Histogram([3.0]))
+        assert len(merged) == 3
+        assert merged.max() == 3.0
+
+    def test_merge_leaves_originals(self):
+        a, b = Histogram([1.0]), Histogram([2.0])
+        a.merge(b)
+        assert len(a) == 1 and len(b) == 1
+
+
+class TestPercentiles:
+    def test_median_odd(self):
+        assert Histogram([1, 5, 3]).median() == 3
+
+    def test_median_interpolates(self):
+        assert Histogram([1, 2, 3, 4]).median() == 2.5
+
+    def test_quartiles(self):
+        h = Histogram(range(1, 101))
+        q1, q2, q3 = h.quartiles()
+        assert q1 == pytest.approx(25.75)
+        assert q2 == pytest.approx(50.5)
+        assert q3 == pytest.approx(75.25)
+
+    def test_extremes(self):
+        h = Histogram([5, 1, 9])
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 9
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram([1]).percentile(101)
+
+    @given(st.lists(finite, min_size=1, max_size=200),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_within_bounds(self, samples, p):
+        h = Histogram(samples)
+        value = h.percentile(p)
+        assert h.min() <= value <= h.max()
+
+    @given(st.lists(finite, min_size=2, max_size=100))
+    def test_percentiles_monotone(self, samples):
+        h = Histogram(samples)
+        assert h.percentile(25) <= h.percentile(50) <= h.percentile(75)
+
+
+class TestDistribution:
+    def test_fraction_within(self):
+        h = Histogram([100, 150, 200, 260])
+        # |100-200| > 64; the other three are within the tolerance.
+        assert h.fraction_within(200, 64) == pytest.approx(0.75)
+
+    def test_fraction_below(self):
+        h = Histogram([1, 2, 3, 4])
+        assert h.fraction_below(3) == 0.5
+
+    def test_bins(self):
+        h = Histogram([0, 10, 70, 130])
+        bins = h.bins(64, start=0)
+        assert bins == {0.0: 2, 64.0: 1, 128.0: 1}
+
+    def test_bins_reject_bad_width(self):
+        with pytest.raises(ValueError):
+            Histogram([1]).bins(0)
+
+    @given(st.lists(finite, min_size=1, max_size=200))
+    def test_bins_conserve_samples(self, samples):
+        h = Histogram(samples)
+        assert sum(h.bins(64.0).values()) == len(samples)
+
+    @given(st.lists(finite, min_size=1, max_size=100),
+           st.floats(min_value=0.1, max_value=1e6))
+    def test_fraction_within_bounds(self, samples, tol):
+        h = Histogram(samples)
+        assert 0.0 <= h.fraction_within(0.0, tol) <= 1.0
+
+
+class TestOutput:
+    def test_csv_raw(self):
+        out = io.StringIO()
+        Histogram([1.5, 2.5]).write_csv(out)
+        assert out.getvalue() == "sample_ns\n1.5\n2.5\n"
+
+    def test_csv_binned(self):
+        out = io.StringIO()
+        Histogram([0, 1, 65]).write_csv(out, bin_width=64)
+        lines = out.getvalue().strip().splitlines()
+        assert lines[0] == "bin_ns,count"
+        assert len(lines) == 3
+
+    def test_summary(self):
+        text = Histogram([1, 2, 3]).summary()
+        assert "n=3" in text and "med=2.0" in text
+
+    def test_summary_empty(self):
+        assert Histogram().summary() == "histogram: empty"

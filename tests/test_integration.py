@@ -1,0 +1,268 @@
+"""Integration tests: full scenarios across core + nicsim + dut."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CbrPattern,
+    GapFiller,
+    ManualTxCounter,
+    MoonGenEnv,
+    PoissonPattern,
+    Timestamper,
+    parse_ip_address,
+    units,
+)
+from repro.dut import DutConfig, OvsForwarder, StoreAndForwardSwitch
+from repro.nicsim.cpu import OpCosts
+from repro.nicsim.link import Cable, FIBER_OM3
+from repro.nicsim.nic import CHIP_82599
+import io
+
+
+class TestLineRateScenarios:
+    def test_single_core_line_rate(self):
+        """Section 5.2: one core saturates 10 GbE with 64 B packets."""
+        env = MoonGenEnv(seed=1, core_freq_hz=2.4e9)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+
+        def slave(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array()
+            while env.running():
+                bufs.alloc(60)
+                bufs.charge_random_fields(1)
+                yield queue.send(bufs)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=1_000_000)
+        pps = tx.tx_packets / (env.now_ns / 1e9)
+        assert pps == pytest.approx(units.LINE_RATE_10G_64B_PPS, rel=0.01)
+
+    def test_cpu_bound_below_line_rate(self):
+        """At 1.2 GHz the heavy script is CPU-bound (Figure 2 regime)."""
+        env = MoonGenEnv(seed=1, core_freq_hz=1.2e9)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+
+        def slave(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array()
+            while env.running():
+                bufs.alloc(60)
+                bufs.charge_random_fields(8)
+                bufs.offload_ip_checksums()
+                yield queue.send(bufs)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=1_000_000)
+        pps = tx.tx_packets / (env.now_ns / 1e9)
+        assert 5e6 < pps < 8e6  # CPU-bound, not line rate
+
+    def test_two_queue_multi_core_scaling(self):
+        """Two cores on separate queues of one port double the rate until
+        the line rate limit (Section 5.3's architecture assumption)."""
+        def run(cores):
+            env = MoonGenEnv(seed=2, core_freq_hz=1.2e9)
+            tx = env.config_device(0, tx_queues=max(cores, 1))
+            rx = env.config_device(1, rx_queues=1)
+            env.connect(tx, rx)
+
+            def slave(env, queue):
+                mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                    pkt_length=60))
+                bufs = mem.buf_array()
+                while env.running():
+                    bufs.alloc(60)
+                    bufs.charge_random_fields(8)
+                    yield queue.send(bufs)
+
+            for c in range(cores):
+                env.launch(slave, env, tx.get_tx_queue(c))
+            env.wait_for_slaves(duration_ns=500_000)
+            return tx.tx_packets / (env.now_ns / 1e9)
+
+        one, two = run(1), run(2)
+        assert two == pytest.approx(2 * one, rel=0.1)
+
+
+class TestQosScenario:
+    def test_two_flows_with_rate_control(self):
+        """The Section 4 example: two rate-controlled flows, counted by
+        UDP destination port at the receiver."""
+        env = MoonGenEnv(seed=3)
+        tx = env.config_device(0, tx_queues=2)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        tx.get_tx_queue(0).set_rate(800.0)
+        tx.get_tx_queue(1).set_rate(100.0)
+        received = {}
+
+        def load(env, queue, port):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=120, udp_dst=port))
+            bufs = mem.buf_array(16)
+            while env.running():
+                bufs.alloc(120)
+                yield queue.send(bufs)
+
+        def count(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(64)
+            while env.running():
+                n = yield queue.recv(bufs, timeout_ns=500_000)
+                for i in range(n):
+                    port = bufs[i].udp_packet.udp.get_dst_port()
+                    received[port] = received.get(port, 0) + 1
+                bufs.free_all()
+
+        env.launch(load, env, tx.get_tx_queue(0), 42)
+        env.launch(load, env, tx.get_tx_queue(1), 43)
+        env.launch(count, env, rx.get_rx_queue(0))
+        env.wait_for_slaves(duration_ns=20_000_000)
+        assert set(received) == {42, 43}
+        ratio = received[42] / received[43]
+        assert ratio == pytest.approx(8.0, rel=0.15)
+
+
+class TestLatencyThroughDut:
+    def build(self, seed=4, dut_config=None):
+        env = MoonGenEnv(seed=seed)
+        tx = env.config_device(0, tx_queues=2)
+        rx = env.config_device(1, rx_queues=1)
+        dut = OvsForwarder(env.loop, dut_config)
+        env.connect_to_sink(tx, dut.ingress)
+        dut.connect_output(env.wire_to_device(rx))
+        return env, tx, rx, dut
+
+    def test_probes_measure_forwarding_latency(self):
+        env, tx, rx, dut = self.build()
+
+        def load(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.eth_packet.fill(
+                eth_type=0x0800))
+            bufs = mem.buf_array(16)
+            while env.running():
+                bufs.alloc(60)
+                yield queue.send(bufs)
+
+        load_queue = tx.get_tx_queue(0)
+        load_queue.set_rate_pps(0.5e6, 64)
+        env.launch(load, env, load_queue)
+        ts = Timestamper(env, tx.get_tx_queue(1), rx)
+        env.launch(ts.probe_task, 50, 100_000.0)
+        env.wait_for_slaves(duration_ns=10_000_000)
+        assert len(ts.histogram) >= 45
+        med = ts.histogram.median()
+        # Pipeline 15 µs + service dominates at 0.5 Mpps.
+        assert 15_000 < med < 40_000
+
+    def test_crc_fillers_invisible_to_dut(self):
+        """Figure 10's premise: filler frames never reach DuT software."""
+        env, tx, rx, dut = self.build(seed=5)
+        filler = GapFiller()
+
+        def craft(buf, index):
+            buf.eth_packet.fill(eth_type=0x0800)
+
+        env.launch(filler.load_task, env, tx.get_tx_queue(0),
+                   CbrPattern(1e6), 100, craft)
+        env.wait_for_slaves(duration_ns=10_000_000)
+        assert dut.forwarded == 100
+        assert dut.rx_crc_errors > 0
+        assert dut.rx_dropped == 0
+
+    def test_poisson_latency_above_cbr_near_saturation(self):
+        """Figure 11: Poisson stresses buffers more than CBR."""
+        def run(pattern):
+            env, tx, rx, dut = self.build(seed=6)
+            filler = GapFiller()
+
+            def craft(buf, index):
+                buf.eth_packet.fill(eth_type=0x0800)
+
+            env.launch(filler.load_task, env, tx.get_tx_queue(0),
+                       pattern, 4000, craft)
+            env.wait_for_slaves(duration_ns=10_000_000)
+            latencies = []
+            for pkt in rx.get_rx_queue(0).try_fetch(10_000):
+                dep = pkt.frame.meta.get("dut_departure_ps")
+                arr = pkt.frame.meta.get("dut_arrival_ps")
+                if dep is not None and arr is not None:
+                    latencies.append((dep - arr) / 1000)
+            return np.median(latencies)
+
+        cbr = run(CbrPattern(1.7e6))
+        poisson = run(PoissonPattern(1.7e6, seed=8))
+        assert poisson > cbr
+
+    def test_switch_workaround_path(self):
+        """Section 8.4: a store-and-forward switch strips invalid frames
+        before a hardware DuT."""
+        env = MoonGenEnv(seed=7)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        switch = StoreAndForwardSwitch(env.loop)
+        env.connect_to_sink(tx, switch.ingress)
+        switch.connect_output(env.wire_to_device(rx))
+        filler = GapFiller()
+
+        def craft(buf, index):
+            buf.eth_packet.fill(eth_type=0x0800)
+
+        env.launch(filler.load_task, env, tx.get_tx_queue(0),
+                   CbrPattern(1e6), 50, craft)
+        env.wait_for_slaves(duration_ns=10_000_000)
+        assert rx.rx_packets == 50
+        assert rx.rx_crc_errors == 0  # the switch already dropped fillers
+        assert switch.rx_crc_errors > 0
+
+
+class TestTimestampingScenario:
+    def test_table3_fiber_constant_and_bimodal(self):
+        """Table 3: 2 m fiber is (nearly) constant, 8.5 m is bimodal."""
+        def measure(length):
+            env = MoonGenEnv(seed=8)
+            a = env.config_device(0, tx_queues=1, rx_queues=1, chip=CHIP_82599)
+            b = env.config_device(1, tx_queues=1, rx_queues=1, chip=CHIP_82599)
+            env.connect(a, b, cable=Cable(FIBER_OM3, length))
+            ts = Timestamper(env, a.get_tx_queue(0), b, seed=3)
+            env.launch(ts.probe_task, 200, 5_000.0)
+            env.wait_for_slaves(duration_ns=10_000_000)
+            return ts.histogram
+
+        h2 = measure(2.0)
+        assert h2.median() == pytest.approx(320.0, abs=6.5)
+        h85 = measure(8.5)
+        values = set(round(v, 1) for v in h85.samples)
+        assert {345.6, 358.4} & values  # the paper's two observed values
+
+    def test_counter_stats_track_throughput(self):
+        env = MoonGenEnv(seed=9)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        out = io.StringIO()
+        ctr = ManualTxCounter("int", "csv", now_ns=lambda: env.now_ns,
+                              stream=out)
+
+        def slave(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array()
+            while env.running():
+                bufs.alloc(60)
+                sent = yield queue.send(bufs)
+                ctr.update_with_size(sent, 64)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=2_000_000)
+        assert ctr.total_packets == tx.tx_packets
+        assert ctr.average_pps() == pytest.approx(
+            units.LINE_RATE_10G_64B_PPS, rel=0.05
+        )

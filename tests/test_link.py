@@ -1,0 +1,136 @@
+"""Tests for the wire/cable model (Table 3 physics)."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import (
+    COPPER_CAT5E,
+    Cable,
+    FIBER_OM3,
+    IDEAL_CABLE,
+    Medium,
+    Wire,
+)
+
+
+class TestMedium:
+    def test_fiber_constants(self):
+        # Table 3: k = 310.7 ns, v_p = 0.72 c on the 82599 fiber path.
+        assert FIBER_OM3.modulation_ns == pytest.approx(310.7)
+        assert FIBER_OM3.velocity_factor == pytest.approx(0.72)
+
+    def test_copper_constants(self):
+        # Table 3: k = 2147.2 ns, v_p = 0.69 c on the X540 copper path.
+        assert COPPER_CAT5E.modulation_ns == pytest.approx(2147.2)
+        assert COPPER_CAT5E.velocity_factor == pytest.approx(0.69)
+
+    def test_propagation_linear_in_length(self):
+        p10 = FIBER_OM3.propagation_ns(10.0)
+        p20 = FIBER_OM3.propagation_ns(20.0)
+        assert p20 == pytest.approx(2 * p10)
+
+    def test_table3_fiber_2m(self):
+        cable = Cable(FIBER_OM3, 2.0)
+        assert cable.latency_ns() == pytest.approx(320.0, abs=1.0)
+
+    def test_table3_fiber_20m(self):
+        cable = Cable(FIBER_OM3, 20.0)
+        assert cable.latency_ns() == pytest.approx(403.2, abs=1.0)
+
+    def test_table3_copper_lengths(self):
+        assert Cable(COPPER_CAT5E, 2.0).latency_ns() == pytest.approx(2156.8, abs=1.0)
+        assert Cable(COPPER_CAT5E, 10.0).latency_ns() == pytest.approx(2195.2, abs=1.0)
+        assert Cable(COPPER_CAT5E, 50.0).latency_ns() == pytest.approx(2387.2, abs=3.0)
+
+    def test_fiber_has_no_jitter(self):
+        rng = random.Random(0)
+        assert all(FIBER_OM3.jitter_ns(rng) == 0.0 for _ in range(100))
+
+    def test_copper_jitter_distribution(self):
+        # Section 6.1: >99.5 % within ±6.4 ns, total range 64 ns (±32 ns).
+        rng = random.Random(1)
+        samples = [COPPER_CAT5E.jitter_ns(rng) for _ in range(100_000)]
+        within = sum(1 for s in samples if abs(s) <= 6.4) / len(samples)
+        assert within > 0.995
+        assert max(samples) <= 32.0 and min(samples) >= -32.0
+        # Jitter is quantized to the 6.4 ns symbol grid.
+        assert all(abs(s / 6.4 - round(s / 6.4)) < 1e-9 for s in samples)
+
+
+class TestWire:
+    def test_serialization_occupies_wire(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G)
+        end1 = wire.transmit("f1", 64)
+        end2 = wire.transmit("f2", 64)
+        assert end1 == 84 * 800
+        assert end2 == 2 * 84 * 800  # second frame waits for the first
+
+    def test_delivery_with_latency(self):
+        loop = EventLoop()
+        cable = Cable(Medium("test", 1.0, 100.0), 0.0)
+        wire = Wire(loop, units.SPEED_10G, cable)
+        got = []
+        wire.connect(lambda frame, t: got.append((frame, t)))
+        wire.transmit("x", 64)
+        loop.run()
+        assert got == [("x", 84 * 800 + 100_000)]
+
+    def test_in_order_delivery(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G, Cable(COPPER_CAT5E, 2.0), seed=3)
+        arrivals = []
+        wire.connect(lambda f, t: arrivals.append(t))
+        for i in range(200):
+            wire.transmit(i, 64)
+        loop.run()
+        assert arrivals == sorted(arrivals)
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_counters(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G)
+        wire.transmit("a", 64)
+        wire.transmit("b", 128)
+        assert wire.frames_sent == 2
+        assert wire.bytes_sent == 192
+
+    def test_explicit_start_time(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G)
+        end = wire.transmit("a", 64, start_ps=1000)
+        assert end == 1000 + 84 * 800
+
+    def test_ideal_cable_zero_latency(self):
+        assert IDEAL_CABLE.latency_ns() == 0.0
+
+    def test_utilization_full_when_back_to_back(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G)
+        for _ in range(10):
+            wire.transmit("f", 64)
+        assert wire.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half_when_half_idle(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G)
+        wire.transmit("a", 64, start_ps=0)
+        wire.transmit("b", 64, start_ps=3 * 84 * 800)  # two idle frame slots
+        assert wire.utilization() == pytest.approx(0.5)
+
+    def test_utilization_idle_wire(self):
+        assert Wire(EventLoop(), units.SPEED_10G).utilization() == 0.0
+
+    def test_line_rate_throughput(self):
+        """Back-to-back 64 B frames achieve exactly 14.88 Mpps."""
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G)
+        n = 1000
+        for i in range(n):
+            wire.transmit(i, 64)
+        total_ns = wire.busy_until_ps / 1000
+        pps = n / (total_ns / 1e9)
+        assert pps == pytest.approx(units.LINE_RATE_10G_64B_PPS, rel=1e-3)

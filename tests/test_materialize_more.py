@@ -1,0 +1,77 @@
+"""Additional offload-materialization coverage (udp6, icmp, ip-only)."""
+
+import pytest
+
+from repro import MoonGenEnv
+from repro.core.tasks import materialize_frame
+from repro.packet import PacketData
+from repro.packet.checksum import internet_checksum, pseudo_header_sum_v6
+from repro.packet.ip4 import IpProtocol
+
+
+def make_buf(env, size=80):
+    pool = env.create_mempool(n_buffers=4, buf_capacity=512)
+    bufs = pool.buf_array(1)
+    bufs.alloc(size)
+    return bufs[0]
+
+
+class TestOffloadMaterialization:
+    def test_udp6_offload(self):
+        env = MoonGenEnv()
+        buf = make_buf(env)
+        buf.pkt.udp6_packet.fill(
+            pkt_length=80, ip_src="fe80::1", ip_dst="fe80::2",
+            udp_src=5, udp_dst=6,
+        )
+        buf.offload_l4 = True
+        frame = materialize_frame(buf)
+        wire = PacketData.wrap(bytearray(frame.data))
+        p = wire.udp6_packet
+        segment = bytes(wire.data[54:80])
+        pseudo = pseudo_header_sum_v6(int(p.ip.src), int(p.ip.dst),
+                                      IpProtocol.UDP, len(segment))
+        assert internet_checksum(segment, pseudo) in (0, 0xFFFF)
+        assert p.udp.checksum != 0
+
+    def test_icmp_offload(self):
+        env = MoonGenEnv()
+        buf = make_buf(env)
+        buf.pkt.icmp_packet.fill(pkt_length=80, ip_src="10.0.0.1",
+                                 ip_dst="10.0.0.2", icmp_id=3)
+        buf.offload_ip = True
+        buf.offload_l4 = True
+        frame = materialize_frame(buf)
+        wire = PacketData.wrap(bytearray(frame.data))
+        assert wire.ip_packet.ip.verify_checksum()
+        assert internet_checksum(wire.data[34:80]) == 0
+
+    def test_ip_only_offload_leaves_l4_untouched(self):
+        env = MoonGenEnv()
+        buf = make_buf(env)
+        buf.pkt.udp_packet.fill(pkt_length=80, ip_src="10.0.0.1",
+                                ip_dst="10.0.0.2")
+        buf.offload_ip = True
+        frame = materialize_frame(buf)
+        wire = PacketData.wrap(bytearray(frame.data))
+        assert wire.ip_packet.ip.verify_checksum()
+        assert wire.udp_packet.udp.checksum == 0
+
+    def test_non_ip_frame_with_offload_flags_is_untouched(self):
+        """Offload bits on a PTP frame: the NIC has nothing to checksum."""
+        env = MoonGenEnv()
+        buf = make_buf(env, size=60)
+        buf.pkt.ptp_packet.fill()
+        buf.offload_ip = True
+        buf.offload_l4 = True
+        frame = materialize_frame(buf)
+        assert frame.data == buf.pkt.bytes()
+
+    def test_no_offload_keeps_zero_checksums(self):
+        env = MoonGenEnv()
+        buf = make_buf(env)
+        buf.pkt.udp_packet.fill(pkt_length=80)
+        frame = materialize_frame(buf)
+        wire = PacketData.wrap(bytearray(frame.data))
+        assert wire.udp_packet.udp.checksum == 0
+        assert wire.ip_packet.ip.checksum == 0

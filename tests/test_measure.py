@@ -1,0 +1,62 @@
+"""Tests for the event-driven inter-arrival measurement (82580 path)."""
+
+import pytest
+
+from repro import CbrPattern, GapFiller, MoonGenEnv, units
+from repro.core.measure import InterArrivalMeasurement
+from repro.errors import TimestampingError
+from repro.nicsim.nic import CHIP_82580, CHIP_X540
+
+
+class TestRequirements:
+    def test_needs_per_packet_timestamping(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, rx_queues=1, chip=CHIP_X540)
+        with pytest.raises(TimestampingError):
+            InterArrivalMeasurement(env, dev)
+
+    def test_82580_accepted(self):
+        env = MoonGenEnv()
+        dev = env.config_device(0, rx_queues=1, chip=CHIP_82580)
+        InterArrivalMeasurement(env, dev)
+
+
+class TestMeasurement:
+    def build(self, pps, n_packets):
+        env = MoonGenEnv(seed=4)
+        # GbE sender to a GbE 82580 measurement NIC (the paper's setup).
+        tx = env.config_device(0, tx_queues=1, chip=CHIP_X540,
+                               speed_bps=units.SPEED_1G)
+        rx = env.config_device(1, rx_queues=1, chip=CHIP_82580)
+        env.connect(tx, rx)
+        measurement = InterArrivalMeasurement(env, rx)
+        env.launch(measurement.task, n_packets)
+
+        filler = GapFiller(frame_size=64, speed_bps=units.SPEED_1G)
+
+        def craft(buf, index):
+            buf.eth_packet.fill(eth_type=0x0800)
+
+        env.launch(filler.load_task, env, tx.get_tx_queue(0),
+                   CbrPattern(pps), n_packets, craft)
+        env.wait_for_slaves(duration_ns=n_packets * (1e9 / pps) * 2 + 5e6)
+        return measurement
+
+    def test_cbr_measured_at_64ns_grid(self):
+        measurement = self.build(pps=500e3, n_packets=300)
+        hist = measurement.histogram
+        assert len(hist) >= 250
+        # The 82580 quantizes to 64 ns: all gaps are near 2000 ns on grid.
+        assert hist.fraction_within(2000.0, 64.0 + 1e-6) > 0.95
+        for sample in hist.samples:
+            assert abs(sample % 64.0) < 1e-6 or abs(sample % 64.0 - 64.0) < 1e-6
+
+    def test_mean_rate_recovered(self):
+        measurement = self.build(pps=250e3, n_packets=200)
+        mean_gap = measurement.histogram.avg()
+        assert mean_gap == pytest.approx(4000.0, rel=0.02)
+
+    def test_packet_count(self):
+        measurement = self.build(pps=500e3, n_packets=100)
+        assert measurement.packets_seen == 100
+        assert len(measurement.histogram) == 99

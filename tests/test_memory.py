@@ -1,0 +1,187 @@
+"""Tests for memory pools and bufArrays (the Section 4.2 buffer model)."""
+
+import pytest
+
+from repro.core.memory import BufArray, MemPool, PacketBuffer
+from repro.errors import ConfigurationError, QueueError
+
+
+class TestMemPool:
+    def test_fill_callback_runs_once_per_buffer(self):
+        calls = []
+        MemPool(n_buffers=8, fill=lambda buf: calls.append(buf))
+        assert len(calls) == 8
+
+    def test_prefill_persists(self):
+        """The fill callback pre-crafts packets; alloc must not erase them."""
+        pool = MemPool(
+            n_buffers=4,
+            fill=lambda buf: buf.udp_packet.fill(pkt_length=60, udp_dst=42),
+        )
+        bufs = pool.buf_array(2)
+        bufs.alloc(60)
+        assert all(b.udp_packet.udp.dst_port == 42 for b in bufs)
+
+    def test_take_sets_size(self):
+        pool = MemPool(n_buffers=4)
+        (buf,) = pool.take(1, 124)
+        assert buf.pkt.size == 124
+
+    def test_give_back_recycles_without_erasing(self):
+        pool = MemPool(n_buffers=1)
+        (buf,) = pool.take(1, 60)
+        buf.pkt.data[0] = 0xAA
+        pool.give_back(buf)
+        (again,) = pool.take(1, 60)
+        assert again is buf
+        assert again.pkt.data[0] == 0xAA  # contents not erased (Section 4.2)
+
+    def test_double_free_rejected(self):
+        pool = MemPool(n_buffers=2)
+        (buf,) = pool.take(1, 60)
+        pool.give_back(buf)
+        with pytest.raises(QueueError):
+            pool.give_back(buf)
+
+    def test_available_tracks_usage(self):
+        pool = MemPool(n_buffers=8)
+        taken = pool.take(3, 60)
+        assert pool.available == 5
+        for buf in taken:
+            pool.give_back(buf)
+        assert pool.available == 8
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ConfigurationError):
+            MemPool(n_buffers=0)
+
+    def test_free_signal_triggers(self):
+        pool = MemPool(n_buffers=1)
+        (buf,) = pool.take(1, 60)
+        woke = []
+        pool.free_signal.wait(lambda v: woke.append(1))
+        pool.give_back(buf)
+        assert woke == [1]
+
+
+class TestBufArray:
+    def test_alloc_full_batch(self):
+        pool = MemPool(n_buffers=100)
+        bufs = pool.buf_array(63)
+        bufs.alloc(60)
+        assert len(bufs) == 63
+        assert all(b.pkt.size == 60 for b in bufs)
+
+    def test_alloc_exhaustion_raises(self):
+        pool = MemPool(n_buffers=10)
+        bufs = pool.buf_array(63)
+        with pytest.raises(QueueError):
+            bufs.alloc(60)
+        assert pool.available == 10  # partial take rolled back
+
+    def test_alloc_while_owning_raises(self):
+        pool = MemPool(n_buffers=100)
+        bufs = pool.buf_array(4)
+        bufs.alloc(60)
+        with pytest.raises(QueueError):
+            bufs.alloc(60)
+
+    def test_release_empties(self):
+        pool = MemPool(n_buffers=100)
+        bufs = pool.buf_array(4)
+        bufs.alloc(60)
+        out = bufs.release()
+        assert len(out) == 4 and len(bufs) == 0
+
+    def test_free_all_returns_to_pool(self):
+        pool = MemPool(n_buffers=8)
+        bufs = pool.buf_array(4)
+        bufs.alloc(60)
+        bufs.free_all()
+        assert pool.available == 8
+
+    def test_iteration_and_indexing(self):
+        pool = MemPool(n_buffers=8)
+        bufs = pool.buf_array(3)
+        bufs.alloc(60)
+        assert [b for b in bufs] == [bufs[0], bufs[1], bufs[2]]
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ConfigurationError):
+            BufArray(MemPool(n_buffers=4), 0)
+
+    def test_no_pool_cannot_alloc(self):
+        bufs = BufArray(None, 4)
+        with pytest.raises(ConfigurationError):
+            bufs.alloc(60)
+
+    def test_flags_reset_on_alloc(self):
+        pool = MemPool(n_buffers=1)
+        bufs = pool.buf_array(1)
+        bufs.alloc(60)
+        buf = bufs[0]
+        buf.offload_l4 = True
+        buf.corrupt_fcs = True
+        buf.timestamp_flag = True
+        bufs.free_all()
+        bufs.alloc(60)
+        assert not (buf.offload_l4 or buf.corrupt_fcs or buf.timestamp_flag)
+
+
+class TestLedger:
+    def make(self):
+        pool = MemPool(n_buffers=100)
+        bufs = pool.buf_array(4)
+        bufs.alloc(60)
+        return bufs
+
+    def test_offload_udp_sets_flags_and_ledger(self):
+        bufs = self.make()
+        bufs.offload_udp_checksums()
+        assert all(b.offload_ip and b.offload_l4 for b in bufs)
+        assert ("offload_udp", None) in bufs.drain_ledger()
+
+    def test_offload_ip_only(self):
+        bufs = self.make()
+        bufs.offload_ip_checksums()
+        assert all(b.offload_ip and not b.offload_l4 for b in bufs)
+
+    def test_offload_tcp(self):
+        bufs = self.make()
+        bufs.offload_tcp_checksums()
+        assert ("offload_tcp", None) in bufs.drain_ledger()
+
+    def test_charges_accumulate(self):
+        bufs = self.make()
+        bufs.charge_modify(1)
+        bufs.charge_random_fields(8)
+        bufs.charge_counter_fields(2)
+        entries = bufs.drain_ledger()
+        assert ("modify", 1) in entries
+        assert ("random", 8) in entries
+        assert ("counter", 2) in entries
+
+    def test_drain_clears(self):
+        bufs = self.make()
+        bufs.charge_modify(1)
+        bufs.drain_ledger()
+        assert bufs.drain_ledger() == []
+
+    def test_ledger_cleared_on_alloc(self):
+        pool = MemPool(n_buffers=100)
+        bufs = pool.buf_array(2)
+        bufs.alloc(60)
+        bufs.charge_modify(1)
+        bufs.release()
+        bufs.alloc(60)
+        assert bufs.drain_ledger() == []
+
+
+class TestPacketBufferAccessors:
+    def test_stack_accessors(self):
+        pool = MemPool(n_buffers=1)
+        (buf,) = pool.take(1, 80)
+        buf.udp_packet.fill(pkt_length=80)
+        assert buf.ip_packet.ip.version == 4
+        assert buf.eth_packet.eth.ether_type == 0x0800
+        assert buf.size == 80

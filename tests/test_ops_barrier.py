@@ -1,0 +1,122 @@
+"""Tests for the remaining op types and task-scheduler edge cases."""
+
+import pytest
+
+from repro import MoonGenEnv
+from repro.core.ops import BarrierOp, CyclesOp, SleepOp
+from repro.nicsim.eventloop import Signal
+
+
+class TestBarrierOp:
+    def test_waits_for_all_signals(self):
+        env = MoonGenEnv()
+        a, b = Signal(), Signal()
+        done = []
+
+        def waiter(env):
+            yield BarrierOp(signals=[a, b])
+            done.append(env.now_ns)
+
+        env.launch(waiter, env)
+        env.loop.schedule(10_000, lambda: a.trigger())
+        env.loop.schedule(50_000, lambda: b.trigger())
+        env.wait_for_slaves()
+        assert done == [pytest.approx(50.0)]
+
+    def test_empty_barrier_is_noop(self):
+        env = MoonGenEnv()
+
+        def waiter(env):
+            yield BarrierOp()
+            return "through"
+
+        task = env.launch(waiter, env)
+        env.wait_for_slaves()
+        assert task.result == "through"
+
+    def test_task_rendezvous(self):
+        """Two tasks synchronize at a barrier via done signals."""
+        env = MoonGenEnv()
+        order = []
+
+        def fast(env):
+            yield env.sleep_us(1)
+            order.append("fast")
+
+        def slow(env):
+            yield env.sleep_us(100)
+            order.append("slow")
+
+        fast_task = env.launch(fast, env)
+        slow_task = env.launch(slow, env)
+
+        def joiner(env):
+            yield BarrierOp(signals=[
+                fast_task.process.done_signal,
+                slow_task.process.done_signal,
+            ])
+            order.append("joined")
+
+        env.launch(joiner, env)
+        env.wait_for_slaves()
+        assert order == ["fast", "slow", "joined"]
+
+
+class TestOpDataclasses:
+    def test_sleep_op_fields(self):
+        assert SleepOp(100.0).duration_ns == 100.0
+
+    def test_cycles_op_fields(self):
+        assert CyclesOp(76.0).cycles == 76.0
+
+    def test_send_op_extra_cycles_default(self):
+        env = MoonGenEnv()
+        tx = env.config_device(0, tx_queues=1)
+        pool = env.create_mempool()
+        bufs = pool.buf_array(1)
+        op = tx.get_tx_queue(0).send(bufs)
+        assert op.extra_cycles == 0.0
+
+
+class TestSchedulerEdgeCases:
+    def test_task_returning_value_via_stopiteration(self):
+        env = MoonGenEnv()
+
+        def slave(env):
+            yield env.sleep_ns(1)
+            return {"answer": 42}
+
+        task = env.launch(slave, env)
+        env.wait_for_slaves()
+        assert task.result == {"answer": 42}
+
+    def test_generator_exit_propagates_on_kill(self):
+        env = MoonGenEnv()
+        cleaned = []
+
+        def slave(env):
+            try:
+                while True:
+                    yield env.sleep_ms(10)
+            finally:
+                cleaned.append(True)
+
+        task = env.launch(slave, env)
+        env.run_for(1_000_000)
+        task.kill()
+        assert cleaned == [True]
+
+    def test_many_tasks_time_isolated(self):
+        """Each task's core advances independently of the others."""
+        env = MoonGenEnv()
+        finish = {}
+
+        def slave(env, name, cycles):
+            yield env.charge_cycles(cycles)
+            finish[name] = env.now_ns
+
+        env.launch(slave, env, "short", 2400)
+        env.launch(slave, env, "long", 240_000)
+        env.wait_for_slaves()
+        assert finish["short"] == pytest.approx(1000.0)   # 1 µs at 2.4 GHz
+        assert finish["long"] == pytest.approx(100_000.0)

@@ -1,0 +1,203 @@
+"""Tests for PacketData and the protocol stack views."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PacketError
+from repro.packet import PacketData
+from repro.packet.ethernet import EtherType
+from repro.packet.ip4 import IpProtocol
+from repro.packet.packet import MIN_BUFFER_SIZE
+
+
+class TestPacketData:
+    def test_default_size(self):
+        assert PacketData().size == MIN_BUFFER_SIZE
+
+    def test_rejects_negative(self):
+        with pytest.raises(PacketError):
+            PacketData(-1)
+
+    def test_resize_within_capacity(self):
+        pkt = PacketData(60, capacity=128)
+        pkt.size = 100
+        assert pkt.size == 100
+
+    def test_resize_beyond_capacity(self):
+        pkt = PacketData(60, capacity=64)
+        with pytest.raises(PacketError):
+            pkt.size = 65
+
+    def test_wrap_shares_memory(self):
+        data = bytearray(64)
+        pkt = PacketData.wrap(data, 60)
+        pkt.data[0] = 0xAB
+        assert data[0] == 0xAB
+
+    def test_wrap_size_check(self):
+        with pytest.raises(PacketError):
+            PacketData.wrap(bytearray(10), 20)
+
+    def test_fill_payload_repeats_pattern(self):
+        pkt = PacketData(20)
+        pkt.fill_payload(b"ab", 14)
+        assert pkt.bytes()[14:] == b"ababab"
+
+    def test_fill_payload_empty_pattern(self):
+        with pytest.raises(PacketError):
+            PacketData(20).fill_payload(b"", 0)
+
+    def test_bytes_respects_size(self):
+        pkt = PacketData(10, capacity=100)
+        assert len(pkt.bytes()) == 10
+
+
+class TestUdp4Fill:
+    def test_listing2_fill(self):
+        """The exact fill call of the paper's Listing 2."""
+        pkt = PacketData(124)
+        p = pkt.udp_packet
+        p.fill(
+            pkt_length=124,
+            eth_src="02:00:00:00:00:01",
+            eth_dst="10:11:12:13:14:15",
+            ip_dst="192.168.1.1",
+            udp_src=1234,
+            udp_dst=42,
+        )
+        assert pkt.size == 124
+        assert str(p.eth.dst) == "10:11:12:13:14:15"
+        assert p.eth.ether_type == EtherType.IP4
+        assert p.ip.version == 4
+        assert str(p.ip.dst) == "192.168.1.1"
+        assert p.ip.protocol == IpProtocol.UDP
+        assert p.ip.length == 124 - 14
+        assert p.udp.src_port == 1234
+        assert p.udp.dst_port == 42
+        assert p.udp.length == 124 - 14 - 20
+
+    def test_fill_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            PacketData(60).udp_packet.fill(bogus_field=1)
+
+    def test_mutation_after_fill(self):
+        pkt = PacketData(60)
+        p = pkt.udp_packet
+        p.fill(ip_dst="10.0.0.1")
+        p.ip.src = p.ip.src + 5
+        assert int(p.ip.src) == 5
+
+    def test_udp_checksum_software(self):
+        pkt = PacketData(60)
+        p = pkt.udp_packet
+        p.fill(ip_src="10.0.0.1", ip_dst="10.0.0.2", udp_src=1, udp_dst=2)
+        p.calculate_udp_checksum()
+        assert p.verify_udp_checksum()
+
+    def test_udp_checksum_detects_corruption(self):
+        pkt = PacketData(60)
+        p = pkt.udp_packet
+        p.fill(ip_src="10.0.0.1", ip_dst="10.0.0.2", udp_src=1, udp_dst=2)
+        p.calculate_udp_checksum()
+        pkt.data[50] ^= 0x55
+        assert not p.verify_udp_checksum()
+
+    def test_zero_checksum_means_unused(self):
+        pkt = PacketData(60)
+        p = pkt.udp_packet
+        p.fill()
+        p.udp.checksum = 0
+        assert p.verify_udp_checksum()
+
+    @given(st.integers(min_value=46, max_value=1514))
+    def test_lengths_consistent(self, size):
+        pkt = PacketData(size, capacity=2048)
+        p = pkt.udp_packet
+        p.fill(pkt_length=size)
+        assert p.ip.length == size - 14
+        assert p.udp.length == size - 34
+
+
+class TestOtherStacks:
+    def test_tcp_fill(self):
+        p = PacketData(60).tcp_packet
+        p.fill(tcp_src=80, tcp_dst=1024, tcp_seq=1000, tcp_flags=0x12)
+        assert p.ip.protocol == IpProtocol.TCP
+        assert p.tcp.src_port == 80
+        assert p.tcp.flags == 0x12
+        p.calculate_tcp_checksum()
+
+    def test_icmp_fill(self):
+        p = PacketData(60).icmp_packet
+        p.fill(icmp_type=8, icmp_id=7, icmp_seq=1)
+        assert p.ip.protocol == IpProtocol.ICMP
+        p.calculate_icmp_checksum()
+
+    def test_arp_fill(self):
+        p = PacketData(60).arp_packet
+        p.fill(arp_operation=2, arp_proto_src="10.0.0.1", arp_proto_dst="10.0.0.2")
+        assert p.eth.ether_type == EtherType.ARP
+        assert p.arp.operation == 2
+
+    def test_esp_fill(self):
+        p = PacketData(60).esp_packet
+        p.fill(esp_spi=0x1234, esp_seq=9)
+        assert p.ip.protocol == IpProtocol.ESP
+        assert p.esp.spi == 0x1234
+
+    def test_ip6_fill(self):
+        p = PacketData(74).ip6_packet
+        p.fill(pkt_length=74, ip_src="2001:db8::1", ip_dst="2001:db8::2")
+        assert p.eth.ether_type == EtherType.IP6
+        assert p.ip.payload_length == 74 - 54
+
+    def test_udp6_fill_and_checksum(self):
+        p = PacketData(82).udp6_packet
+        p.fill(pkt_length=82, ip_src="fe80::1", ip_dst="fe80::2",
+               udp_src=5, udp_dst=6)
+        assert p.udp.length == 82 - 54
+        p.calculate_udp_checksum()
+        assert p.udp.checksum != 0
+
+    def test_ptp_eth_fill(self):
+        p = PacketData(60).ptp_packet
+        p.fill(ptp_sequence=99)
+        assert p.eth.ether_type == EtherType.PTP
+        assert p.ptp.version == 2
+        assert p.ptp.sequence_id == 99
+
+    def test_udp_ptp_fill(self):
+        p = PacketData(80).udp_ptp_packet
+        p.fill(pkt_length=80, ptp_sequence=7)
+        assert p.udp.dst_port == 319
+        assert p.ptp.sequence_id == 7
+
+    def test_stack_needs_capacity(self):
+        pkt = PacketData(10, capacity=20)
+        with pytest.raises(PacketError):
+            pkt.udp_packet  # noqa: B018 - property access raises
+
+
+class TestClassify:
+    @pytest.mark.parametrize("build,expected", [
+        (lambda p: p.udp_packet.fill(), "udp4"),
+        (lambda p: p.tcp_packet.fill(), "tcp4"),
+        (lambda p: p.icmp_packet.fill(), "icmp4"),
+        (lambda p: p.arp_packet.fill(), "arp"),
+        (lambda p: p.ptp_packet.fill(), "ptp"),
+        (lambda p: p.udp6_packet.fill(), "udp6"),
+        (lambda p: p.eth_packet.fill(eth_type=0x1234), "eth"),
+    ])
+    def test_classification(self, build, expected):
+        pkt = PacketData(80)
+        build(pkt)
+        assert pkt.classify() == expected
+
+    def test_classify_short(self):
+        assert PacketData(8).classify() == "raw"
+
+    def test_classify_ip4_unknown_protocol(self):
+        pkt = PacketData(60)
+        p = pkt.ip_packet
+        p.fill(ip_protocol=99)
+        assert pkt.classify() == "ip4"

@@ -1,0 +1,145 @@
+"""Tests for inter-task pipes (Section 3.4)."""
+
+import pytest
+
+from repro import MoonGenEnv
+from repro.core.pipes import Pipe
+from repro.errors import ConfigurationError
+
+
+class TestPipeBasics:
+    def test_fifo_order(self):
+        pipe = Pipe()
+        for i in range(5):
+            assert pipe.send(i)
+        assert [pipe.try_recv() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_empty_recv(self):
+        assert Pipe().try_recv() is None
+
+    def test_full_pipe_drops(self):
+        pipe = Pipe(capacity=2)
+        assert pipe.send("a") and pipe.send("b")
+        assert not pipe.send("c")
+        assert pipe.dropped == 1
+        assert pipe.sent == 2
+
+    def test_len_and_full(self):
+        pipe = Pipe(capacity=3)
+        pipe.send(1)
+        assert len(pipe) == 1
+        assert not pipe.full
+        pipe.send(2)
+        pipe.send(3)
+        assert pipe.full
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Pipe(capacity=0)
+
+    def test_signal_on_send(self):
+        pipe = Pipe()
+        woke = []
+        pipe.data_signal.wait(lambda v: woke.append(1))
+        pipe.send("x")
+        assert woke == [1]
+
+
+class TestPipeTasks:
+    def test_producer_consumer(self):
+        env = MoonGenEnv()
+        pipe = Pipe()
+        received = []
+
+        def producer(env):
+            for i in range(10):
+                pipe.send(i)
+                yield env.sleep_us(1)
+
+        def consumer(env):
+            while len(received) < 10:
+                msg = yield pipe.recv(timeout_ns=5_000_000)
+                if msg is None:
+                    return
+                received.append(msg)
+
+        env.launch(producer, env)
+        env.launch(consumer, env)
+        env.wait_for_slaves(duration_ns=1_000_000)
+        assert received == list(range(10))
+
+    def test_recv_timeout(self):
+        env = MoonGenEnv()
+        pipe = Pipe()
+
+        def consumer(env):
+            msg = yield pipe.recv(timeout_ns=20_000)
+            return (msg, env.now_ns)
+
+        task = env.launch(consumer, env)
+        env.wait_for_slaves()
+        msg, when = task.result
+        assert msg is None
+        assert when >= 20.0
+
+    def test_consumer_wakes_on_late_send(self):
+        env = MoonGenEnv()
+        pipe = Pipe()
+
+        def producer(env):
+            yield env.sleep_us(50)
+            pipe.send("late")
+
+        def consumer(env):
+            msg = yield pipe.recv()
+            return (msg, env.now_ns)
+
+        env.launch(producer, env)
+        task = env.launch(consumer, env)
+        env.wait_for_slaves(duration_ns=1_000_000)
+        msg, when = task.result
+        assert msg == "late"
+        assert when == pytest.approx(50_000, abs=1000)
+
+    def test_blocked_consumer_exits_on_stop(self):
+        env = MoonGenEnv()
+        pipe = Pipe()
+
+        def consumer(env):
+            while env.running():
+                msg = yield pipe.recv()
+                if msg is None:
+                    break
+            return "done"
+
+        task = env.launch(consumer, env)
+        env.wait_for_slaves(duration_ns=50_000)
+        assert task.result == "done"
+
+    def test_stats_passed_between_tasks(self):
+        """The QoS example's pattern: slaves report counts to a collector."""
+        env = MoonGenEnv()
+        pipe = Pipe()
+        totals = []
+
+        def worker(env, worker_id):
+            count = 0
+            for _ in range(5):
+                yield env.sleep_us(2)
+                count += 63
+            pipe.send((worker_id, count))
+
+        def collector(env):
+            got = 0
+            while got < 2:
+                msg = yield pipe.recv(timeout_ns=10_000_000)
+                if msg is None:
+                    return
+                totals.append(msg)
+                got += 1
+
+        env.launch(worker, env, 0)
+        env.launch(worker, env, 1)
+        env.launch(collector, env)
+        env.wait_for_slaves(duration_ns=5_000_000)
+        assert sorted(totals) == [(0, 315), (1, 315)]

@@ -1,0 +1,143 @@
+"""Cross-cutting property-based tests of simulation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MoonGenEnv, units
+from repro.core.ratecontrol import GapFiller, PoissonPattern
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import Wire
+from repro.nicsim.nic import CHIP_X540, NicPort, SimFrame
+from repro.packet import PacketData
+
+
+def frame(size=60):
+    return SimFrame(b"\x00" * size)
+
+
+class TestMacInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=60, max_value=1514),
+                    min_size=2, max_size=60))
+    def test_wire_never_exceeds_line_rate(self, sizes):
+        """No frame schedule can overlap serializations on the wire."""
+        loop = EventLoop()
+        port = NicPort(loop, chip=CHIP_X540)
+        wire = Wire(loop, port.speed_bps)
+        arrivals = []
+        wire.connect(lambda f, t: arrivals.append((f, t)))
+        port.attach_wire(wire)
+        port.get_tx_queue(0).enqueue([frame(s) for s in sizes])
+        loop.run()
+        # Deliveries are end-of-frame: consecutive arrivals are separated
+        # by at least the *second* frame's serialization time.
+        for (f1, t1), (f2, t2) in zip(arrivals, arrivals[1:]):
+            min_gap = units.frame_time_ps(f2.size, port.speed_bps)
+            assert t2 - t1 >= min_gap - 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=8.0),
+           st.integers(min_value=0, max_value=1000))
+    def test_hw_rate_limiter_average_exact(self, mpps, seed):
+        """The dithered rate limiter realises any rate exactly on average."""
+        loop = EventLoop()
+        port = NicPort(loop, chip=CHIP_X540)
+        port.attach_wire(Wire(loop, port.speed_bps))
+        queue = port.get_tx_queue(0)
+        queue.set_rate_pps(mpps * 1e6, 64)
+        times = []
+        port.tx_observers.append(lambda f, t: times.append(t))
+        queue.enqueue([frame() for _ in range(300)])
+        loop.run()
+        duration_s = (times[-1] - times[0]) / 1e12
+        assert 299 / duration_s == pytest.approx(mpps * 1e6, rel=0.01)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=100))
+    def test_conservation_across_queues(self, n_queues, per_queue):
+        """Every enqueued frame is transmitted exactly once."""
+        loop = EventLoop()
+        port = NicPort(loop, chip=CHIP_X540, n_tx_queues=n_queues)
+        port.attach_wire(Wire(loop, port.speed_bps))
+        seen = []
+        port.tx_observers.append(lambda f, t: seen.append(f.seq))
+        expected = []
+        for q in range(n_queues):
+            frames = [frame() for _ in range(per_queue)]
+            expected += [f.seq for f in frames]
+            assert port.tx_queues[q].enqueue(frames) == per_queue
+        loop.run()
+        assert sorted(seen) == sorted(expected)
+        assert port.tx_packets == n_queues * per_queue
+
+
+class TestGapFillerInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.floats(min_value=0.1, max_value=12.0))
+    def test_poisson_plan_monotone_and_accurate(self, seed, mpps):
+        pattern = PoissonPattern(mpps * 1e6, seed=seed)
+        plan = GapFiller().plan_pattern(pattern, 2000)
+        times = plan.departure_times_ns()
+        assert np.all(np.diff(times) > 0)
+        realised = 2000 / ((times[-1] - times[0]) / 1e9) if times[-1] > 0 else 0
+        desired = 1e9 / plan.desired_gaps_ns.mean()
+        assert realised == pytest.approx(desired, rel=0.02)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=50_000.0),
+                    min_size=50, max_size=300))
+    def test_cumulative_error_bounded(self, raw_gaps):
+        """The dither carry keeps the cumulative timing error bounded by
+        one minimum filler, for any gap sequence that is feasible on
+        average."""
+        gaps = [g + 67.2 for g in raw_gaps]  # make the mean feasible
+        plan = GapFiller().plan(gaps)
+        cum_desired = np.cumsum(plan.desired_gaps_ns)
+        cum_actual = np.cumsum(plan.actual_gaps_ns)
+        assert np.abs(cum_actual - cum_desired).max() <= 76 * 0.8 + 1.0
+
+
+class TestEndToEndConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=0, max_value=10))
+    def test_tx_equals_rx_plus_drops(self, n_valid, n_invalid):
+        """Frames are conserved: tx = rx + CRC drops + ring misses."""
+        env = MoonGenEnv(seed=1)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+
+        def slave(env, queue):
+            mem = env.create_mempool(n_buffers=n_valid + n_invalid + 64)
+            bufs = mem.buf_array(1)
+            for i in range(n_valid + n_invalid):
+                bufs.alloc(60)
+                bufs[0].corrupt_fcs = i < n_invalid
+                yield queue.send(bufs)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves()
+        assert tx.tx_packets == n_valid + n_invalid
+        assert rx.rx_packets + rx.rx_crc_errors + rx.rx_missed == tx.tx_packets
+        assert rx.rx_crc_errors == n_invalid
+
+
+class TestPacketInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=46, max_value=1514),
+           st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_udp_fill_checksum_roundtrip(self, size, ip, port):
+        pkt = PacketData(size, capacity=2048)
+        p = pkt.udp_packet
+        p.fill(pkt_length=size, ip_src=ip, ip_dst=(ip ^ 0xFFFF),
+               udp_src=port, udp_dst=(port ^ 0xAA))
+        p.calculate_ip_checksum()
+        p.calculate_udp_checksum()
+        assert p.ip.verify_checksum()
+        assert p.verify_udp_checksum()
+        assert pkt.classify() == "udp4"

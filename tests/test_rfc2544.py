@@ -1,0 +1,94 @@
+"""Tests for the RFC 2544 throughput harness."""
+
+import pytest
+
+from repro import units
+from repro.analysis.rfc2544 import (
+    STANDARD_FRAME_SIZES,
+    ThroughputResult,
+    Trial,
+    default_loss_probe,
+    frame_size_sweep,
+    throughput_test,
+)
+from repro.errors import ConfigurationError
+
+
+def step_probe(threshold_pps):
+    """Loss probe with a sharp capacity threshold."""
+
+    def probe(pps):
+        return 0.0 if pps <= threshold_pps else 0.1
+
+    return probe
+
+
+class TestBinarySearch:
+    def test_finds_threshold(self):
+        result = throughput_test(step_probe(5e6), line_rate_pps=14.88e6)
+        assert result.throughput_pps == pytest.approx(5e6, rel=0.01)
+
+    def test_line_rate_device_short_circuits(self):
+        result = throughput_test(step_probe(1e9), line_rate_pps=14.88e6)
+        assert result.throughput_pps == 14.88e6
+        assert len(result.trials) == 1
+
+    def test_trials_recorded(self):
+        result = throughput_test(step_probe(5e6), line_rate_pps=14.88e6)
+        assert all(isinstance(t, Trial) for t in result.trials)
+        assert result.trials[0].offered_pps == 14.88e6
+        assert not result.trials[0].passed
+
+    def test_resolution_bounds_trial_count(self):
+        coarse = throughput_test(step_probe(5e6), 14.88e6, resolution=0.1)
+        fine = throughput_test(step_probe(5e6), 14.88e6, resolution=0.001)
+        assert len(fine.trials) > len(coarse.trials)
+        assert fine.throughput_pps == pytest.approx(5e6, rel=0.002)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ConfigurationError):
+            throughput_test(step_probe(1), 10, resolution=0)
+
+    def test_result_conversions(self):
+        result = ThroughputResult(64, 14.88e6)
+        assert result.throughput_mpps == pytest.approx(14.88)
+        assert result.throughput_gbps() == pytest.approx(7.62, rel=0.01)
+
+
+class TestAgainstSimulatedDut:
+    def test_finds_ovs_capacity(self):
+        """The OvS DuT overloads at ~1.9 Mpps; RFC 2544 should find it."""
+        probe = default_loss_probe(duration_s=0.04, seed=1)
+        result = throughput_test(probe, units.LINE_RATE_10G_64B_PPS,
+                                 resolution=0.02)
+        assert result.throughput_pps == pytest.approx(1.95e6, rel=0.08)
+
+    def test_larger_ring_raises_measured_throughput_slightly(self):
+        """A deeper rx ring absorbs longer transients before losing."""
+        small = throughput_test(
+            default_loss_probe(duration_s=0.01, ring_size=256),
+            units.LINE_RATE_10G_64B_PPS, resolution=0.02,
+        )
+        large = throughput_test(
+            default_loss_probe(duration_s=0.01, ring_size=8192),
+            units.LINE_RATE_10G_64B_PPS, resolution=0.02,
+        )
+        assert large.throughput_pps >= small.throughput_pps
+
+    def test_frame_size_sweep(self):
+        results = frame_size_sweep(
+            line_rate_for=lambda size: units.line_rate_pps(size, units.SPEED_10G),
+            probe_factory=lambda size: default_loss_probe(
+                frame_size=size, duration_s=0.005),
+            frame_sizes=(64, 512, 1518),
+            resolution=0.02,
+        )
+        assert [r.frame_size for r in results] == [64, 512, 1518]
+        # The DuT is pps-bound (~1.9 Mpps): larger frames reach line rate
+        # because line rate in pps drops below the capacity.
+        assert results[-1].throughput_pps == pytest.approx(
+            units.line_rate_pps(1518, units.SPEED_10G), rel=0.02
+        )
+
+    def test_standard_sizes_constant(self):
+        assert STANDARD_FRAME_SIZES == (64, 128, 256, 512, 1024, 1280, 1518)

@@ -1,0 +1,73 @@
+"""Tests for the sleep-paced software rate control (Section 7.1 model)."""
+
+import pytest
+
+from repro import CbrPattern, MoonGenEnv, PoissonPattern, units
+from repro.core.measure import InterArrivalMeasurement
+from repro.core.softpace import SleepPacedLoadTask
+from repro.errors import ConfigurationError
+from repro.nicsim.nic import CHIP_82580, CHIP_X540
+
+
+def run_paced(pattern, n_packets=200, seed=4, **kwargs):
+    env = MoonGenEnv(seed=seed)
+    tx = env.config_device(0, tx_queues=1, chip=CHIP_X540,
+                           speed_bps=units.SPEED_1G)
+    rx = env.config_device(1, rx_queues=1, chip=CHIP_82580)
+    env.connect(tx, rx)
+    measurement = InterArrivalMeasurement(env, rx)
+    env.launch(measurement.task, n_packets)
+    pacer = SleepPacedLoadTask(env, tx.get_tx_queue(0), pattern,
+                               seed=seed, **kwargs)
+    env.launch(pacer.task, n_packets)
+    env.wait_for_slaves(
+        duration_ns=n_packets * pattern.mean_gap_ns() * 3 + 5e6)
+    return pacer, measurement
+
+
+class TestSleepPacing:
+    def test_rejects_bad_timer(self):
+        env = MoonGenEnv()
+        tx = env.config_device(0, tx_queues=1)
+        with pytest.raises(ConfigurationError):
+            SleepPacedLoadTask(env, tx.get_tx_queue(0), CbrPattern(1e6),
+                               timer_resolution_ns=0)
+
+    def test_sends_all_packets(self):
+        pacer, measurement = run_paced(CbrPattern(500e3), n_packets=100)
+        assert pacer.sent == 100
+        assert measurement.packets_seen == 100
+
+    def test_rate_accurate_but_imprecise(self):
+        """The defining signature of software pacing (Section 7.1)."""
+        pacer, measurement = run_paced(CbrPattern(500e3), n_packets=300)
+        hist = measurement.histogram
+        assert hist.avg() == pytest.approx(2000.0, rel=0.02)  # accurate
+        within = hist.fraction_within(2000.0, 64.0 + 1e-6)
+        assert within < 0.8  # imprecise: far from the hardware's ~100 %
+
+    def test_never_wakes_early(self):
+        """Sleeps only overshoot: the gap distribution skews positive."""
+        pacer, measurement = run_paced(
+            CbrPattern(500e3), n_packets=300,
+            dma_base_ns=0.0, dma_jitter_ns=0.0,
+        )
+        hist = measurement.histogram
+        # Without DMA jitter, early gaps can only come from catching up
+        # after a late one; the median is at or above the target.
+        assert hist.median() >= 2000.0 - 64.0
+
+    def test_poisson_pattern_supported(self):
+        pacer, measurement = run_paced(PoissonPattern(500e3, seed=8),
+                                       n_packets=300)
+        hist = measurement.histogram
+        assert hist.avg() == pytest.approx(2000.0, rel=0.1)
+        # Exponential-ish spread (far wider than the timer jitter).
+        assert hist.stddev() > 1000.0
+
+    def test_coarse_timer_worse(self):
+        _, fine = run_paced(CbrPattern(500e3), n_packets=250,
+                            timer_resolution_ns=100.0)
+        _, coarse = run_paced(CbrPattern(500e3), n_packets=250,
+                              timer_resolution_ns=5000.0)
+        assert coarse.histogram.stddev() > fine.histogram.stddev()

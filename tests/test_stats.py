@@ -1,0 +1,141 @@
+"""Tests for the statistics counters."""
+
+import io
+
+import pytest
+
+from repro.core.stats import (
+    DEFAULT_INTERVAL_NS,
+    DeviceRxCounter,
+    DeviceTxCounter,
+    ManualRxCounter,
+    ManualTxCounter,
+    PktRxCounter,
+)
+from repro.errors import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestManualTxCounter:
+    def test_totals(self):
+        clock = FakeClock()
+        out = io.StringIO()
+        ctr = ManualTxCounter("t", "plain", now_ns=clock, stream=out)
+        ctr.update_with_size(10, 64)
+        ctr.update_with_size(5, 64)
+        assert ctr.total_packets == 15
+        assert ctr.total_bytes == 15 * 64
+
+    def test_average_rate(self):
+        clock = FakeClock()
+        ctr = ManualTxCounter("t", "plain", now_ns=clock, stream=io.StringIO())
+        clock.t = 1e9  # one second
+        ctr.update_with_size(1_000_000, 64)
+        assert ctr.average_pps() == pytest.approx(1e6, rel=1e-3)
+        assert ctr.average_mbit() == pytest.approx(512.0, rel=1e-3)
+
+    def test_interval_rollover(self):
+        clock = FakeClock()
+        out = io.StringIO()
+        ctr = ManualTxCounter("t", "plain", now_ns=clock, stream=out,
+                              interval_ns=1e9)
+        ctr.update_with_size(100, 64)
+        clock.t = 1.5e9
+        ctr.update_with_size(100, 64)
+        assert len(ctr.interval_pps) == 1
+        assert ctr.interval_pps[0] == pytest.approx(200.0)
+
+    def test_stddev_over_intervals(self):
+        clock = FakeClock()
+        ctr = ManualTxCounter("t", "plain", now_ns=clock, stream=io.StringIO(),
+                              interval_ns=1e9)
+        for i, n in enumerate((100, 200, 300)):
+            ctr.update_with_size(n, 64)
+            clock.t = (i + 1) * 1e9 + 1
+            ctr.update_with_size(0, 64)  # trigger rollover
+        assert ctr.stddev_pps() > 0
+
+    def test_finalize_plain_output(self):
+        out = io.StringIO()
+        clock = FakeClock()
+        ctr = ManualTxCounter("flow", "plain", now_ns=clock, stream=out)
+        clock.t = 1e9
+        ctr.update_with_size(42, 64)
+        ctr.finalize()
+        text = out.getvalue()
+        assert "flow" in text and "42 packets" in text
+
+    def test_finalize_csv_output(self):
+        out = io.StringIO()
+        ctr = ManualTxCounter("flow", "csv", now_ns=FakeClock(), stream=out)
+        ctr.update_with_size(1, 64)
+        ctr.finalize()
+        lines = out.getvalue().strip().splitlines()
+        assert lines[0].startswith("name,direction,")
+        assert lines[-1].startswith("flow,TX,total,1,64")
+
+    def test_update_after_finalize_rejected(self):
+        ctr = ManualTxCounter("t", "csv", now_ns=FakeClock(), stream=io.StringIO())
+        ctr.finalize()
+        with pytest.raises(ConfigurationError):
+            ctr.update_with_size(1, 64)
+
+    def test_finalize_idempotent(self):
+        out = io.StringIO()
+        ctr = ManualTxCounter("t", "plain", now_ns=FakeClock(), stream=out)
+        ctr.finalize()
+        before = out.getvalue()
+        ctr.finalize()
+        assert out.getvalue() == before
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ManualTxCounter("t", "json")
+
+
+class TestOtherCounters:
+    def test_manual_rx(self):
+        ctr = ManualRxCounter("r", "csv", now_ns=FakeClock(), stream=io.StringIO())
+        ctr.update(3, 192)
+        assert ctr.direction == "RX"
+        assert ctr.total_bytes == 192
+
+    def test_pkt_rx_counter_counts_wire_bytes(self):
+        class Buf:
+            class pkt:
+                size = 60
+        ctr = PktRxCounter("p", "csv", now_ns=FakeClock(), stream=io.StringIO())
+        ctr.count_packet(Buf())
+        assert ctr.total_packets == 1
+        assert ctr.total_bytes == 64  # FCS included
+
+    def test_device_counters_sample_delta(self):
+        class Dev:
+            port_id = 0
+            tx_packets = 0
+            tx_bytes = 0
+            rx_packets = 0
+            rx_bytes = 0
+        dev = Dev()
+        tx = DeviceTxCounter(dev, "csv", now_ns=FakeClock(), stream=io.StringIO())
+        dev.tx_packets, dev.tx_bytes = 10, 640
+        tx.sample()
+        dev.tx_packets, dev.tx_bytes = 15, 960
+        tx.sample()
+        assert tx.total_packets == 15
+        assert tx.total_bytes == 960
+
+        rx = DeviceRxCounter(dev, "csv", now_ns=FakeClock(), stream=io.StringIO())
+        dev.rx_packets, dev.rx_bytes = 7, 448
+        rx.sample()
+        assert rx.total_packets == 7
+
+    def test_default_interval_is_one_second(self):
+        assert DEFAULT_INTERVAL_NS == 1e9

@@ -1,0 +1,375 @@
+"""Tests for the task scheduler, send/recv ops, and queue wrappers."""
+
+import pytest
+
+from repro import MoonGenEnv
+from repro.core.tasks import materialize_frame
+from repro.errors import RateControlError, TaskError
+from repro.packet import PacketData
+from repro.packet.checksum import internet_checksum
+from repro import units
+
+
+def simple_env(tx_queues=1, rx_queues=1):
+    env = MoonGenEnv(seed=0, cost_noise=False)
+    tx = env.config_device(0, tx_queues=tx_queues)
+    rx = env.config_device(1, rx_queues=rx_queues)
+    env.connect(tx, rx)
+    return env, tx, rx
+
+
+class TestMaterializeFrame:
+    def make_buf(self, env):
+        pool = env.create_mempool(n_buffers=4)
+        bufs = pool.buf_array(1)
+        bufs.alloc(60)
+        return bufs[0]
+
+    def test_snapshot_is_independent(self):
+        env = MoonGenEnv()
+        buf = self.make_buf(env)
+        buf.udp_packet.fill(ip_dst="10.0.0.1")
+        frame = materialize_frame(buf)
+        buf.pkt.data[30] ^= 0xFF  # later mutation must not affect the frame
+        assert frame.data[30] != buf.pkt.data[30]
+
+    def test_offload_computes_checksums_on_wire_only(self):
+        env = MoonGenEnv()
+        buf = self.make_buf(env)
+        p = buf.udp_packet
+        p.fill(ip_src="10.0.0.1", ip_dst="10.0.0.2", udp_src=1, udp_dst=2)
+        buf.offload_ip = True
+        buf.offload_l4 = True
+        frame = materialize_frame(buf)
+        wire_pkt = PacketData.wrap(bytearray(frame.data))
+        assert wire_pkt.ip_packet.ip.verify_checksum()
+        assert wire_pkt.udp_packet.verify_udp_checksum()
+        assert wire_pkt.udp_packet.udp.checksum != 0
+        # The buffer itself was not modified (hardware offloading).
+        assert buf.udp_packet.udp.checksum == 0
+
+    def test_tcp_offload(self):
+        env = MoonGenEnv()
+        buf = self.make_buf(env)
+        buf.tcp_packet.fill(ip_src="10.0.0.1", ip_dst="10.0.0.2",
+                            tcp_src=1, tcp_dst=2)
+        buf.offload_ip = True
+        buf.offload_l4 = True
+        frame = materialize_frame(buf)
+        wire = PacketData.wrap(bytearray(frame.data))
+        segment = bytes(wire.data[34:60])
+        from repro.packet.checksum import pseudo_header_sum_v4
+        pseudo = pseudo_header_sum_v4(0x0A000001, 0x0A000002, 6, 26)
+        assert internet_checksum(segment, pseudo) == 0
+
+    def test_corrupt_fcs_flag(self):
+        env = MoonGenEnv()
+        buf = self.make_buf(env)
+        buf.corrupt_fcs = True
+        assert not materialize_frame(buf).fcs_ok
+
+    def test_timestamp_flag_propagates(self):
+        env = MoonGenEnv()
+        buf = self.make_buf(env)
+        buf.timestamp_flag = True
+        assert materialize_frame(buf).meta.get("timestamp")
+
+    def test_recycle_returns_to_pool(self):
+        env = MoonGenEnv()
+        pool = env.create_mempool(n_buffers=2)
+        bufs = pool.buf_array(1)
+        bufs.alloc(60)
+        frame = materialize_frame(bufs.release()[0])
+        assert pool.available == 1
+        frame.meta["recycle"]()
+        assert pool.available == 2
+
+
+class TestSendOp:
+    def test_send_returns_count(self):
+        env, tx, rx = simple_env()
+        results = []
+
+        def slave(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(16)
+            bufs.alloc(60)
+            sent = yield queue.send(bufs)
+            results.append(sent)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves()
+        assert results == [16]
+
+    def test_send_blocks_on_full_ring_until_space(self):
+        env, tx, rx = simple_env()
+
+        def slave(env, queue):
+            mem = env.create_mempool(n_buffers=8192)
+            bufs = mem.buf_array(600)  # larger than the 512-deep ring
+            bufs.alloc(60)
+            sent = yield queue.send(bufs)
+            return sent
+
+        task = env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves()
+        assert task.result == 600
+        assert tx.tx_packets == 600
+
+    def test_empty_batch(self):
+        env, tx, rx = simple_env()
+
+        def slave(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(4)  # never alloc'd: empty
+            sent = yield queue.send(bufs)
+            return sent
+
+        task = env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves()
+        assert task.result == 0
+
+    def test_cycle_charging_advances_time(self):
+        env, tx, rx = simple_env()
+        stamps = []
+
+        def slave(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(63)
+            bufs.alloc(60)
+            stamps.append(env.now_ns)
+            yield queue.send(bufs)
+            stamps.append(env.now_ns)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves()
+        # 63 packets * 76 cycles at 2.4 GHz = ~1995 ns of CPU time.
+        assert stamps[1] - stamps[0] == pytest.approx(63 * 76 / 2.4, rel=0.01)
+
+    def test_ledger_charged_once(self):
+        env, tx, rx = simple_env()
+        stamps = []
+
+        def slave(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(10)
+            bufs.alloc(60)
+            bufs.charge_random_fields(8)
+            start = env.now_ns
+            yield queue.send(bufs)
+            stamps.append(env.now_ns - start)
+            bufs.alloc(60)
+            start = env.now_ns
+            yield queue.send(bufs)
+            stamps.append(env.now_ns - start)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves()
+        # First send pays 76 + 133.5 per packet, second only 76.
+        assert stamps[0] == pytest.approx(10 * (76 + 133.5) / 2.4, rel=0.01)
+        assert stamps[1] == pytest.approx(10 * 76 / 2.4, rel=0.02)
+
+
+class TestRecvOp:
+    def test_recv_returns_packets(self):
+        env, tx, rx = simple_env()
+        got = []
+
+        def sender(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(8)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        def receiver(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(32)
+            while sum(x[0] for x in got) < 8:
+                n = yield queue.recv(bufs, timeout_ns=500_000)
+                if n == 0:
+                    break
+                got.append((n, [b.pkt.size for b in bufs]))
+                bufs.free_all()
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.launch(receiver, env, rx.get_rx_queue(0))
+        env.wait_for_slaves(duration_ns=1_000_000)
+        assert sum(n for n, _ in got) == 8
+        assert all(size == 60 for _, sizes in got for size in sizes)
+
+    def test_recv_timeout(self):
+        env, tx, rx = simple_env()
+
+        def receiver(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(8)
+            n = yield queue.recv(bufs, timeout_ns=10_000)
+            return n
+
+        task = env.launch(receiver, env, rx.get_rx_queue(0))
+        env.wait_for_slaves()
+        assert task.result == 0
+        assert env.now_ns >= 10.0  # waited out the timeout (10 µs)
+
+    def test_recv_wakes_on_arrival(self):
+        env, tx, rx = simple_env()
+
+        def receiver(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(8)
+            n = yield queue.recv(bufs)
+            return (n, env.now_ns)
+
+        def sender(env, queue):
+            yield env.sleep_us(5)
+            mem = env.create_mempool()
+            bufs = mem.buf_array(1)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        rx_task = env.launch(receiver, env, rx.get_rx_queue(0))
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=1_000_000)
+        n, when = rx_task.result
+        assert n == 1
+        assert 5_000 < when * 1000 < 100_000 * 1000
+
+    def test_parked_recv_exits_when_stopped(self):
+        env, tx, rx = simple_env()
+
+        def receiver(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(8)
+            while env.running():
+                yield queue.recv(bufs)
+                bufs.free_all()
+            return "clean-exit"
+
+        task = env.launch(receiver, env, rx.get_rx_queue(0))
+        env.wait_for_slaves(duration_ns=100_000)
+        assert task.result == "clean-exit"
+
+    def test_rx_packet_parsing(self):
+        env, tx, rx = simple_env()
+        ports = []
+
+        def sender(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60, udp_dst=4242))
+            bufs = mem.buf_array(4)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        def receiver(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(8)
+            while len(ports) < 4:
+                n = yield queue.recv(bufs, timeout_ns=500_000)
+                if n == 0:
+                    break
+                for buf in bufs:
+                    ports.append(buf.udp_packet.udp.get_dst_port())
+                bufs.free_all()
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.launch(receiver, env, rx.get_rx_queue(0))
+        env.wait_for_slaves(duration_ns=1_000_000)
+        assert ports == [4242] * 4
+
+
+class TestTaskLifecycle:
+    def test_non_generator_rejected(self):
+        env, tx, rx = simple_env()
+        with pytest.raises(TaskError):
+            env.launch(lambda env: None, env)
+
+    def test_errors_propagate(self):
+        env, tx, rx = simple_env()
+
+        def bad(env):
+            yield env.sleep_ns(10)
+            raise RuntimeError("script bug")
+
+        env.launch(bad, env)
+        with pytest.raises(RuntimeError):
+            env.wait_for_slaves()
+
+    def test_unsupported_op(self):
+        env, tx, rx = simple_env()
+
+        def bad(env):
+            yield object()
+
+        env.launch(bad, env)
+        with pytest.raises(TaskError):
+            env.wait_for_slaves()
+
+    def test_charge_cycles_op(self):
+        env, tx, rx = simple_env()
+
+        def slave(env):
+            yield env.charge_cycles(2400)
+            return env.now_ns
+
+        task = env.launch(slave, env)
+        env.wait_for_slaves()
+        assert task.result == pytest.approx(1000.0)  # 2400 cyc @ 2.4 GHz
+
+    def test_sleep_ops(self):
+        env, tx, rx = simple_env()
+
+        def slave(env):
+            yield env.sleep_ns(100)
+            yield env.sleep_us(1)
+            yield env.sleep_ms(0.001)
+            return env.now_ns
+
+        task = env.launch(slave, env)
+        env.wait_for_slaves()
+        assert task.result == pytest.approx(100 + 1000 + 1000)
+
+
+class TestQueueWrappers:
+    def test_set_rate_guard_above_9mpps(self):
+        """Section 7.5: hardware rate control unreliable above ~9 Mpps."""
+        env, tx, rx = simple_env()
+        queue = tx.get_tx_queue(0)
+        with pytest.raises(RateControlError):
+            queue.set_rate_pps(10e6, 64)
+        with pytest.raises(RateControlError):
+            queue.set_rate(9000)  # ~13.4 Mpps at 64 B
+
+    def test_set_rate_ok_below_limit(self):
+        env, tx, rx = simple_env()
+        queue = tx.get_tx_queue(0)
+        queue.set_rate_pps(1e6, 64)
+        assert queue.rate_mbps == pytest.approx(1e6 * 84 * 8 / 1e6)
+
+    def test_try_fetch(self):
+        env, tx, rx = simple_env()
+
+        def sender(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(4)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.wait_for_slaves()
+        packets = rx.get_rx_queue(0).try_fetch(10)
+        assert len(packets) == 4
+
+    def test_counters_exposed(self):
+        env, tx, rx = simple_env()
+
+        def sender(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(4)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.wait_for_slaves()
+        assert tx.get_tx_queue(0).tx_packets == 4
+        assert tx.get_tx_queue(0).tx_bytes == 4 * 64
+        assert rx.get_rx_queue(0).rx_packets == 4

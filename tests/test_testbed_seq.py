@@ -1,0 +1,266 @@
+"""Tests for the testbed builders, sequence tracking, and software checksums."""
+
+import pytest
+
+from repro import MoonGenEnv, units
+from repro.core.seqcheck import (
+    SequenceReport,
+    SequenceStamper,
+    SequenceTracker,
+)
+from repro.errors import ConfigurationError
+from repro.testbed import dut_topology, loadgen_pair, port_fleet
+
+
+class TestTestbedBuilders:
+    def test_loadgen_pair_is_connected(self):
+        pair = loadgen_pair(seed=1)
+
+        def slave(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(4)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        pair.env.launch(slave, pair.env, pair.tx_dev.get_tx_queue(0))
+        pair.env.wait_for_slaves()
+        assert pair.rx_dev.rx_packets == 4
+
+    def test_dut_topology_forwards(self):
+        topo = dut_topology(seed=2)
+
+        def slave(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.eth_packet.fill(
+                eth_type=0x0800))
+            bufs = mem.buf_array(8)
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+        topo.env.launch(slave, topo.env, topo.tx_dev.get_tx_queue(0))
+        topo.env.wait_for_slaves(duration_ns=1_000_000)
+        assert topo.dut.forwarded == 8
+        assert topo.rx_dev.rx_packets == 8
+
+    def test_port_fleet_aggregates(self):
+        fleet = port_fleet(3, seed=3)
+
+        def slave_factory(env, tx_dev, rx_dev):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(5)
+            bufs.alloc(60)
+            yield tx_dev.get_tx_queue(0).send(bufs)
+
+        fleet.launch_on_each(slave_factory)
+        fleet.env.wait_for_slaves()
+        assert fleet.total_tx_packets == 15
+        assert all(dev.rx_packets == 5 for dev in fleet.rx_devs)
+
+    def test_port_fleet_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            port_fleet(0)
+
+
+class TestSequenceStamper:
+    def make_batch(self, n=4, size=60):
+        env = MoonGenEnv()
+        pool = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+            pkt_length=size))
+        bufs = pool.buf_array(n)
+        bufs.alloc(size)
+        return bufs
+
+    def test_stamps_consecutively(self):
+        stamper = SequenceStamper()
+        bufs = self.make_batch(4)
+        stamper.stamp(bufs)
+        seqs = [int.from_bytes(b.pkt.data[42:46], "big") for b in bufs]
+        assert seqs == [0, 1, 2, 3]
+        assert ("counter", 1) in bufs.drain_ledger()
+
+    def test_continues_across_batches(self):
+        stamper = SequenceStamper()
+        a = self.make_batch(3)
+        stamper.stamp(a)
+        b = self.make_batch(3)
+        stamper.stamp(b)
+        assert int.from_bytes(b[0].pkt.data[42:46], "big") == 3
+
+    def test_needs_room(self):
+        stamper = SequenceStamper(offset=100)
+        bufs = self.make_batch(1, size=60)
+        with pytest.raises(ConfigurationError):
+            stamper.stamp(bufs)
+
+
+class _FakeBuf:
+    def __init__(self, seq):
+        class P:
+            pass
+        self.pkt = P()
+        self.pkt.data = bytearray(64)
+        self.pkt.data[42:46] = seq.to_bytes(4, "big")
+        self.pkt.size = 64
+
+
+class TestSequenceTracker:
+    def observe(self, tracker, *seqs):
+        for s in seqs:
+            tracker.observe(_FakeBuf(s))
+
+    def test_in_order_no_loss(self):
+        t = SequenceTracker()
+        self.observe(t, 0, 1, 2, 3)
+        assert t.report == SequenceReport(received=4)
+
+    def test_gap_counts_losses(self):
+        t = SequenceTracker()
+        self.observe(t, 0, 1, 5)
+        assert t.report.received == 3
+        assert t.report.lost == 3
+        assert t.report.loss_fraction == pytest.approx(0.5)
+
+    def test_straggler_reclassified_as_reordered(self):
+        t = SequenceTracker()
+        self.observe(t, 0, 2, 1)
+        assert t.report.lost == 0
+        assert t.report.reordered == 1
+        assert t.report.received == 3
+
+    def test_duplicates(self):
+        t = SequenceTracker()
+        self.observe(t, 0, 1, 1)
+        assert t.report.duplicates == 1
+        assert t.report.received == 2
+
+    def test_end_to_end_with_lossy_wire(self):
+        """Failure injection: corrupted frames show up as sequence losses."""
+        from repro.nicsim.link import Wire
+        env = MoonGenEnv(seed=4)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        wire = Wire(env.loop, tx.port.speed_bps, corrupt_rate=0.2, seed=7)
+        wire.connect(rx.port.receive)
+        tx.port.attach_wire(wire)
+        stamper = SequenceStamper()
+        tracker = SequenceTracker()
+
+        def sender(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array(25)
+            for _ in range(8):
+                bufs.alloc(60)
+                stamper.stamp(bufs)
+                yield queue.send(bufs)
+
+        def receiver(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(64)
+            while env.running():
+                n = yield queue.recv(bufs, timeout_ns=500_000)
+                if n == 0 and stamper.next_seq == 200:
+                    return
+                tracker.observe_batch(bufs)
+                bufs.free_all()
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.launch(receiver, env, rx.get_rx_queue(0))
+        env.wait_for_slaves(duration_ns=10_000_000)
+        assert tracker.report.lost == rx.rx_crc_errors
+        assert tracker.report.received == 200 - rx.rx_crc_errors
+        assert tracker.report.loss_fraction == pytest.approx(
+            rx.rx_crc_errors / 200)
+
+
+class TestSequenceTrackerProperties:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=0, max_value=1000))
+    def test_in_order_stream_never_loses(self, n, seed):
+        import random
+        tracker = SequenceTracker()
+        for seq in range(n):
+            tracker.observe(_FakeBuf(seq))
+        assert tracker.report.lost == 0
+        assert tracker.report.received == n
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=0, max_value=1000))
+    def test_local_shuffle_only_reorders(self, n, seed):
+        """A complete stream, locally shuffled, shows reordering, never a
+        net loss."""
+        import random
+        rng = random.Random(seed)
+        seqs = list(range(n))
+        # Swap adjacent pairs at random: bounded reordering.
+        for i in range(0, n - 1, 2):
+            if rng.random() < 0.5:
+                seqs[i], seqs[i + 1] = seqs[i + 1], seqs[i]
+        tracker = SequenceTracker()
+        for seq in seqs:
+            tracker.observe(_FakeBuf(seq))
+        assert tracker.report.lost == 0
+        assert tracker.report.received == n
+        assert tracker.report.duplicates == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=99), max_size=60),
+           st.integers(min_value=0, max_value=100))
+    def test_arbitrary_drops_accounted_exactly(self, dropped, _seed):
+        """Delivering 0..99 minus a drop set: lost == len(drops) except
+        drops at the very end, which no gap can reveal."""
+        tracker = SequenceTracker()
+        for seq in range(100):
+            if seq not in dropped:
+                tracker.observe(_FakeBuf(seq))
+        tail = 0
+        while (99 - tail) in dropped:
+            tail += 1
+        assert tracker.report.lost == len(dropped) - tail
+        assert tracker.report.received == 100 - len(dropped)
+
+
+class TestSoftwareChecksums:
+    def test_checksums_written_into_buffers(self):
+        env = MoonGenEnv()
+        pool = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+            pkt_length=60, ip_src="10.0.0.1", ip_dst="10.0.0.2"))
+        bufs = pool.buf_array(2)
+        bufs.alloc(60)
+        bufs.calculate_udp_checksums_software()
+        for buf in bufs:
+            assert buf.udp_packet.ip.verify_checksum()
+            assert buf.udp_packet.verify_udp_checksum()
+            assert buf.udp_packet.udp.checksum != 0
+        entries = bufs.drain_ledger()
+        assert entries and entries[0][0] == "sw_checksum"
+
+    def test_software_slower_than_offload(self):
+        """Section 5.6.1: offloading beats computing in software."""
+        def run(software: bool):
+            env = MoonGenEnv(seed=9, core_freq_hz=1.2e9)
+            tx = env.config_device(0, tx_queues=1)
+            rx = env.config_device(1, rx_queues=1)
+            env.connect(tx, rx)
+
+            def slave(env, queue):
+                mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                    pkt_length=60))
+                bufs = mem.buf_array()
+                while env.running():
+                    bufs.alloc(60)
+                    bufs.charge_random_fields(8)  # keep it CPU-bound
+                    if software:
+                        bufs.calculate_udp_checksums_software()
+                    else:
+                        bufs.offload_udp_checksums()
+                    yield queue.send(bufs)
+
+            env.launch(slave, env, tx.get_tx_queue(0))
+            env.wait_for_slaves(duration_ns=300_000)
+            return tx.tx_packets / (env.now_ns / 1e9)
+
+        assert run(software=False) > run(software=True) * 1.03

@@ -1,0 +1,97 @@
+"""Tests for wire-time arithmetic (repro.units)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestWireLength:
+    def test_min_frame_wire_length(self):
+        # 64 B frame + 20 B overhead = 84 B on the wire.
+        assert units.wire_length(64) == 84
+
+    def test_overhead_constant(self):
+        assert units.WIRE_OVERHEAD == 20
+        assert units.PREAMBLE_SIZE + units.SFD_SIZE + units.INTER_FRAME_GAP == 20
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_wire_length_monotone(self, size):
+        assert units.wire_length(size + 1) == units.wire_length(size) + 1
+
+
+class TestFrameTime:
+    def test_64b_at_10g_is_67_2ns(self):
+        assert units.frame_time_ns(64, units.SPEED_10G) == pytest.approx(67.2)
+
+    def test_64b_at_1g_is_672ns(self):
+        # The black-arrow burst spacing of Figure 8.
+        assert units.frame_time_ns(64, units.SPEED_1G) == pytest.approx(672.0)
+
+    def test_frame_time_ps_is_exact_integer(self):
+        # 800 ps per byte at 10 GbE: exact integer arithmetic.
+        assert units.frame_time_ps(64, units.SPEED_10G) == 84 * 800
+
+    def test_byte_time(self):
+        assert units.byte_time_ps(units.SPEED_10G) == pytest.approx(800.0)
+        assert units.byte_time_ps(units.SPEED_1G) == pytest.approx(8000.0)
+
+    @given(st.integers(min_value=33, max_value=1538),
+           st.sampled_from([units.SPEED_1G, units.SPEED_10G, units.SPEED_40G]))
+    def test_frame_time_positive(self, size, speed):
+        assert units.frame_time_ps(size, speed) > 0
+
+
+class TestLineRate:
+    def test_10g_line_rate_64b(self):
+        # The paper's headline: 14.88 Mpps.
+        assert units.line_rate_pps(64, units.SPEED_10G) == pytest.approx(
+            14.88e6, rel=1e-3
+        )
+
+    def test_line_rate_constant_matches(self):
+        assert units.LINE_RATE_10G_64B_PPS == pytest.approx(
+            units.line_rate_pps(64, units.SPEED_10G), abs=1.0
+        )
+
+    def test_larger_packets_lower_pps(self):
+        assert units.line_rate_pps(1518, units.SPEED_10G) < units.line_rate_pps(
+            64, units.SPEED_10G
+        )
+
+    def test_120gbe_aggregate(self):
+        # Twelve 10 GbE ports: 178.5 Mpps (Section 5.5 / Figure 4).
+        assert 12 * units.line_rate_pps(64, units.SPEED_10G) == pytest.approx(
+            178.5e6, rel=1e-2
+        )
+
+
+class TestConversions:
+    def test_pps_gap_roundtrip(self):
+        assert units.pps_to_gap_ns(1e6) == pytest.approx(1000.0)
+
+    def test_pps_to_gap_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.pps_to_gap_ns(0)
+
+    def test_mpps(self):
+        assert units.mpps(14.88) == pytest.approx(14.88e6)
+        assert units.to_mpps(14.88e6) == pytest.approx(14.88)
+
+    def test_gbit(self):
+        assert units.gbit(10) == units.SPEED_10G
+        assert units.to_gbit(units.SPEED_40G) == pytest.approx(40.0)
+
+    def test_throughput(self):
+        # 14.88 Mpps of 64 B frames = 7.62 Gbit/s of frame data.
+        assert units.throughput_gbps(14.88e6, 64) == pytest.approx(7.62, rel=1e-2)
+
+    def test_wire_rate_is_full_link(self):
+        pps = units.line_rate_pps(64, units.SPEED_10G)
+        assert units.wire_rate_gbps(pps, 64) == pytest.approx(10.0, rel=1e-6)
+
+    @given(st.floats(min_value=1.0, max_value=1e9))
+    def test_gap_positive(self, pps):
+        assert units.pps_to_gap_ns(pps) > 0

@@ -1,0 +1,136 @@
+"""Tests for 802.1Q VLAN tagging."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PacketError
+from repro.packet import PacketData
+from repro.packet.vlan import (
+    TPID_QINQ,
+    TPID_VLAN,
+    insert_vlan_tag,
+    is_vlan_tagged,
+    read_vlan_tag,
+    strip_vlan_tag,
+)
+
+
+def udp_pkt(size=60):
+    pkt = PacketData(size)
+    pkt.udp_packet.fill(pkt_length=size, ip_dst="10.0.0.1", udp_dst=42)
+    return pkt
+
+
+class TestInsert:
+    def test_tag_fields(self):
+        pkt = udp_pkt()
+        tag = insert_vlan_tag(pkt, vid=100, pcp=5, dei=1)
+        assert tag.tpid == TPID_VLAN
+        assert tag.vid == 100
+        assert tag.pcp == 5
+        assert tag.dei == 1
+
+    def test_frame_grows_by_four(self):
+        pkt = udp_pkt()
+        insert_vlan_tag(pkt, vid=1)
+        assert pkt.size == 64
+
+    def test_payload_shifted_intact(self):
+        pkt = udp_pkt()
+        original = pkt.bytes()
+        insert_vlan_tag(pkt, vid=7)
+        # MACs unchanged, EtherType position now holds the TPID, and the
+        # original EtherType+payload follow the tag.
+        assert pkt.bytes()[:12] == original[:12]
+        assert pkt.bytes()[16:] == original[12:]
+
+    def test_is_tagged(self):
+        pkt = udp_pkt()
+        assert not is_vlan_tagged(pkt)
+        insert_vlan_tag(pkt, vid=7)
+        assert is_vlan_tagged(pkt)
+
+    def test_qinq_tpid(self):
+        pkt = udp_pkt()
+        insert_vlan_tag(pkt, vid=7, tpid=TPID_QINQ)
+        assert read_vlan_tag(pkt).tpid == TPID_QINQ
+
+    def test_stacked_tags(self):
+        pkt = udp_pkt()
+        insert_vlan_tag(pkt, vid=10)             # inner
+        insert_vlan_tag(pkt, vid=20, tpid=TPID_QINQ)  # outer
+        assert read_vlan_tag(pkt).vid == 20
+        strip_vlan_tag(pkt)
+        assert read_vlan_tag(pkt).vid == 10
+
+    def test_rejects_bad_vid(self):
+        with pytest.raises(PacketError):
+            insert_vlan_tag(udp_pkt(), vid=4096)
+
+    def test_rejects_short_frame(self):
+        with pytest.raises(PacketError):
+            insert_vlan_tag(PacketData(10), vid=1)
+
+    def test_rejects_without_capacity(self):
+        pkt = PacketData(60, capacity=60)
+        with pytest.raises(PacketError):
+            insert_vlan_tag(pkt, vid=1)
+
+
+class TestStrip:
+    def test_roundtrip(self):
+        pkt = udp_pkt()
+        original = pkt.bytes()
+        insert_vlan_tag(pkt, vid=123)
+        assert strip_vlan_tag(pkt) == 123
+        assert pkt.bytes() == original
+        assert pkt.classify() == "udp4"
+
+    def test_strip_untagged_raises(self):
+        with pytest.raises(PacketError):
+            strip_vlan_tag(udp_pkt())
+
+    @given(st.integers(min_value=0, max_value=4095),
+           st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=1))
+    def test_tci_roundtrip_property(self, vid, pcp, dei):
+        pkt = udp_pkt()
+        insert_vlan_tag(pkt, vid=vid, pcp=pcp, dei=dei)
+        tag = read_vlan_tag(pkt)
+        assert (tag.vid, tag.pcp, tag.dei) == (vid, pcp, dei)
+        assert strip_vlan_tag(pkt) == vid
+
+
+class TestOnTheWire:
+    def test_tagged_frames_cross_the_simulation(self):
+        from repro import MoonGenEnv
+        env = MoonGenEnv(seed=1)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        vids = []
+
+        def sender(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60, udp_dst=42))
+            bufs = mem.buf_array(4)
+            bufs.alloc(60)
+            for i, buf in enumerate(bufs):
+                insert_vlan_tag(buf.pkt, vid=100 + i, pcp=3)
+            yield queue.send(bufs)
+
+        def receiver(env, queue):
+            mem = env.create_mempool()
+            bufs = mem.buf_array(8)
+            while len(vids) < 4 and env.running():
+                n = yield queue.recv(bufs, timeout_ns=500_000)
+                for i in range(n):
+                    if is_vlan_tagged(bufs[i].pkt):
+                        vids.append(strip_vlan_tag(bufs[i].pkt))
+                        assert bufs[i].pkt.classify() == "udp4"
+                bufs.free_all()
+
+        env.launch(sender, env, tx.get_tx_queue(0))
+        env.launch(receiver, env, rx.get_rx_queue(0))
+        env.wait_for_slaves(duration_ns=2_000_000)
+        assert sorted(vids) == [100, 101, 102, 103]

@@ -1,0 +1,124 @@
+"""Tests for PHY framing and wire impairments."""
+
+import numpy as np
+import pytest
+
+from repro import MoonGenEnv, units
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import Wire
+from repro.nicsim.nic import CHIP_X540, NicPort, SimFrame
+
+
+class TestPhyFraming:
+    """Section 8.4: 10GBASE-T ships 3200-bit PHY frames, so packets closer
+    than one PHY frame arrive as a burst."""
+
+    def test_close_packets_coalesce(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G, phy_frame_bits=3200)
+        arrivals = []
+        wire.connect(lambda f, t: arrivals.append(t))
+        # Two back-to-back 64 B frames: 67.2 ns apart on the wire, but the
+        # PHY frame is 320 ns — they arrive in adjacent deliveries.
+        wire.transmit("a", 64)
+        wire.transmit("b", 64)
+        loop.run()
+        gap_ns = (arrivals[1] - arrivals[0]) / 1000
+        assert gap_ns < 1.0  # delivered as a burst
+
+    def test_distant_packets_unaffected(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G, phy_frame_bits=3200)
+        arrivals = []
+        wire.connect(lambda f, t: arrivals.append(t))
+        wire.transmit("a", 64, start_ps=0)
+        wire.transmit("b", 64, start_ps=2_000_000)  # 2 µs later
+        loop.run()
+        gap_ns = (arrivals[1] - arrivals[0]) / 1000
+        assert gap_ns == pytest.approx(2000.0, abs=330.0)
+
+    def test_arrivals_quantized_to_phy_grid(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G, phy_frame_bits=3200)
+        arrivals = []
+        wire.connect(lambda f, t: arrivals.append(t))
+        for i in range(10):
+            wire.transmit(i, 64, start_ps=i * 1_000_000)
+        loop.run()
+        phy_ps = round(3200 * 1e12 / units.SPEED_10G)
+        for t in arrivals:
+            assert t % phy_ps == 0
+
+    def test_phy_framing_hides_sub_frame_gaps(self):
+        """Two packets 60 ns apart and two back-to-back are identical at
+        the receiver — the paper's argument for why unrepresentable CRC
+        gaps do not matter on 10GBASE-T."""
+        def arrival_gap(spacing_ps):
+            loop = EventLoop()
+            wire = Wire(loop, units.SPEED_10G, phy_frame_bits=3200)
+            arrivals = []
+            wire.connect(lambda f, t: arrivals.append(t))
+            wire.transmit("a", 64, start_ps=0)
+            wire.transmit("b", 64, start_ps=spacing_ps)
+            loop.run()
+            return arrivals[1] - arrivals[0]
+
+        back_to_back = arrival_gap(0)
+        small_gap = arrival_gap(60_000)  # 60 ns software gap
+        assert back_to_back == small_gap
+
+
+class TestWireImpairments:
+    def test_corruption_breaks_fcs(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G, corrupt_rate=1.0, seed=1)
+        got = []
+        wire.connect(lambda f, t: got.append(f))
+        wire.transmit(SimFrame(b"\x00" * 60), 64)
+        loop.run()
+        assert not got[0].fcs_ok
+        assert wire.corrupted == 1
+
+    def test_corrupted_frames_counted_by_nic(self):
+        """Bit errors show up in the receiver's CRC error counter."""
+        env = MoonGenEnv(seed=2)
+        loop = env.loop
+        rx = NicPort(loop, chip=CHIP_X540, port_id=1)
+        wire = Wire(loop, units.SPEED_10G, corrupt_rate=0.3, seed=5)
+        wire.connect(rx.receive)
+        for _ in range(200):
+            wire.transmit(SimFrame(b"\x00" * 60), 64)
+        loop.run()
+        assert rx.rx_crc_errors == wire.corrupted
+        assert rx.rx_packets == 200 - wire.corrupted
+        assert 30 < wire.corrupted < 90  # ~30 %
+
+    def test_zero_rate_never_corrupts(self):
+        loop = EventLoop()
+        wire = Wire(loop, units.SPEED_10G, corrupt_rate=0.0)
+        got = []
+        wire.connect(lambda f, t: got.append(f))
+        for _ in range(50):
+            wire.transmit(SimFrame(b"\x00" * 60), 64)
+        loop.run()
+        assert all(f.fcs_ok for f in got)
+        assert wire.corrupted == 0
+
+    def test_latency_measurement_survives_lost_probes(self):
+        """Failure injection: a lossy wire loses some timestamped probes;
+        the Timestamper accounts them instead of hanging."""
+        from repro import Timestamper
+        env = MoonGenEnv(seed=6)
+        a = env.config_device(0, tx_queues=1, rx_queues=1)
+        b = env.config_device(1, rx_queues=1, tx_queues=1)
+        wire = Wire(env.loop, a.port.speed_bps, corrupt_rate=0.4, seed=9)
+        wire.connect(b.port.receive)
+        a.port.attach_wire(wire)
+        ts = Timestamper(env, a.get_tx_queue(0), b, seed=2)
+        env.launch(
+            lambda: ts.probe_task(50, 10_000.0, timeout_ns=200_000.0)
+        )
+        env.wait_for_slaves(duration_ns=30_000_000)
+        assert ts.lost_probes > 5
+        assert len(ts.histogram) + ts.lost_probes == 50
+        assert len(ts.histogram) > 10
