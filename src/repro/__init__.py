@@ -49,6 +49,7 @@ from repro.core import (
     sync_clocks,
 )
 from repro.packet import parse_ip_address
+from repro.trace import JsonlSink, RingSink, Tracer
 
 __version__ = "1.0.0"
 
@@ -59,6 +60,7 @@ __all__ = [
     "Device",
     "GapFiller",
     "Histogram",
+    "JsonlSink",
     "ManualRxCounter",
     "ManualTxCounter",
     "MemPool",
@@ -66,8 +68,10 @@ __all__ = [
     "PacketBuffer",
     "PktRxCounter",
     "PoissonPattern",
+    "RingSink",
     "RxQueue",
     "Timestamper",
+    "Tracer",
     "TxQueue",
     "UniformBurstPattern",
     "parse_ip_address",

@@ -8,6 +8,7 @@ reproduction ships the canonical measurement scripts as subcommands::
     moongen-repro inter-arrival --rate 500
     moongen-repro rfc2544 --frame-size 64
     moongen-repro timestamps
+    moongen-repro trace --scenario load-latency --out run.jsonl
 
 Custom userscripts use the library API directly (see examples/).
 """
@@ -131,6 +132,38 @@ def _cmd_timestamps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import CATEGORIES
+    from repro.trace.scenarios import SCENARIOS, run_scenario
+
+    categories = None
+    if args.categories:
+        categories = tuple(c.strip() for c in args.categories.split(",") if c.strip())
+        unknown = set(categories) - set(CATEGORIES)
+        if unknown:
+            print(f"unknown trace categories: {sorted(unknown)} "
+                  f"(valid: {', '.join(CATEGORIES)})", file=sys.stderr)
+            return 2
+    text = run_scenario(args.scenario, seed=args.seed, categories=categories)
+    if args.out:
+        with open(args.out, "w", newline="\n") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    if args.summary:
+        import collections
+        import json
+
+        counts = collections.Counter(
+            json.loads(line)["kind"] for line in text.splitlines())
+        total = sum(counts.values())
+        print(f"scenario {args.scenario!r} (seed {args.seed}): "
+              f"{total} records", file=sys.stderr)
+        for kind, n in sorted(counts.items(), key=lambda kv: -kv[1]):
+            print(f"  {kind:20s} {n}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="moongen-repro",
@@ -173,6 +206,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probes", type=int, default=200)
     p.add_argument("--seed", type=int, default=5)
     p.set_defaults(func=_cmd_timestamps)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a canonical scenario with structured tracing, emit JSONL",
+        description="Runs a seeded canonical scenario with the repro.trace "
+                    "subsystem enabled and writes the JSONL trace to stdout "
+                    "or --out.  The same scenarios back the golden-trace "
+                    "regression tests (docs/TRACING.md).",
+    )
+    p.add_argument("--scenario", choices=("load-latency", "poisson"),
+                   default="load-latency")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--out", help="write the trace to this file (default stdout)")
+    p.add_argument("--categories",
+                   help="comma-separated record categories (default: golden set)")
+    p.add_argument("--summary", action="store_true",
+                   help="print per-kind record counts to stderr")
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -15,6 +15,7 @@ from repro.core.memory import MemPool, PacketBuffer
 from repro.core.ops import CyclesOp, SleepOp
 from repro.core.tasks import Task
 from repro.errors import ConfigurationError, DeviceError
+from repro.trace import Tracer
 from repro.nicsim.cpu import CpuCore, CycleCostModel, REFERENCE_FREQ_HZ
 from repro.nicsim.eventloop import EventLoop
 from repro.nicsim.link import Cable, IDEAL_CABLE, Wire
@@ -29,6 +30,7 @@ class MoonGenEnv:
         seed: int = 0,
         core_freq_hz: float = REFERENCE_FREQ_HZ,
         cost_noise: bool = True,
+        trace=None,
     ) -> None:
         self.loop = EventLoop()
         self.seed = seed
@@ -41,6 +43,19 @@ class MoonGenEnv:
         self._wire_seed = seed + 0x5EED
         #: Parked receive tasks re-check ``running()`` at least this often.
         self.poll_slice_ps = 1_000_000_000  # 1 ms
+        #: Structured tracing (``repro.trace``).  ``trace`` may be ``True``
+        #: (all categories into an in-memory ring buffer), an iterable of
+        #: category names, or a pre-built :class:`~repro.trace.Tracer`.
+        #: ``None``/``False`` keeps every instrumentation site on its
+        #: zero-cost fast path.
+        self.tracer: Optional[Tracer] = None
+        if trace:
+            if isinstance(trace, Tracer):
+                self.tracer = trace
+            else:
+                categories = None if trace is True else trace
+                self.tracer = Tracer(categories=categories)
+            self.tracer.bind(self.loop)
 
     # -- time -----------------------------------------------------------------
 
@@ -178,6 +193,7 @@ class MoonGenEnv:
             core_id=len(self.cores),
             freq_hz=freq_hz or self.core_freq_hz,
             model=self.cost_model,
+            tracer=self.tracer,
         )
         self.cores.append(core)
         task = Task(self, fn, args, core, name=name)

@@ -33,6 +33,16 @@ class DeviceStatsMonitor:
         self.tx = DeviceTxCounter(device, fmt, **kwargs)
         self.rx = DeviceRxCounter(device, fmt, **kwargs)
         self.samples = 0
+        self._finalized = False
+
+    def _trace_sample(self) -> None:
+        tracer = getattr(self.env, "tracer", None)
+        if tracer is not None:
+            tracer.emit("stats", "stats_sample", dev=self.device.port_id,
+                        tx_packets=self.tx.total_packets,
+                        tx_bytes=self.tx.total_bytes,
+                        rx_packets=self.rx.total_packets,
+                        rx_bytes=self.rx.total_bytes)
 
     def task(self):
         """Slave task: sample until the experiment stops, then finalize."""
@@ -42,10 +52,21 @@ class DeviceStatsMonitor:
             self.tx.sample()
             self.rx.sample()
             self.samples += 1
+            self._trace_sample()
         self.finalize()
 
     def finalize(self) -> None:
+        """Take a last sample and flush; safe to call more than once.
+
+        Sampling is delta-based (register value minus the last read), so the
+        extra sample here never double-counts packets already accounted in
+        :meth:`task`; repeated calls are no-ops.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
         self.tx.sample()
         self.rx.sample()
+        self._trace_sample()
         self.tx.finalize()
         self.rx.finalize()

@@ -68,14 +68,21 @@ class OvsForwarder:
         if self._start_ps is None:
             self._start_ps = arrival_ps
         self._last_activity_ps = arrival_ps
+        tracer = self.loop.tracer
         if not frame.fcs_ok:
             # Dropped by the DuT NIC before it reaches any software — the
             # load of invalid packets causes no system activity (Section 8.2).
             self.rx_crc_errors += 1
+            if tracer is not None:
+                tracer.emit("drop", "dut_drop_fcs",
+                            frame=tracer.frame_id(frame), size=frame.size)
             return
         self.moderator.observe_arrival(arrival_ps / 1000.0)
         if len(self.ring) >= self.config.ring_size:
             self.rx_dropped += 1
+            if tracer is not None:
+                tracer.emit("drop", "dut_drop_ring",
+                            frame=tracer.frame_id(frame), size=frame.size)
             return
         frame.meta["dut_arrival_ps"] = arrival_ps
         self.ring.append(frame)
@@ -98,6 +105,9 @@ class OvsForwarder:
         if self._busy or not self.ring:
             return
         self.moderator.fire(self.loop.now_ps / 1000.0)
+        if self.loop.tracer is not None:
+            self.loop.tracer.emit("irq", "dut_irq", n=self.moderator.interrupts,
+                                  pending=len(self.ring))
         self._busy = True
         overhead_ps = round(self.config.itr.interrupt_overhead_ns * 1000)
         self.loop.schedule(overhead_ps, self._poll)

@@ -174,13 +174,16 @@ class CpuCore:
     """
 
     def __init__(self, core_id: int, freq_hz: float = REFERENCE_FREQ_HZ,
-                 model: Optional[CycleCostModel] = None) -> None:
+                 model: Optional[CycleCostModel] = None,
+                 tracer=None) -> None:
         if freq_hz <= 0:
             raise ConfigurationError(f"invalid core frequency: {freq_hz}")
         self.core_id = core_id
         self.freq_hz = float(freq_hz)
         self.model = model or CycleCostModel()
         self.busy_cycles = 0.0
+        #: Optional :class:`repro.trace.Tracer` recording cycle charges.
+        self.tracer = tracer
 
     def set_frequency(self, freq_hz: float) -> None:
         if freq_hz <= 0:
@@ -194,7 +197,11 @@ class CpuCore:
     def charge(self, cycles: float) -> int:
         """Account busy cycles and return the elapsed picoseconds."""
         self.busy_cycles += cycles
-        return self.cycles_to_ps(cycles)
+        elapsed_ps = self.cycles_to_ps(cycles)
+        if self.tracer is not None:
+            self.tracer.emit("cpu", "cpu_charge", core=self.core_id,
+                             cycles=round(cycles, 3), ps=elapsed_ps)
+        return elapsed_ps
 
 
 def predict_throughput_pps(total_cycles_per_pkt: float, freq_hz: float) -> float:

@@ -45,6 +45,9 @@ class EventLoop:
         self.now_ps = 0
         self._running = False
         self._processes: List["Process"] = []
+        #: Optional :class:`repro.trace.Tracer`; ``None`` keeps every
+        #: instrumentation site on its zero-cost fast path.
+        self.tracer = None
 
     @property
     def now_ns(self) -> float:
@@ -74,6 +77,9 @@ class EventLoop:
             if event.cancelled:
                 continue
             self.now_ps = time_ps
+            if self.tracer is not None:
+                self.tracer.emit("event", "event_fired",
+                                 cb=_callback_name(event.callback))
             event.callback()
             return True
         return False
@@ -110,6 +116,9 @@ class EventLoop:
         self._processes.append(process)
         return process
 
+    def _next_pid(self) -> int:
+        return len(self._processes)
+
     @property
     def processes(self) -> List["Process"]:
         return list(self._processes)
@@ -130,6 +139,21 @@ class Signal:
 
     def wait(self, callback: Callable[[Any], None]) -> None:
         self._waiters.append(callback)
+
+    def discard(self, callback: Callable[[Any], None]) -> bool:
+        """Drop one registration of ``callback``; True if it was waiting.
+
+        Lets parked processes and :func:`wait_any` combiners deregister
+        themselves instead of leaving dead closures in the waiter list (a
+        silent leak: a waiter on a signal that never triggers again is
+        retained forever, and a process parked on a garbage-collected
+        signal never completes).
+        """
+        try:
+            self._waiters.remove(callback)
+            return True
+        except ValueError:
+            return False
 
     def trigger(self, value: Any = None) -> None:
         waiters, self._waiters = self._waiters, []
@@ -159,47 +183,69 @@ class Process:
         self.loop = loop
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        self.pid = loop._next_pid()
         self.finished = False
         self.error: Optional[BaseException] = None
         self.result: Any = None
         self.done_signal = Signal()
         self._stopped = False
+        # The signal/callback pair this process is currently parked on, so
+        # kill() can deregister instead of leaking the waiter.
+        self._parked_signal: Optional[Signal] = None
+        self._parked_callback: Optional[Callable[[Any], None]] = None
         loop.schedule(0, lambda: self._advance(None))
 
     def stop(self) -> None:
         """Ask the process to stop: the pending yield raises GeneratorExit."""
         self._stopped = True
 
+    def _finish(self, outcome: str) -> None:
+        self.finished = True
+        tracer = self.loop.tracer
+        if tracer is not None:
+            tracer.emit("proc", "proc_finish", pid=self.pid, name=self.name,
+                        outcome=outcome)
+
     def _advance(self, value: Any) -> None:
         if self.finished:
             return
+        self._parked_signal = None
+        self._parked_callback = None
+        tracer = self.loop.tracer
+        if tracer is not None:
+            tracer.emit("proc", "proc_advance", pid=self.pid, name=self.name)
         try:
             if self._stopped:
                 self.generator.close()
                 raise StopIteration
             yielded = self.generator.send(value)
         except StopIteration as stop:
-            self.finished = True
             self.result = getattr(stop, "value", None)
+            self._finish("ok")
             self.done_signal.trigger(self.result)
             return
         except BaseException as exc:  # noqa: BLE001 - stored and re-raised
-            self.finished = True
             self.error = exc
+            self._finish("error")
             self.done_signal.trigger(None)
             return
         if yielded is None:
             self.loop.schedule(0, lambda: self._advance(None))
         elif isinstance(yielded, Signal):
-            yielded.wait(lambda v: self._advance(v))
+            callback = self._advance
+            self._parked_signal = yielded
+            self._parked_callback = callback
+            if tracer is not None:
+                tracer.emit("proc", "proc_block", pid=self.pid, name=self.name)
+            yielded.wait(callback)
         elif isinstance(yielded, (int, float)):
             self.loop.schedule(int(yielded), lambda: self._advance(None))
         else:
-            self.finished = True
             self.error = SimulationError(
                 f"process {self.name!r} yielded unsupported value "
                 f"{yielded!r}; expected delay, Signal, or None"
             )
+            self._finish("error")
             self.done_signal.trigger(None)
 
     def check(self) -> None:
@@ -208,19 +254,38 @@ class Process:
             raise self.error
 
     def kill(self) -> None:
-        """Terminate the process immediately (it may be parked on a signal)."""
+        """Terminate the process immediately (it may be parked on a signal).
+
+        Any pending waiter registration is dropped, so the parked-on signal
+        does not retain (or later resume) a dead process.
+        """
         if self.finished:
             return
-        self.finished = True
+        if self._parked_signal is not None and self._parked_callback is not None:
+            self._parked_signal.discard(self._parked_callback)
+            self._parked_signal = None
+            self._parked_callback = None
+        self._finish("killed")
         self.generator.close()
         self.done_signal.trigger(None)
+
+
+def _callback_name(callback: Callable) -> str:
+    """A deterministic human-readable label for a scheduled callback."""
+    name = getattr(callback, "__qualname__", None)
+    if name is None:
+        name = type(callback).__name__
+    return name
 
 
 def wait_any(loop: EventLoop, signals: List[Signal], timeout_ps: Optional[int] = None) -> Signal:
     """A signal that fires when any source signal fires or a timeout elapses.
 
-    Late stragglers are ignored; the pending timeout event is cancelled when
-    a signal wins, so no dead callbacks accumulate in the queue.
+    Exactly-once semantics with no leaks: when one source (or the timeout)
+    wins, the combiner deregisters itself from every other source signal
+    and cancels the pending timeout event.  Long-lived signals (rx packet
+    signals, pipe data signals) therefore never accumulate dead combiner
+    closures across repeated ``wait_any`` calls.
     """
     combined = Signal()
     state = {"fired": False, "event": None}
@@ -229,6 +294,8 @@ def wait_any(loop: EventLoop, signals: List[Signal], timeout_ps: Optional[int] =
         if state["fired"]:
             return
         state["fired"] = True
+        for signal in signals:
+            signal.discard(fire)
         if state["event"] is not None:
             state["event"].cancel()
         combined.trigger(value)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro import units
 from repro.nicsim.eventloop import EventLoop
@@ -164,6 +164,7 @@ class Wire:
         self.busy_until_ps = end
         self.frames_sent += 1
         self.bytes_sent += frame_size
+        tracer = self.loop.tracer
         if self.sink is not None:
             latency_ns = self.cable.latency_ns() + self.cable.medium.jitter_ns(self.rng)
             arrival = end + round(latency_ns * 1000)
@@ -177,11 +178,21 @@ class Wire:
                 # A bit error on the wire: the FCS no longer matches.
                 frame = self._corrupt(frame)
                 self.corrupted += 1
+                if tracer is not None:
+                    tracer.emit("drop", "wire_corrupt",
+                                frame=tracer.frame_id(frame), size=frame_size)
             # Keep in-order delivery even if jitter would reorder frames.
             arrival = max(arrival, self._last_delivery_ps + 1)
             self._last_delivery_ps = arrival
+            if tracer is not None:
+                tracer.emit("wire", "wire_tx", frame=tracer.frame_id(frame),
+                            size=frame_size, start=start, end=end,
+                            arrival=arrival)
             sink = self.sink
             self.loop.schedule_at(arrival, lambda f=frame, a=arrival: sink(f, a))
+        elif tracer is not None:
+            tracer.emit("wire", "wire_tx", frame=tracer.frame_id(frame),
+                        size=frame_size, start=start, end=end)
         return end
 
     @staticmethod

@@ -430,6 +430,11 @@ class NicPort:
     def _fetch_from_ring(self, queue: TxQueueSim) -> SimFrame:
         """DMA one descriptor out of a ring: recycle + wake the producer."""
         frame = queue.ring.popleft()
+        tracer = self.loop.tracer
+        if tracer is not None:
+            tracer.emit("desc", "desc_fetch", port=self.port_id,
+                        queue=queue.index, frame=tracer.frame_id(frame),
+                        size=frame.size)
         recycle = frame.meta.pop("recycle", None)
         if recycle is not None:
             # The NIC has fetched the packet: DPDK's transmit function can
@@ -510,11 +515,20 @@ class NicPort:
         # Timestamp late in the transmit path (Section 6: as the frame hits
         # the wire), if the descriptor asked for it and the register is free.
         if frame.meta.get("timestamp") and self.chip.hw_timestamping and frame.is_ptp():
+            tracer = self.loop.tracer
             if self._tx_timestamp is None:
                 self._tx_timestamp = self.clock.timestamp_ns(now)
                 self._tx_timestamp_seq = frame.ptp_sequence()
+                if tracer is not None:
+                    tracer.emit("tstamp", "tx_tstamp_latch", port=self.port_id,
+                                frame=tracer.frame_id(frame),
+                                ns=self._tx_timestamp,
+                                ptp_seq=self._tx_timestamp_seq)
             else:
                 self.timestamp_missed += 1
+                if tracer is not None:
+                    tracer.emit("tstamp", "tstamp_missed", port=self.port_id,
+                                side="tx", frame=tracer.frame_id(frame))
         frame.meta["tx_start_ps"] = now
         for observer in self.tx_observers:
             observer(frame, now)
@@ -537,10 +551,14 @@ class NicPort:
 
     def receive(self, frame: SimFrame, arrival_ps: int) -> None:
         """Wire-side delivery into this port (the wire's sink callback)."""
+        tracer = self.loop.tracer
         if not frame.fcs_ok:
             # Dropped before queue assignment; packet processing logic is
             # unaffected — the property Section 8 relies on.
             self.rx_crc_errors += 1
+            if tracer is not None:
+                tracer.emit("drop", "drop_fcs", port=self.port_id,
+                            frame=tracer.frame_id(frame), size=frame.size)
             return
         if self.chip.hw_timestamping:
             # Timestamps are taken early in the receive path, referenced to
@@ -552,8 +570,18 @@ class NicPort:
                 if self._rx_timestamp is None:
                     self._rx_timestamp = self.clock.timestamp_ns(stamp_ps)
                     self._rx_timestamp_seq = frame.ptp_sequence()
+                    if tracer is not None:
+                        tracer.emit("tstamp", "rx_tstamp_latch",
+                                    port=self.port_id,
+                                    frame=tracer.frame_id(frame),
+                                    ns=self._rx_timestamp,
+                                    ptp_seq=self._rx_timestamp_seq)
                 else:
                     self.timestamp_missed += 1
+                    if tracer is not None:
+                        tracer.emit("tstamp", "tstamp_missed",
+                                    port=self.port_id, side="rx",
+                                    frame=tracer.frame_id(frame))
         queue_idx = 0
         if self.rx_filter is not None:
             queue_idx = self.rx_filter(frame) % len(self.rx_queues)
@@ -561,6 +589,9 @@ class NicPort:
         self.rx_bytes += frame.size
         if not self.rx_queues[queue_idx].deliver(frame):
             self.rx_missed += 1
+            if tracer is not None:
+                tracer.emit("drop", "drop_rx_ring", port=self.port_id,
+                            queue=queue_idx, frame=tracer.frame_id(frame))
 
     # -- timestamp registers ----------------------------------------------------------
 

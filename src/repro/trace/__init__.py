@@ -1,0 +1,285 @@
+"""Structured tracing for the simulator (``repro.trace``).
+
+The discrete-event core is deterministic: given a seed, every event fires
+at the same picosecond in the same order on every run.  A :class:`Tracer`
+turns that property into an *observable artifact* — a stream of typed
+trace records (event fired, process advanced/blocked/finished, descriptor
+fetched, frame serialized onto the wire, frame dropped, timestamp latched,
+interrupt raised, ...) with integer-picosecond timestamps.  Serialized to
+JSONL, a trace is a bit-for-bit reproducible fingerprint of a run: golden-
+trace tests diff it, property tests assert invariants over it, and a perf
+regression can be localized to the first diverging record instead of a
+bare throughput number.
+
+Zero overhead when disabled: instrumentation sites guard every emission
+with ``if loop.tracer is not None`` (a single attribute load and identity
+check); no record objects, dict packing, or category lookups happen unless
+a tracer is attached.
+
+Usage::
+
+    from repro import MoonGenEnv
+
+    env = MoonGenEnv(seed=1, trace=True)          # all categories, ring buffer
+    ... run the experiment ...
+    print(env.tracer.to_jsonl())                  # JSONL dump
+    env.tracer.counts()                           # {"wire_tx": 42, ...}
+
+    # Only some categories, straight to a file:
+    from repro.trace import Tracer, JsonlSink
+    tracer = Tracer(sink=JsonlSink(open("run.jsonl", "w")),
+                    categories={"wire", "drop", "irq"})
+    env = MoonGenEnv(seed=1, trace=tracer)
+
+See ``docs/TRACING.md`` for the record schema and the golden-trace
+workflow.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, TextIO
+
+from repro.errors import ConfigurationError
+
+#: Every record category the instrumented simulator emits.
+#:
+#: ``event``  — an event-loop callback fired (the raw scheduler view);
+#: ``proc``   — a process advanced, blocked on a signal, or finished;
+#: ``desc``   — a descriptor was DMA-fetched from a tx ring;
+#: ``wire``   — a frame was serialized onto a wire;
+#: ``drop``   — a frame was dropped (bad FCS, ring overflow, corruption);
+#: ``tstamp`` — a hardware timestamp register was latched (or missed);
+#: ``irq``    — the DuT raised an interrupt;
+#: ``cpu``    — a simulated core was charged cycles;
+#: ``stats``  — a statistics monitor sampled device counters.
+CATEGORIES = (
+    "event",
+    "proc",
+    "desc",
+    "wire",
+    "drop",
+    "tstamp",
+    "irq",
+    "cpu",
+    "stats",
+)
+
+
+class TraceRecord:
+    """One typed trace record: time, sequence number, kind, payload.
+
+    ``t_ps`` is the event-loop time when the record was emitted; ``seq`` is
+    a per-tracer monotonically increasing counter, so the total order of
+    records is explicit even among same-instant emissions.
+    """
+
+    __slots__ = ("t_ps", "seq", "kind", "fields")
+
+    def __init__(self, t_ps: int, seq: int, kind: str,
+                 fields: Dict[str, Any]) -> None:
+        self.t_ps = t_ps
+        self.seq = seq
+        self.kind = kind
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The record as a plain dict with stable key order."""
+        obj: Dict[str, Any] = {"t": self.t_ps, "seq": self.seq,
+                               "kind": self.kind}
+        obj.update(self.fields)
+        return obj
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON; byte-identical across identical runs."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    def __repr__(self) -> str:
+        return f"TraceRecord({self.to_json()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.t_ps, self.seq, self.kind, self.fields) == (
+            other.t_ps, other.seq, other.kind, other.fields)
+
+
+class TraceSink:
+    """Destination for trace records; subclasses implement :meth:`record`."""
+
+    def record(self, rec: TraceRecord) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (files); the default is a no-op."""
+
+
+class RingSink(TraceSink):
+    """Bounded in-memory buffer keeping the most recent records."""
+
+    def __init__(self, capacity: Optional[int] = 1 << 16) -> None:
+        self._buffer: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.capacity = capacity
+        #: Records evicted because the ring was full.
+        self.dropped = 0
+
+    def record(self, rec: TraceRecord) -> None:
+        if self.capacity is not None and len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(rec)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink(TraceSink):
+    """Streams records as JSON lines to a text stream as they are emitted."""
+
+    def __init__(self, stream: TextIO, close_stream: bool = False) -> None:
+        self.stream = stream
+        self._close_stream = close_stream
+        self.lines = 0
+
+    def record(self, rec: TraceRecord) -> None:
+        self.stream.write(rec.to_json())
+        self.stream.write("\n")
+        self.lines += 1
+
+    def close(self) -> None:
+        self.stream.flush()
+        if self._close_stream:
+            self.stream.close()
+
+
+class TeeSink(TraceSink):
+    """Fans one record stream out to several sinks."""
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        self.sinks = list(sinks)
+
+    def record(self, rec: TraceRecord) -> None:
+        for sink in self.sinks:
+            sink.record(rec)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class Tracer:
+    """Collects typed trace records from an :class:`~repro.nicsim.eventloop.EventLoop`.
+
+    Attach with :meth:`bind` (or pass ``trace=`` to ``MoonGenEnv``); the
+    instrumented components read ``loop.tracer`` and call :meth:`emit`.
+    ``categories`` restricts recording to a subset of :data:`CATEGORIES`.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[TraceSink] = None,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        if categories is None:
+            wanted = frozenset(CATEGORIES)
+        else:
+            wanted = frozenset(categories)
+            unknown = wanted - frozenset(CATEGORIES)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown trace categories: {sorted(unknown)}; "
+                    f"valid: {list(CATEGORIES)}"
+                )
+        self.categories = wanted
+        self.sink = sink if sink is not None else RingSink()
+        self._seq = itertools.count()
+        self._loop = None
+        # Frames are renumbered per tracer so traces are reproducible even
+        # though SimFrame sequence numbers come from a process-global
+        # counter (two identical runs in one process must produce
+        # byte-identical traces).
+        self._frame_ids: Dict[Any, int] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, loop) -> "Tracer":
+        """Attach to an event loop: sets ``loop.tracer`` and the time source."""
+        self._loop = loop
+        loop.tracer = self
+        return self
+
+    # -- emission ----------------------------------------------------------
+
+    def wants(self, category: str) -> bool:
+        return category in self.categories
+
+    def frame_id(self, frame: Any) -> int:
+        """Stable per-run id for a frame (0, 1, ... in order of first sight)."""
+        key = getattr(frame, "seq", None)
+        if key is None:
+            key = id(frame)
+        fid = self._frame_ids.get(key)
+        if fid is None:
+            fid = len(self._frame_ids)
+            self._frame_ids[key] = fid
+        return fid
+
+    def emit(self, category: str, kind: str, **fields: Any) -> None:
+        """Record one event if ``category`` is enabled."""
+        if category not in self.categories:
+            return
+        t_ps = self._loop.now_ps if self._loop is not None else 0
+        self.sink.record(TraceRecord(t_ps, next(self._seq), kind, fields))
+
+    # -- results -----------------------------------------------------------
+
+    def records(self) -> List[TraceRecord]:
+        """The buffered records (requires an in-memory sink)."""
+        if isinstance(self.sink, RingSink):
+            return self.sink.records
+        raise ConfigurationError(
+            f"sink {type(self.sink).__name__} does not buffer records; "
+            "use RingSink to read traces back in memory"
+        )
+
+    def to_jsonl(self) -> str:
+        """The buffered records as JSONL text (trailing newline included)."""
+        lines = [rec.to_json() for rec in self.records()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def counts(self) -> Dict[str, int]:
+        """Record counts by kind — a quick shape check of a run."""
+        return dict(Counter(rec.kind for rec in self.records()))
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def read_jsonl(text: str) -> List[TraceRecord]:
+    """Parse JSONL trace text back into :class:`TraceRecord` objects."""
+    records = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        fields = {k: v for k, v in obj.items()
+                  if k not in ("t", "seq", "kind")}
+        records.append(TraceRecord(obj["t"], obj["seq"], obj["kind"], fields))
+    return records
+
+
+__all__ = [
+    "CATEGORIES",
+    "JsonlSink",
+    "RingSink",
+    "TeeSink",
+    "TraceRecord",
+    "TraceSink",
+    "Tracer",
+    "read_jsonl",
+]

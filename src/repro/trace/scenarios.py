@@ -1,0 +1,151 @@
+"""Canonical traced scenarios: the fixtures behind golden-trace tests.
+
+Each scenario builds a small, fully seeded simulation with tracing enabled
+and returns the JSONL trace text.  The same functions back three consumers:
+
+* the ``moongen-repro trace`` CLI subcommand,
+* the committed golden traces under ``tests/golden/`` (regenerate with
+  ``python -m repro.trace.scenarios --write-golden tests/golden``),
+* determinism tests (two identical seeded runs must be byte-identical).
+
+Scenarios run with ``cost_noise=False`` so trace bytes depend only on
+integer event arithmetic and the seeded RNG streams, not on platform libm
+rounding of Gaussian noise.  The default categories omit the raw ``event``
+category — semantic records (desc/wire/drop/irq/...) already pin the
+behaviour and keep the committed goldens small; pass ``categories`` to
+widen.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+#: Categories used for golden traces (everything except the raw scheduler
+#: ``event`` feed, which triples trace size without adding semantics).
+GOLDEN_CATEGORIES: Tuple[str, ...] = (
+    "proc", "desc", "wire", "drop", "tstamp", "irq", "cpu", "stats",
+)
+
+
+def run_cbr_load_latency(seed: int = 11,
+                         categories: Optional[Iterable[str]] = None) -> str:
+    """An ``l2_load_latency``-style run: CBR load + latency probes via a DuT.
+
+    One queue generates 64 B frames paced by hardware CBR rate control
+    through the simulated single-core OvS forwarder; a second queue sends
+    timestamped PTP probes.  The load slave sends a fixed 24 frames so the
+    run (and the committed golden trace) stays small: ~25 µs of simulated
+    time, a few hundred records.
+    """
+    from repro import MoonGenEnv, Timestamper
+    from repro.dut import OvsForwarder
+    from repro.units import MIN_FRAME_SIZE
+
+    env = MoonGenEnv(seed=seed, cost_noise=False,
+                     trace=tuple(categories) if categories else GOLDEN_CATEGORIES)
+    tx_dev = env.config_device(0, tx_queues=2)
+    rx_dev = env.config_device(1, rx_queues=1)
+    dut = OvsForwarder(env.loop)
+    env.connect_to_sink(tx_dev, dut.ingress)
+    dut.connect_output(env.wire_to_device(rx_dev))
+
+    load_queue = tx_dev.get_tx_queue(0)
+    load_queue.set_rate_pps(1e6, MIN_FRAME_SIZE)
+
+    def load_slave(env, queue, dst_mac):
+        mem = env.create_mempool(
+            fill=lambda buf: buf.eth_packet.fill(
+                eth_src="02:00:00:00:00:00", eth_dst=dst_mac, eth_type=0x0800
+            ),
+        )
+        bufs = mem.buf_array(8)
+        for _ in range(3):
+            bufs.alloc(MIN_FRAME_SIZE - 4)
+            yield queue.send(bufs)
+
+    env.launch(load_slave, env, load_queue, rx_dev.mac)
+    ts = Timestamper(env, tx_dev.get_tx_queue(1), rx_dev, seed=seed)
+    env.launch(ts.probe_task, 2, 10_000.0)
+    env.wait_for_slaves()
+    return env.tracer.to_jsonl()
+
+
+def run_poisson(seed: int = 11,
+                categories: Optional[Iterable[str]] = None) -> str:
+    """A software-paced Poisson stream between two directly cabled ports.
+
+    A coroutine process draws exponential gaps from the seeded
+    ``PoissonPattern`` stream and enqueues one 60 B frame per departure;
+    covers the process/descriptor/wire record paths without a DuT.
+    """
+    from repro import MoonGenEnv, PoissonPattern
+    from repro.nicsim.nic import SimFrame
+
+    env = MoonGenEnv(seed=seed, cost_noise=False,
+                     trace=tuple(categories) if categories else GOLDEN_CATEGORIES)
+    tx_dev = env.config_device(0, tx_queues=1)
+    rx_dev = env.config_device(1, rx_queues=1)
+    env.connect(tx_dev, rx_dev)
+    queue = tx_dev.port.get_tx_queue(0)
+    pattern = PoissonPattern(pps=2e6, seed=seed)
+    payload = bytes(range(60))
+
+    def poisson_source():
+        for gap_ns in itertools.islice(pattern.iter_gaps_ns(), 15):
+            yield max(1, round(gap_ns * 1000))
+            queue.enqueue([SimFrame(payload)])
+
+    env.loop.spawn(poisson_source(), name="poisson-source")
+    env.loop.run()
+    return env.tracer.to_jsonl()
+
+
+#: Scenario registry: name -> (runner, golden file name).
+SCENARIOS: Dict[str, Tuple[Callable[..., str], str]] = {
+    "load-latency": (run_cbr_load_latency, "load_latency_cbr.jsonl"),
+    "poisson": (run_poisson, "poisson.jsonl"),
+}
+
+
+def run_scenario(name: str, seed: int = 11,
+                 categories: Optional[Iterable[str]] = None) -> str:
+    """Run a registered scenario by name and return its JSONL trace."""
+    from repro.errors import ConfigurationError
+
+    try:
+        runner, _ = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trace scenario {name!r}; valid: {sorted(SCENARIOS)}"
+        ) from None
+    return runner(seed=seed, categories=categories)
+
+
+def write_golden(directory: str, seed: int = 11) -> Dict[str, str]:
+    """(Re)generate the committed golden traces; returns {name: path}."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    written = {}
+    for name, (runner, filename) in SCENARIOS.items():
+        path = os.path.join(directory, filename)
+        with open(path, "w", newline="\n") as fh:
+            fh.write(runner(seed=seed))
+        written[name] = path
+    return written
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write-golden", metavar="DIR",
+                        help="regenerate golden traces into DIR")
+    parser.add_argument("--seed", type=int, default=11)
+    parsed = parser.parse_args()
+    if parsed.write_golden:
+        for name, path in write_golden(parsed.write_golden, parsed.seed).items():
+            print(f"{name}: {path}")
+    else:
+        parser.error("nothing to do (use --write-golden DIR)")

@@ -105,6 +105,27 @@ class TestSignal:
         sig.wait(lambda v: None)
         assert sig.has_waiters
 
+    def test_discard_removes_waiter(self):
+        sig = Signal()
+        got = []
+        sig.wait(got.append)
+        assert sig.discard(got.append)
+        sig.trigger(1)
+        assert got == [] and not sig.has_waiters
+
+    def test_discard_missing_waiter_is_noop(self):
+        sig = Signal()
+        assert not sig.discard(lambda v: None)
+
+    def test_discard_removes_single_registration(self):
+        sig = Signal()
+        got = []
+        sig.wait(got.append)
+        sig.wait(got.append)
+        sig.discard(got.append)
+        sig.trigger("x")
+        assert got == ["x"]
+
 
 class TestProcess:
     def test_delays(self):
@@ -196,6 +217,36 @@ class TestProcess:
         p.kill()
         assert p.finished
 
+    def test_kill_drops_waiter_registration(self):
+        """Killing a parked process deregisters it from the signal, so the
+        signal neither retains the dead process nor resumes it later."""
+        loop = EventLoop()
+        sig = Signal()
+
+        def proc():
+            yield sig
+
+        p = loop.spawn(proc())
+        loop.run()
+        assert sig.has_waiters
+        p.kill()
+        assert not sig.has_waiters
+        sig.trigger("late")  # must not blow up or resurrect the process
+        assert p.finished and p.error is None
+
+    def test_kill_unparked_process_safe(self):
+        loop = EventLoop()
+
+        def proc():
+            yield 100
+            yield 100
+
+        p = loop.spawn(proc())
+        loop.run(until_ps=150)
+        p.kill()
+        assert p.finished
+        loop.run()  # the pending resume event is a harmless no-op
+
     def test_done_signal(self):
         loop = EventLoop()
         done = []
@@ -251,3 +302,48 @@ class TestWaitAny:
         loop.schedule(50, lambda: sig.trigger("first"))
         loop.run()
         assert count == ["first"]
+
+    def test_signal_win_cancels_timeout_event(self):
+        """When a signal wins, the pending timeout event is cancelled and
+        never fires: the loop goes quiet at the win time, not the timeout."""
+        loop = EventLoop()
+        sig = Signal()
+        got = []
+        combined = wait_any(loop, [sig], timeout_ps=10_000)
+        combined.wait(got.append)
+        loop.schedule(100, lambda: sig.trigger("sig"))
+        loop.run()
+        assert got == ["sig"]
+        assert loop.now_ps == 100  # the cancelled timeout never advanced time
+
+    def test_timeout_deregisters_from_sources(self):
+        """When the timeout wins, the combiner is removed from every source
+        signal — repeated wait_any calls on long-lived signals must not
+        accumulate dead waiters (the recv-poll leak)."""
+        loop = EventLoop()
+        sig = Signal()
+        for _ in range(50):
+            wait_any(loop, [sig], timeout_ps=10)
+            loop.run()
+        assert not sig.has_waiters
+
+    def test_signal_win_deregisters_from_other_sources(self):
+        loop = EventLoop()
+        winner, loser = Signal(), Signal()
+        got = []
+        combined = wait_any(loop, [winner, loser], timeout_ps=1000)
+        combined.wait(got.append)
+        winner.trigger("w")
+        assert got == ["w"]
+        assert not loser.has_waiters and not winner.has_waiters
+
+    def test_wait_any_without_timeout(self):
+        loop = EventLoop()
+        a, b = Signal(), Signal()
+        got = []
+        combined = wait_any(loop, [a, b])
+        combined.wait(got.append)
+        b.trigger("b")
+        a.trigger("a")  # late straggler: ignored, combiner already gone
+        assert got == ["b"]
+        assert not a.has_waiters and not b.has_waiters

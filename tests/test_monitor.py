@@ -60,3 +60,41 @@ class TestDeviceStatsMonitor:
     def test_rx_side_zero_without_traffic(self):
         env, tx, monitor, out = run_with_monitor()
         assert monitor.rx.total_packets == 0  # nothing sent toward tx dev
+
+    def test_finalize_does_not_double_count(self):
+        """task() samples on exit and finalize() samples again; the counter
+        deltas make the extra sample account zero new packets."""
+        env, tx, monitor, out = run_with_monitor()
+        # Totals must never exceed the device registers (each packet is
+        # accounted at most once even though finalize re-sampled).
+        assert monitor.tx.total_packets <= tx.tx_packets
+        # The deltas telescope: the grand total equals the register value
+        # seen at the last sample, so no packet was counted twice.
+        assert monitor.tx.total_packets == monitor.tx._last_packets
+        assert monitor.tx.total_bytes == monitor.tx._last_bytes
+
+    def test_finalize_idempotent(self):
+        env, tx, monitor, out = run_with_monitor()
+        total_packets = monitor.tx.total_packets
+        total_bytes = monitor.tx.total_bytes
+        text_len = len(out.getvalue())
+        monitor.finalize()  # second explicit call: must be a no-op
+        monitor.finalize()
+        assert monitor.tx.total_packets == total_packets
+        assert monitor.tx.total_bytes == total_bytes
+        assert len(out.getvalue()) == text_len  # no duplicate summary rows
+
+    def test_explicit_finalize_before_task_exit(self):
+        """finalize() called directly (no task) samples exactly once."""
+        env = MoonGenEnv(seed=6)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        out = io.StringIO()
+        monitor = DeviceStatsMonitor(env, tx, fmt="csv", stream=out)
+        tx.port.tx_packets = 10
+        tx.port.tx_bytes = 640
+        monitor.finalize()
+        assert monitor.tx.total_packets == 10
+        monitor.finalize()
+        assert monitor.tx.total_packets == 10

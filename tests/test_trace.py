@@ -1,0 +1,239 @@
+"""Tests for the structured tracing subsystem (``repro.trace``)."""
+
+import io
+import json
+
+import pytest
+
+from repro import MoonGenEnv, Tracer
+from repro.errors import ConfigurationError
+from repro.nicsim.eventloop import EventLoop
+from repro.nicsim.link import Wire
+from repro.nicsim.nic import CHIP_X540, NicPort, SimFrame
+from repro.trace import (
+    CATEGORIES,
+    JsonlSink,
+    RingSink,
+    TeeSink,
+    TraceRecord,
+    read_jsonl,
+)
+
+
+def frame(size=60):
+    return SimFrame(b"\x00" * size)
+
+
+class TestTracerCore:
+    def test_disabled_by_default(self):
+        env = MoonGenEnv(seed=1)
+        assert env.tracer is None
+        assert env.loop.tracer is None
+
+    def test_env_trace_true_enables_all_categories(self):
+        env = MoonGenEnv(seed=1, trace=True)
+        assert env.tracer is not None
+        assert env.loop.tracer is env.tracer
+        assert env.tracer.categories == frozenset(CATEGORIES)
+
+    def test_env_trace_category_subset(self):
+        env = MoonGenEnv(seed=1, trace={"wire", "drop"})
+        assert env.tracer.categories == frozenset({"wire", "drop"})
+
+    def test_env_trace_prebuilt_tracer(self):
+        tracer = Tracer(categories={"wire"})
+        env = MoonGenEnv(seed=1, trace=tracer)
+        assert env.tracer is tracer
+        assert env.loop.tracer is tracer
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(categories={"wire", "nonsense"})
+
+    def test_emit_stamps_loop_time_and_seq(self):
+        loop = EventLoop()
+        tracer = Tracer().bind(loop)
+        loop.schedule(123, lambda: tracer.emit("wire", "custom", x=1))
+        loop.run()
+        records = tracer.records()
+        custom = [r for r in records if r.kind == "custom"]
+        assert custom[0].t_ps == 123
+        assert custom[0].fields == {"x": 1}
+        seqs = [r.seq for r in records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_category_filtering(self):
+        loop = EventLoop()
+        tracer = Tracer(categories={"drop"}).bind(loop)
+        tracer.emit("wire", "wire_tx", frame=0)
+        tracer.emit("drop", "drop_fcs", frame=0)
+        assert [r.kind for r in tracer.records()] == ["drop_fcs"]
+
+    def test_frame_ids_renumbered_per_tracer(self):
+        # Global SimFrame sequence numbers differ between runs in one
+        # process; tracer-local ids always start at 0.
+        for _ in range(2):
+            tracer = Tracer()
+            a, b = frame(), frame()
+            assert tracer.frame_id(a) == 0
+            assert tracer.frame_id(b) == 1
+            assert tracer.frame_id(a) == 0  # stable on re-sight
+
+    def test_json_roundtrip(self):
+        rec = TraceRecord(10, 3, "wire_tx", {"frame": 0, "size": 64})
+        parsed = read_jsonl(rec.to_json() + "\n")
+        assert parsed == [rec]
+
+    def test_records_requires_ring_sink(self):
+        tracer = Tracer(sink=JsonlSink(io.StringIO()))
+        with pytest.raises(ConfigurationError):
+            tracer.records()
+
+
+class TestSinks:
+    def test_ring_sink_evicts_oldest(self):
+        sink = RingSink(capacity=3)
+        for i in range(5):
+            sink.record(TraceRecord(i, i, "k", {}))
+        assert [r.t_ps for r in sink.records] == [2, 3, 4]
+        assert sink.dropped == 2
+
+    def test_jsonl_sink_streams_lines(self):
+        out = io.StringIO()
+        sink = JsonlSink(out)
+        sink.record(TraceRecord(1, 0, "k", {"a": 1}))
+        sink.record(TraceRecord(2, 1, "k", {"a": 2}))
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2 and sink.lines == 2
+        assert json.loads(lines[0]) == {"t": 1, "seq": 0, "kind": "k", "a": 1}
+
+    def test_tee_sink_duplicates(self):
+        ring, out = RingSink(), io.StringIO()
+        tee = TeeSink(ring, JsonlSink(out))
+        tee.record(TraceRecord(5, 0, "k", {}))
+        assert len(ring) == 1
+        assert out.getvalue().count("\n") == 1
+
+
+class TestInstrumentation:
+    def run_line_rate(self, trace):
+        env = MoonGenEnv(seed=3, trace=trace)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+
+        def slave(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array()
+            while env.running():
+                bufs.alloc(60)
+                yield queue.send(bufs)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.wait_for_slaves(duration_ns=50_000)
+        return env, tx
+
+    def test_tx_path_records_all_kinds(self):
+        env, tx = self.run_line_rate(trace=True)
+        counts = env.tracer.counts()
+        assert counts["desc_fetch"] > 0
+        assert counts["wire_tx"] > 0
+        assert counts["cpu_charge"] > 0
+        assert counts["event_fired"] > 0
+        assert counts["proc_advance"] > 0
+        # Every serialized frame was first fetched from a descriptor ring.
+        assert counts["wire_tx"] == counts["desc_fetch"]
+
+    def test_untraced_run_equivalent(self):
+        traced_env, traced_tx = self.run_line_rate(trace=True)
+        plain_env, plain_tx = self.run_line_rate(trace=False)
+        assert traced_tx.tx_packets == plain_tx.tx_packets
+
+    def test_fcs_drop_recorded(self):
+        loop = EventLoop()
+        tracer = Tracer().bind(loop)
+        port = NicPort(loop, chip=CHIP_X540)
+        bad = SimFrame(b"\x00" * 60, fcs_ok=False)
+        port.receive(bad, arrival_ps=1000)
+        kinds = [r.kind for r in tracer.records()]
+        assert kinds == ["drop_fcs"]
+        assert port.rx_crc_errors == 1
+
+    def test_rx_ring_overflow_recorded(self):
+        loop = EventLoop()
+        tracer = Tracer(categories={"drop"}).bind(loop)
+        port = NicPort(loop, chip=CHIP_X540)
+        ring_size = port.rx_queues[0].ring_size
+        for _ in range(ring_size + 3):
+            port.receive(frame(), arrival_ps=0)
+        kinds = [r.kind for r in tracer.records()]
+        assert kinds.count("drop_rx_ring") == 3
+        assert port.rx_missed == 3
+
+    def test_wire_corruption_recorded(self):
+        loop = EventLoop()
+        tracer = Tracer(categories={"drop", "wire"}).bind(loop)
+        wire = Wire(loop, 10_000_000_000, seed=4, corrupt_rate=1.0)
+        wire.connect(lambda f, t: None)
+        wire.transmit(frame(), 64)
+        loop.run()
+        kinds = [r.kind for r in tracer.records()]
+        assert "wire_corrupt" in kinds and "wire_tx" in kinds
+
+    def test_timestamp_latch_recorded(self):
+        from repro import Timestamper
+
+        env = MoonGenEnv(seed=5, trace={"tstamp"})
+        a = env.config_device(0, tx_queues=1, rx_queues=1)
+        b = env.config_device(1, tx_queues=1, rx_queues=1)
+        env.connect(a, b)
+        ts = Timestamper(env, a.get_tx_queue(0), b, seed=5)
+        env.launch(ts.probe_task, 3, 10_000.0)
+        env.wait_for_slaves(duration_ns=100_000.0)
+        counts = env.tracer.counts()
+        assert counts.get("tx_tstamp_latch", 0) >= 3
+        assert counts.get("rx_tstamp_latch", 0) >= 3
+
+    def test_dut_interrupt_and_drop_recorded(self):
+        from repro.dut import OvsForwarder
+
+        loop = EventLoop()
+        tracer = Tracer(categories={"irq", "drop"}).bind(loop)
+        dut = OvsForwarder(loop)
+        dut.ingress(SimFrame(b"\x00" * 60, fcs_ok=False), arrival_ps=0)
+        for i in range(4):
+            dut.ingress(frame(), arrival_ps=i * 100)
+        loop.run()
+        counts = tracer.counts()
+        assert counts.get("dut_drop_fcs") == 1
+        assert counts.get("dut_irq", 0) >= 1
+        assert dut.rx_crc_errors == 1
+
+    def test_stats_monitor_sample_recorded(self):
+        from repro.core.monitor import DeviceStatsMonitor
+
+        env = MoonGenEnv(seed=6, trace={"stats"})
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        monitor = DeviceStatsMonitor(env, tx, interval_ns=1_000_000,
+                                     stream=io.StringIO())
+        env.launch(monitor.task)
+        env.wait_for_slaves(duration_ns=3_000_000)
+        kinds = [r.kind for r in env.tracer.records()]
+        assert kinds.count("stats_sample") == monitor.samples + 1  # + finalize
+
+    def test_trace_is_deterministic(self):
+        def jsonl():
+            env, _ = self.run_line_rate(trace=True)
+            return env.tracer.to_jsonl()
+
+        assert jsonl() == jsonl()
+
+    def test_jsonl_lines_are_valid_json(self):
+        env, _ = self.run_line_rate(trace=True)
+        text = env.tracer.to_jsonl()
+        for line in text.splitlines():
+            obj = json.loads(line)
+            assert {"t", "seq", "kind"} <= set(obj)
