@@ -9,6 +9,7 @@ reproduction ships the canonical measurement scripts as subcommands::
     moongen-repro rfc2544 --frame-size 64
     moongen-repro timestamps
     moongen-repro trace --scenario load-latency --out run.jsonl
+    moongen-repro bench --smoke
 
 Custom userscripts use the library API directly (see examples/).
 """
@@ -164,6 +165,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import perf
+
+    try:
+        results = perf.run_suite(args.scenarios, smoke=args.smoke,
+                                 repeats=args.repeats)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    doc = perf.write_bench(args.out, results, rebaseline=args.rebaseline,
+                           smoke=args.smoke)
+    print(perf.format_report(doc))
+    print(f"\nwrote {args.out}")
+    for warning in perf.check_regression(doc, threshold=args.warn_threshold):
+        print(f"::warning::{warning}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="moongen-repro",
@@ -224,6 +243,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--summary", action="store_true",
                    help="print per-kind record counts to stderr")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned perf suite, update BENCH_core.json",
+        description="Runs the continuous perf-regression harness "
+                    "(repro.perf): pinned hot-path scenarios measured "
+                    "best-of-N, recorded in BENCH_core.json with speedup "
+                    "ratios against the per-mode baseline.  Regressions "
+                    "print ::warning:: lines but never fail the run "
+                    "(docs/PERFORMANCE.md).",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="short runs (CI-sized workloads)")
+    p.add_argument("--scenario", action="append", dest="scenarios",
+                   help="run only this scenario (repeatable)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="rounds per scenario; fastest wall time wins")
+    p.add_argument("--out", default="BENCH_core.json",
+                   help="trajectory file (default BENCH_core.json)")
+    p.add_argument("--rebaseline", action="store_true",
+                   help="replace the stored baseline for this mode")
+    p.add_argument("--warn-threshold", type=float, default=0.85,
+                   help="warn when events/sec falls below this ratio "
+                        "of baseline (default 0.85)")
+    p.set_defaults(func=_cmd_bench)
 
     return parser
 

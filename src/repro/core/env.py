@@ -31,8 +31,15 @@ class MoonGenEnv:
         core_freq_hz: float = REFERENCE_FREQ_HZ,
         cost_noise: bool = True,
         trace=None,
+        fast_forward: bool = False,
     ) -> None:
         self.loop = EventLoop()
+        #: Opt-in steady-state accelerator: ports batch fixed-period CBR
+        #: segments arithmetically (``NicPort._fast_forward``) whenever no
+        #: tracer/observer/timestamp needs per-frame fidelity.  Off by
+        #: default; final counters match the event-driven path (validated
+        #: in ``benchmarks/bench_validation_event_vs_vectorized.py``).
+        self.fast_forward = fast_forward
         self.seed = seed
         self.cost_model = CycleCostModel(seed=seed, noisy=cost_noise)
         self.core_freq_hz = core_freq_hz
@@ -112,6 +119,7 @@ class MoonGenEnv:
             clock_drift_ppm=clock_drift_ppm,
             clock_phase_steps=clock_phase_steps,
         )
+        port.fast_forward = self.fast_forward
         device = Device(self, port)
         self.devices[port_id] = device
         return device

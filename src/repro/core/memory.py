@@ -96,6 +96,10 @@ class PacketBuffer:
         self.timestamp_flag = False
         self.corrupt_fcs = False
 
+    def recycle(self) -> None:
+        """Return this buffer to its pool (the NIC's descriptor-fetch hook)."""
+        self.pool.give_back(self)
+
 
 class MemPool:
     """A pool of pre-initialized packet buffers."""
@@ -125,13 +129,25 @@ class MemPool:
 
     def take(self, n: int, size: int) -> List[PacketBuffer]:
         """Pop up to ``n`` buffers, set their frame size; may return fewer."""
+        if size < 0 or size > self.buf_capacity:
+            raise QueueError(
+                f"frame size {size} out of range for buffer capacity "
+                f"{self.buf_capacity}"
+            )
         out = []
-        while self._free and len(out) < n:
-            buf = self._free.popleft()
+        free = self._free
+        append = out.append
+        while free and len(out) < n:
+            buf = free.popleft()
             buf.in_pool = False
-            buf.reset_flags()
-            buf.pkt.size = size
-            out.append(buf)
+            # Inlined reset_flags() + the pkt.size setter (bounds already
+            # checked once above): this loop runs once per packet sent.
+            buf.offload_ip = False
+            buf.offload_l4 = False
+            buf.timestamp_flag = False
+            buf.corrupt_fcs = False
+            buf.pkt._size = size
+            append(buf)
         return out
 
     def give_back(self, buf: PacketBuffer) -> None:
@@ -140,7 +156,9 @@ class MemPool:
             raise QueueError("double free of a packet buffer")
         buf.in_pool = True
         self._free.append(buf)
-        self.free_signal.trigger()
+        signal = self.free_signal
+        if signal._waiters:
+            signal.trigger()
 
     def buf_array(self, size: int = DEFAULT_BATCH_SIZE) -> "BufArray":
         """Create a batch array bound to this pool."""

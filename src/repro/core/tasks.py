@@ -19,7 +19,7 @@ from repro.core.queues import RxPacket
 from repro.errors import TaskError
 from repro.nicsim.cpu import CpuCore
 from repro.nicsim.eventloop import Signal, wait_any
-from repro.nicsim.nic import SimFrame
+from repro.nicsim.nic import SimFrame, default_frame_pool
 from repro.packet.packet import PacketData
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,8 +35,8 @@ def materialize_frame(buf: PacketBuffer) -> SimFrame:
     hardware offloading, the checksum exists only on the wire.
     """
     size = buf.pkt.size
-    data = bytearray(buf.pkt.data[:size])
     if buf.offload_ip or buf.offload_l4:
+        data = bytearray(buf.pkt.data[:size])
         shadow = PacketData.wrap(data, size)
         kind = shadow.classify()
         if kind in ("udp4", "tcp4", "icmp4", "ip4"):
@@ -51,11 +51,14 @@ def materialize_frame(buf: PacketBuffer) -> SimFrame:
                 shadow.ip_packet.calculate_ip_checksum()
         elif kind == "udp6" and buf.offload_l4:
             shadow.udp6_packet.calculate_udp_checksum()
-    frame = SimFrame(bytes(data), fcs_ok=not buf.corrupt_fcs)
+        payload = bytes(data)
+    else:
+        # No offloads: snapshot straight to bytes (one copy, not three).
+        payload = bytes(memoryview(buf.pkt.data)[:size])
+    frame = default_frame_pool.acquire(payload, fcs_ok=not buf.corrupt_fcs)
     if buf.timestamp_flag:
         frame.meta["timestamp"] = True
-    pool = buf.pool
-    frame.meta["recycle"] = lambda b=buf: pool.give_back(b)
+    frame.meta["recycle"] = buf.recycle
     return frame
 
 
@@ -175,16 +178,17 @@ class Task:
             yield delay
         frames = [materialize_frame(buf) for buf in bufs.release()]
         sim = op.queue.sim
-        sent = 0
-        while sent < len(frames):
-            sent += sim.enqueue(frames[sent:])
+        total = len(frames)
+        sent = sim.enqueue(frames)
+        while sent < total:
+            sent += sim.enqueue(frames, start=sent)
             # Park only while the ring is genuinely full: the enqueue's own
             # kick may have drained descriptors into the NIC FIFO already,
             # in which case the next enqueue attempt succeeds immediately
             # (the busy-wait loop of a real DPDK app).
-            if sent < len(frames) and sim.free_slots == 0:
+            if sent < total and sim.free_slots == 0:
                 yield sim.space_signal
-        return len(frames)
+        return total
 
     def _pipe_recv(self, op: PipeRecvOp):
         pipe = op.pipe

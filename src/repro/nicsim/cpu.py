@@ -195,12 +195,20 @@ class CpuCore:
         return max(0, round(cycles / self.freq_hz * 1e12))
 
     def charge(self, cycles: float) -> int:
-        """Account busy cycles and return the elapsed picoseconds."""
+        """Account busy cycles and return the elapsed picoseconds.
+
+        Called once per op batch on the send/receive hot path; the tracer
+        guard reads the attribute into a local once so the disabled case
+        stays a single test (the PR 1 zero-cost property).
+        """
         self.busy_cycles += cycles
-        elapsed_ps = self.cycles_to_ps(cycles)
-        if self.tracer is not None:
-            self.tracer.emit("cpu", "cpu_charge", core=self.core_id,
-                             cycles=round(cycles, 3), ps=elapsed_ps)
+        elapsed_ps = round(cycles / self.freq_hz * 1e12)
+        if elapsed_ps < 0:
+            elapsed_ps = 0
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("cpu", "cpu_charge", core=self.core_id,
+                        cycles=round(cycles, 3), ps=elapsed_ps)
         return elapsed_ps
 
 

@@ -11,29 +11,62 @@ Two execution styles coexist:
   :class:`Process`; they ``yield`` delays (picoseconds) or :class:`Signal`
   objects to block.  This is how userscript slave tasks run (the analog of
   MoonGen's one-LuaJIT-VM-per-core model).
+
+Hot-path structure (docs/PERFORMANCE.md):
+
+* **same-instant fast lane** — events scheduled for the *current* instant
+  (``schedule(0, ...)``, the process-resume pattern) go into a plain FIFO
+  deque instead of the heap: O(1) instead of O(log n), no sequence number.
+  Ordering is preserved exactly: every heap entry at the current instant
+  was scheduled before ``now`` reached it and therefore precedes every
+  fast-lane entry, which are kept in insertion order by the deque.
+* **lazy-deletion compaction** — ``Event.cancel`` only sets a flag; the
+  heap entry stays until popped.  Long runs that cancel many timers (e.g.
+  ``wait_any`` timeouts) would otherwise grow the heap without bound, so
+  the loop counts lingering cancelled entries and rebuilds the heap once
+  they exceed half the queue.
+* ``run()`` keeps the queue, deque, and ``heappop`` in locals and inlines
+  the step logic; the tracer hook costs one local ``is not None`` test per
+  event when disabled.  Attach tracers before calling ``run()``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+#: Compact the heap when cancelled entries exceed this fraction of it.
+_COMPACT_FRACTION = 0.5
+#: ...but never bother compacting queues smaller than this.
+_COMPACT_MIN = 64
 
 
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time_ps", "callback", "cancelled")
+    __slots__ = ("time_ps", "callback", "cancelled", "_loop")
 
-    def __init__(self, time_ps: int, callback: Callable[[], None]) -> None:
+    def __init__(self, time_ps: int, callback: Callable[[], None],
+                 loop: Optional["EventLoop"] = None) -> None:
         self.time_ps = time_ps
         self.callback = callback
         self.cancelled = False
+        # Back-reference for lazy-deletion accounting; ``None`` for
+        # fast-lane events (they drain within the current instant and
+        # never linger in the heap).
+        self._loop = loop
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        loop = self._loop
+        if loop is not None:
+            loop._note_cancelled()
 
 
 class EventLoop:
@@ -41,10 +74,20 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._queue: List[Tuple[int, int, Event]] = []
+        #: Same-instant FIFO fast lane: events for the current ``now_ps``.
+        self._lane: Deque[Event] = deque()
         self._seq = itertools.count()
         self.now_ps = 0
         self._running = False
         self._processes: List["Process"] = []
+        #: Cancelled events still sitting in the heap (lazy deletion).
+        self._cancelled_pending = 0
+        #: Horizon of the innermost active ``run(until_ps=...)`` call, used
+        #: by fast-forward helpers to bound arithmetic time skips.
+        self._until_ps: Optional[int] = None
+        #: Total events executed by :meth:`run`/:meth:`step` over the loop's
+        #: lifetime (the perf harness's events/sec numerator).
+        self.events_processed = 0
         #: Optional :class:`repro.trace.Tracer`; ``None`` keeps every
         #: instrumentation site on its zero-cost fast path.
         self.tracer = None
@@ -62,27 +105,119 @@ class EventLoop:
 
     def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> Event:
         """Run ``callback`` at absolute time ``time_ps``."""
+        time_ps = int(time_ps)
+        if time_ps == self.now_ps:
+            # Same-instant fast lane: plain FIFO append.  Every heap entry
+            # at this instant predates it, so heap-first keeps seq order.
+            event = Event(time_ps, callback)
+            self._lane.append(event)
+            return event
         if time_ps < self.now_ps:
             raise SimulationError(
                 f"cannot schedule at {time_ps} ps, now is {self.now_ps} ps"
             )
-        event = Event(int(time_ps), callback)
-        heapq.heappush(self._queue, (event.time_ps, next(self._seq), event))
+        event = Event(time_ps, callback, self)
+        heapq.heappush(self._queue, (time_ps, next(self._seq), event))
         return event
+
+    # -- lazy deletion ---------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        queue = self._queue
+        if (len(queue) > _COMPACT_MIN
+                and self._cancelled_pending > len(queue) * _COMPACT_FRACTION):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap (O(n)).
+
+        Mutates the list in place: ``run()`` keeps the heap in a local,
+        so rebinding ``self._queue`` would strand it on a stale list.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._cancelled_pending = 0
+
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events currently scheduled."""
+        return (len(self._queue) + len(self._lane)
+                - self._cancelled_pending
+                - sum(1 for e in self._lane if e.cancelled))
+
+    def next_event_time_ps(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` if the loop is empty.
+
+        Fast-forward helpers use this (plus the active ``run`` horizon,
+        see :meth:`fast_forward_bound_ps`) to know how far state may be
+        advanced arithmetically without skipping an observer.
+        """
+        for event in self._lane:
+            if not event.cancelled:
+                return self.now_ps
+        queue = self._queue
+        while queue:
+            time_ps, _, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                self._cancelled_pending -= 1
+                continue
+            return time_ps
+        return None
+
+    def fast_forward_bound_ps(self) -> Optional[int]:
+        """Latest instant a fast-forward may advance state to, exclusive.
+
+        ``None`` means unbounded (empty queue, no active horizon).  Inside
+        ``run(until_ps=...)`` the horizon caps the bound so counters never
+        reflect frames the event-driven path would not have sent yet.
+        """
+        bound = self.next_event_time_ps()
+        if self._until_ps is not None:
+            bound = self._until_ps if bound is None else min(bound, self._until_ps)
+        return bound
+
+    # -- execution -------------------------------------------------------------
+
+    def _next_event(self) -> Optional[Event]:
+        """Pop the next live event in deterministic order (or ``None``)."""
+        lane = self._lane
+        queue = self._queue
+        while True:
+            if lane:
+                # Heap entries at the current instant predate lane entries.
+                if queue and queue[0][0] <= self.now_ps:
+                    _, _, event = heapq.heappop(queue)
+                    if event.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    return event
+                event = lane.popleft()
+                if event.cancelled:
+                    continue
+                return event
+            if not queue:
+                return None
+            _, _, event = heapq.heappop(queue)
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                continue
+            return event
 
     def step(self) -> bool:
         """Run the next pending event; returns False if none are left."""
-        while self._queue:
-            time_ps, _, event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now_ps = time_ps
-            if self.tracer is not None:
-                self.tracer.emit("event", "event_fired",
-                                 cb=_callback_name(event.callback))
-            event.callback()
-            return True
-        return False
+        event = self._next_event()
+        if event is None:
+            return False
+        self.now_ps = event.time_ps
+        if self.tracer is not None:
+            self.tracer.emit("event", "event_fired",
+                             cb=_callback_name(event.callback))
+        event.callback()
+        self.events_processed += 1
+        return True
 
     def run(self, until_ps: Optional[int] = None, max_events: int = 50_000_000) -> None:
         """Run events until the queue drains or ``until_ps`` is reached.
@@ -90,19 +225,63 @@ class EventLoop:
         ``max_events`` guards against runaway simulations; exceeding it is a
         bug in the caller, not a normal exit.
         """
+        lane = self._lane
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        tracer = self.tracer
+        now = self.now_ps
         count = 0
-        while self._queue:
-            time_ps = self._queue[0][0]
-            if until_ps is not None and time_ps > until_ps:
-                break
-            if not self.step():
-                break
-            count += 1
-            if count > max_events:
-                raise SimulationError(
-                    f"event budget exhausted after {max_events} events at "
-                    f"{self.now_ps} ps"
-                )
+        prev_until = self._until_ps
+        self._until_ps = until_ps
+        try:
+            # A horizon already in the past fires nothing (events at `now`
+            # would overshoot it), mirroring the heap-only behaviour; past
+            # entry the check never trips — the heap branch breaks first,
+            # and lane events are always at `now`.
+            while until_ps is None or until_ps >= now:
+                # Inline _next_event(): this loop is the hottest code in the
+                # simulator, every attribute load counts.
+                if lane:
+                    if queue and queue[0][0] <= now:
+                        entry = pop(queue)
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                    else:
+                        event = lane.popleft()
+                        if event.cancelled:
+                            continue
+                elif queue:
+                    entry = pop(queue)
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    time_ps = entry[0]
+                    if until_ps is not None and time_ps > until_ps:
+                        # Crossed the horizon: put the (rare) overshooting
+                        # event back — peeking every iteration costs more.
+                        push(queue, entry)
+                        break
+                    now = time_ps
+                    self.now_ps = time_ps
+                else:
+                    break
+                if tracer is not None:
+                    tracer.emit("event", "event_fired",
+                                cb=_callback_name(event.callback))
+                event.callback()
+                count += 1
+                if count > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {max_events} events at "
+                        f"{self.now_ps} ps"
+                    )
+        finally:
+            self._until_ps = prev_until
+            self.events_processed += count
         if until_ps is not None and until_ps > self.now_ps:
             self.now_ps = until_ps
 
@@ -156,7 +335,10 @@ class Signal:
             return False
 
     def trigger(self, value: Any = None) -> None:
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
         for waiter in waiters:
             waiter(value)
 
@@ -179,6 +361,12 @@ class Process:
     exceptions are stored in :attr:`error` and re-raised by :meth:`check`.
     """
 
+    __slots__ = (
+        "loop", "generator", "name", "pid", "finished", "error", "result",
+        "done_signal", "_stopped", "_parked_signal", "_parked_callback",
+        "_resume",
+    )
+
     def __init__(self, loop: EventLoop, generator: Generator, name: str = "") -> None:
         self.loop = loop
         self.generator = generator
@@ -193,7 +381,12 @@ class Process:
         # kill() can deregister instead of leaking the waiter.
         self._parked_signal: Optional[Signal] = None
         self._parked_callback: Optional[Callable[[Any], None]] = None
-        loop.schedule(0, lambda: self._advance(None))
+        # One reusable resume thunk instead of a fresh lambda per yield.
+        self._resume = self._advance_none
+        loop.schedule(0, self._resume)
+
+    def _advance_none(self) -> None:
+        self._advance(None)
 
     def stop(self) -> None:
         """Ask the process to stop: the pending yield raises GeneratorExit."""
@@ -229,8 +422,12 @@ class Process:
             self._finish("error")
             self.done_signal.trigger(None)
             return
-        if yielded is None:
-            self.loop.schedule(0, lambda: self._advance(None))
+        # Dispatch cheapest-common-first: integer delays dominate (every
+        # cycle charge), then None (cooperative yield), then signals.
+        if type(yielded) is int:
+            self.loop.schedule(yielded, self._resume)
+        elif yielded is None:
+            self.loop.schedule(0, self._resume)
         elif isinstance(yielded, Signal):
             callback = self._advance
             self._parked_signal = yielded
@@ -239,7 +436,7 @@ class Process:
                 tracer.emit("proc", "proc_block", pid=self.pid, name=self.name)
             yielded.wait(callback)
         elif isinstance(yielded, (int, float)):
-            self.loop.schedule(int(yielded), lambda: self._advance(None))
+            self.loop.schedule(int(yielded), self._resume)
         else:
             self.error = SimulationError(
                 f"process {self.name!r} yielded unsupported value "

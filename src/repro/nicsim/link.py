@@ -14,13 +14,20 @@ Implements the physical layer the timestamping accuracy experiments
 * serialization at line rate including preamble/SFD/IFG,
 * optionally, 10GBASE-T's 3200-bit physical-layer frames (Section 8.4),
   which deliver back-to-back packets as bursts to the receiver.
+
+Hot-path notes (docs/PERFORMANCE.md): serialization times are cached per
+frame size, the cable latency is precomputed when the medium draws no
+jitter (the jitter hook adds exactly ``0.0`` there, so the rounding is
+identical), and deliveries share one bound drain callback instead of
+allocating a closure per frame.
 """
 
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro import units
 from repro.nicsim.eventloop import EventLoop
@@ -114,6 +121,13 @@ class Wire:
     the cable's latency and jitter.  Frames are delivered in order.
     """
 
+    __slots__ = (
+        "loop", "speed_bps", "cable", "rng", "phy_frame_bits", "corrupt_rate",
+        "corrupted", "sink", "busy_until_ps", "frames_sent", "bytes_sent",
+        "_last_delivery_ps", "_ser_cache", "_jitter_free", "_latency_ps",
+        "_phy_ps", "_pending",
+    )
+
     def __init__(
         self,
         loop: EventLoop,
@@ -140,6 +154,19 @@ class Wire:
         self.frames_sent = 0
         self.bytes_sent = 0
         self._last_delivery_ps = 0
+        #: frame size -> serialization time (frames repeat a few sizes).
+        self._ser_cache: Dict[int, int] = {}
+        #: When the medium draws no jitter, the per-frame latency is a
+        #: constant: ``jitter_ns`` returns exactly 0.0, so precomputing
+        #: ``round(latency_ns() * 1000)`` is bit-identical to the general
+        #: expression and skips two calls plus a round per frame.
+        self._jitter_free = cable.medium.jitter_name == "none"
+        self._latency_ps = round(cable.latency_ns() * 1000)
+        self._phy_ps = (round(phy_frame_bits * 1e12 / speed_bps)
+                        if phy_frame_bits else 0)
+        #: In-flight (frame, arrival_ps) pairs, ordered by arrival — one
+        #: bound callback drains due entries instead of a closure per frame.
+        self._pending: Deque[Tuple[object, int, object]] = deque()
 
     def connect(self, sink: Callable[[object, int], None]) -> None:
         """Attach the receiving port: called as ``sink(frame, arrival_ps)``."""
@@ -147,7 +174,11 @@ class Wire:
 
     def serialization_ps(self, frame_size: int) -> int:
         """Wire occupancy of a frame including preamble/SFD/IFG."""
-        return units.frame_time_ps(frame_size, self.speed_bps)
+        ser = self._ser_cache.get(frame_size)
+        if ser is None:
+            ser = units.frame_time_ps(frame_size, self.speed_bps)
+            self._ser_cache[frame_size] = ser
+        return ser
 
     def transmit(self, frame: object, frame_size: int, start_ps: Optional[int] = None) -> int:
         """Put a frame on the wire; returns the time the wire becomes free.
@@ -156,23 +187,30 @@ class Wire:
         defaults to now; transmission never begins before the wire is free
         (the MAC serializes frames one after another).
         """
-        start = max(
-            self.loop.now_ps if start_ps is None else start_ps,
-            self.busy_until_ps,
-        )
-        end = start + self.serialization_ps(frame_size)
+        start = self.loop.now_ps if start_ps is None else start_ps
+        busy = self.busy_until_ps
+        if busy > start:
+            start = busy
+        ser = self._ser_cache.get(frame_size)
+        if ser is None:
+            ser = units.frame_time_ps(frame_size, self.speed_bps)
+            self._ser_cache[frame_size] = ser
+        end = start + ser
         self.busy_until_ps = end
         self.frames_sent += 1
         self.bytes_sent += frame_size
         tracer = self.loop.tracer
         if self.sink is not None:
-            latency_ns = self.cable.latency_ns() + self.cable.medium.jitter_ns(self.rng)
-            arrival = end + round(latency_ns * 1000)
+            if self._jitter_free:
+                arrival = end + self._latency_ps
+            else:
+                latency_ns = self.cable.latency_ns() + self.cable.medium.jitter_ns(self.rng)
+                arrival = end + round(latency_ns * 1000)
             if self.phy_frame_bits:
                 # The PHY ships fixed-size layer-1 frames: a packet is only
                 # handed up when the PHY frame containing its end arrives,
                 # so packets within one PHY frame appear back-to-back.
-                phy_ps = round(self.phy_frame_bits * 1e12 / self.speed_bps)
+                phy_ps = self._phy_ps
                 arrival = -(-arrival // phy_ps) * phy_ps
             if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
                 # A bit error on the wire: the FCS no longer matches.
@@ -182,17 +220,97 @@ class Wire:
                     tracer.emit("drop", "wire_corrupt",
                                 frame=tracer.frame_id(frame), size=frame_size)
             # Keep in-order delivery even if jitter would reorder frames.
-            arrival = max(arrival, self._last_delivery_ps + 1)
+            if arrival <= self._last_delivery_ps:
+                arrival = self._last_delivery_ps + 1
             self._last_delivery_ps = arrival
             if tracer is not None:
                 tracer.emit("wire", "wire_tx", frame=tracer.frame_id(frame),
                             size=frame_size, start=start, end=end,
                             arrival=arrival)
-            sink = self.sink
-            self.loop.schedule_at(arrival, lambda f=frame, a=arrival: sink(f, a))
+            self._pending.append(
+                (frame, arrival, self.loop.schedule_at(arrival, self._deliver_due))
+            )
         elif tracer is not None:
             tracer.emit("wire", "wire_tx", frame=tracer.frame_id(frame),
                         size=frame_size, start=start, end=end)
+        return end
+
+    def _deliver_due(self) -> None:
+        """Hand every in-flight frame whose arrival is due to the sink.
+
+        Arrivals are strictly increasing, so the deque is sorted: a
+        delivery event fired at time T delivers exactly the frames with
+        ``arrival <= T`` that an earlier event has not already drained
+        (the fast-forward path drains ahead; its leftover events no-op).
+        """
+        pending = self._pending
+        now = self.loop.now_ps
+        sink = self.sink
+        while pending and pending[0][1] <= now:
+            frame, arrival, _ = pending.popleft()
+            sink(frame, arrival)
+
+    # -- steady-state fast-forward support (see nic.NicPort._fast_forward) ----
+
+    def can_fast_forward(self) -> bool:
+        """True if per-frame delivery needs no rng draw and no tracer.
+
+        Jitter and corruption consume random numbers per frame, and the
+        tracer records per-frame wire events — each forces the event-driven
+        path to keep bit-for-bit fidelity.
+        """
+        return (self.sink is not None
+                and self._jitter_free
+                and not self.corrupt_rate
+                and not self.phy_frame_bits
+                and self.loop.tracer is None)
+
+    def detach_pending(self) -> List[Tuple[object, int]]:
+        """Pull the in-flight frames off the wire, cancelling their drain
+        events; returns ``(frame, arrival_ps)`` pairs in arrival order.
+
+        Fast-forward setup: the scheduled drain events would otherwise
+        clamp :meth:`EventLoop.fast_forward_bound_ps` to the very next
+        arrival.  The caller either delivers the pairs synchronously (their
+        arrival stamps are kept, so the sink sees exactly the event-driven
+        calls) or puts them back with :meth:`reattach_pending`.
+        """
+        out: List[Tuple[object, int]] = []
+        pending = self._pending
+        while pending:
+            frame, arrival, event = pending.popleft()
+            event.cancel()
+            out.append((frame, arrival))
+        return out
+
+    def reattach_pending(self, entries: List[Tuple[object, int]]) -> None:
+        """Undo :meth:`detach_pending` when a fast-forward batch bails."""
+        pending = self._pending
+        schedule_at = self.loop.schedule_at
+        deliver = self._deliver_due
+        for frame, arrival in entries:
+            pending.append((frame, arrival, schedule_at(arrival, deliver)))
+
+    def fast_transmit(self, frame: object, frame_size: int, start_ps: int) -> int:
+        """``transmit`` minus the delivery event: the sink is called
+        synchronously with the exact arrival stamp the event-driven path
+        would have used.  Only valid when :meth:`can_fast_forward` holds
+        and :meth:`detach_pending` drained the wire for this batch.
+        """
+        start = start_ps if start_ps > self.busy_until_ps else self.busy_until_ps
+        ser = self._ser_cache.get(frame_size)
+        if ser is None:
+            ser = units.frame_time_ps(frame_size, self.speed_bps)
+            self._ser_cache[frame_size] = ser
+        end = start + ser
+        self.busy_until_ps = end
+        self.frames_sent += 1
+        self.bytes_sent += frame_size
+        arrival = end + self._latency_ps
+        if arrival <= self._last_delivery_ps:
+            arrival = self._last_delivery_ps + 1
+        self._last_delivery_ps = arrival
+        self.sink(frame, arrival)
         return end
 
     @staticmethod

@@ -16,14 +16,21 @@ the rest of the paper exploits:
   software rate control relies on),
 * chip-specific capacity limits (the XL710's packet-rate and aggregate
   bandwidth caps from Section 5.4).
+
+Hot-path notes (docs/PERFORMANCE.md): the per-frame classes carry
+``__slots__``, frames come from a :class:`FramePool`, effective frame
+times are cached per (size, speed), and steady-state CBR segments can be
+fast-forwarded arithmetically when ``NicPort.fast_forward`` is enabled
+(off by default; see :meth:`NicPort._fast_forward` for the fidelity
+conditions that force the event-by-event path).
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro import units
 from repro.errors import ConfigurationError, QueueError
@@ -36,29 +43,40 @@ from repro.packet.ptp import PTP_UDP_PORT
 
 _frame_seq = itertools.count()
 
+#: Hoisted per-frame constants (``units`` lookups cost an attribute hop on
+#: the hottest allocation path).
+_FCS_SIZE = units.FCS_SIZE
+_WIRE_OVERHEAD = units.WIRE_OVERHEAD
 
-@dataclass
+
 class SimFrame:
     """A frame in flight: an immutable snapshot of a packet buffer.
 
     ``data`` excludes the FCS; ``fcs_ok`` says whether the NIC computed a
     correct FCS (the CRC-gap mechanism intentionally sends broken ones).
+
+    ``size``/``wire_size`` are plain attributes, not properties: the MAC,
+    wire, and DUT models read them several times per frame.
     """
 
-    data: bytes
-    fcs_ok: bool = True
-    seq: int = field(default_factory=lambda: next(_frame_seq))
-    #: Free-form metadata: flow ids, software send time, filler marks...
-    meta: Dict[str, object] = field(default_factory=dict)
+    __slots__ = ("data", "fcs_ok", "seq", "meta", "size", "wire_size", "pool")
 
-    @property
-    def size(self) -> int:
-        """Frame size including FCS, the paper's "packet size"."""
-        return len(self.data) + units.FCS_SIZE
+    def __init__(self, data: bytes, fcs_ok: bool = True) -> None:
+        self.data = data
+        self.fcs_ok = fcs_ok
+        self.seq = next(_frame_seq)
+        #: Free-form metadata: flow ids, software send time, filler marks...
+        self.meta: Dict[str, object] = {}
+        #: Frame size including FCS, the paper's "packet size".
+        size = len(data) + _FCS_SIZE
+        self.size = size
+        self.wire_size = size + _WIRE_OVERHEAD
+        #: Owning :class:`FramePool`, or ``None`` for unpooled frames.
+        self.pool: Optional["FramePool"] = None
 
-    @property
-    def wire_size(self) -> int:
-        return units.wire_length(self.size)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SimFrame(seq={self.seq}, size={self.size}, "
+                f"fcs_ok={self.fcs_ok})")
 
     def is_ptp(self) -> bool:
         """True if the frame matches the NIC PTP timestamp filters.
@@ -106,6 +124,67 @@ class SimFrame:
         if len(d) < offset + 2:
             return None
         return (d[offset] << 8) | d[offset + 1]
+
+
+class FramePool:
+    """Recycles :class:`SimFrame` shells so steady-state transmit loops stop
+    churning the allocator (the simulator's analog of DPDK's mempools).
+
+    ``acquire`` re-initialises a retired shell with a **fresh sequence
+    number and a fresh meta dict**, so observers that key on ``frame.seq``
+    (the tracer's ``frame_id`` does) or that kept the old meta dict cannot
+    tell a recycled frame from a new allocation — golden traces are
+    byte-identical with pooling on or off.
+
+    ``release`` is only called at provable end-of-life points: an FCS drop
+    before queue assignment, an rx-ring overflow, or a transmit into an
+    unwired port.  Frames software can still reach (rx rings, fetched
+    ``RxPacket.frame`` references, observer callbacks) are never recycled;
+    frames constructed directly (``pool is None``) are never recycled
+    either, so tests that hold on to hand-made frames are unaffected.
+    """
+
+    __slots__ = ("max_free", "_free", "recycled")
+
+    def __init__(self, max_free: int = 4096) -> None:
+        self.max_free = max_free
+        self._free: List[SimFrame] = []
+        #: Shells handed out more than once (observability/debugging).
+        self.recycled = 0
+
+    def acquire(self, data: bytes, fcs_ok: bool = True) -> SimFrame:
+        free = self._free
+        if free:
+            frame = free.pop()
+            frame.data = data
+            frame.fcs_ok = fcs_ok
+            frame.seq = next(_frame_seq)
+            frame.meta = {}
+            size = len(data) + _FCS_SIZE
+            frame.size = size
+            frame.wire_size = size + _WIRE_OVERHEAD
+            frame.pool = self
+            self.recycled += 1
+            return frame
+        frame = SimFrame(data, fcs_ok)
+        frame.pool = self
+        return frame
+
+    def release(self, frame: SimFrame) -> None:
+        # ``pool`` doubles as the liveness flag: it is cleared here and
+        # restored by acquire, so double releases and releases of unpooled
+        # frames are no-ops.
+        if frame.pool is not self:
+            return
+        frame.pool = None
+        if len(self._free) < self.max_free:
+            frame.data = b""
+            frame.meta = {}
+            self._free.append(frame)
+
+
+#: Process-wide pool used by the packet-buffer materialization path.
+default_frame_pool = FramePool()
 
 
 @dataclass(frozen=True)
@@ -186,6 +265,10 @@ DEFAULT_RING_SIZE = 512
 class TxQueueSim:
     """A transmit queue: descriptor ring + optional hardware rate limiter."""
 
+    __slots__ = ("port", "index", "ring_size", "ring", "space_signal",
+                 "space_wake_threshold", "rate_bps", "next_allowed_ps",
+                 "_rate_error_ps", "tx_packets", "tx_bytes")
+
     def __init__(self, port: "NicPort", index: int,
                  ring_size: int = DEFAULT_RING_SIZE) -> None:
         self.port = port
@@ -193,6 +276,11 @@ class TxQueueSim:
         self.ring_size = ring_size
         self.ring: Deque[SimFrame] = deque()
         self.space_signal = Signal()
+        #: Producers parked on a full ring are woken once this many slots
+        #: are free (or the ring empties), not per descriptor — the analog
+        #: of DPDK's ``tx_free_thresh`` batch cleanup.  Totals and rates are
+        #: unchanged; only the producer's wakeup instants coarsen.
+        self.space_wake_threshold = min(32, max(1, ring_size // 4))
         #: Rate limit in bits/s of wire occupancy; 0 disables.
         self.rate_bps = 0.0
         self.next_allowed_ps = 0
@@ -223,16 +311,34 @@ class TxQueueSim:
         wire_bits = units.wire_length(frame_size) * 8
         self.set_rate(pps * wire_bits / 1e6)
 
-    def enqueue(self, frames: List[SimFrame]) -> int:
-        """Append descriptors; returns how many fit into the ring."""
-        accepted = 0
-        for frame in frames:
-            if len(self.ring) >= self.ring_size:
-                break
-            self.ring.append(frame)
-            accepted += 1
-        if accepted:
-            self.port._mac_kick()
+    def enqueue(self, frames: List[SimFrame], start: int = 0) -> int:
+        """Append descriptors from ``frames[start:]``; returns how many fit.
+
+        ``start`` lets a blocked producer resume mid-batch without slicing
+        the remainder on every ring-space wakeup (the wakeups arrive one
+        descriptor at a time when the ring is full).
+        """
+        ring = self.ring
+        free = self.ring_size - len(ring)
+        if free <= 0:
+            return 0
+        avail = len(frames) - start
+        if avail <= free:
+            accepted = avail
+            if start:
+                ring.extend(frames[start:])
+            else:
+                ring.extend(frames)
+        else:
+            accepted = free
+            ring.extend(frames[start:start + free])
+        if accepted > 0:
+            port = self.port
+            # A producer resumed from inside _prefetch (its space signal)
+            # needs no kick: the prefetch loop re-reads the ring, and the
+            # outer kick transmits once the FIFO is filled.
+            if not port._prefetching:
+                port._mac_kick()
         return accepted
 
     def _advance_rate_limiter(self, start_ps: int, frame: SimFrame) -> None:
@@ -258,6 +364,9 @@ class TxQueueSim:
 class RxQueueSim:
     """A receive queue: descriptor ring filled by the NIC, drained by software."""
 
+    __slots__ = ("port", "index", "ring_size", "ring", "packet_signal",
+                 "rx_packets", "rx_bytes")
+
     def __init__(self, port: "NicPort", index: int,
                  ring_size: int = DEFAULT_RING_SIZE) -> None:
         self.port = port
@@ -275,7 +384,9 @@ class RxQueueSim:
         self.ring.append(frame)
         self.rx_packets += 1
         self.rx_bytes += frame.size
-        self.packet_signal.trigger()
+        signal = self.packet_signal
+        if signal._waiters:
+            signal.trigger()
         return True
 
     def fetch(self, max_frames: int) -> List[SimFrame]:
@@ -294,30 +405,72 @@ class NicCard:
     inert bookkeeping.
     """
 
+    __slots__ = ("chip", "ports", "_card_capped", "_pps_floor_ps", "_ft_cache")
+
     def __init__(self, chip: ChipModel) -> None:
         self.chip = chip
         self.ports: List["NicPort"] = []
+        inf = float("inf")
+        #: Card-level caps are shared between *active* ports, so their frame
+        #: time depends on current port activity; the per-port pps cap and
+        #: the plain wire time depend only on (size, speed) and are memoized
+        #: without consulting the other ports.
+        self._card_capped = (chip.card_max_pps != inf
+                             or chip.card_max_bps != inf)
+        self._pps_floor_ps = (round(1e12 / chip.max_pps)
+                              if chip.max_pps != inf else 0)
+        self._ft_cache: Dict[Tuple, int] = {}
 
     def active_tx_ports(self) -> int:
         return sum(1 for p in self.ports if p.has_pending_tx()) or 1
 
     def effective_frame_time_ps(self, frame: SimFrame, speed_bps: int) -> int:
         """MAC occupancy per frame after applying all hardware caps."""
+        cache = self._ft_cache
+        if not self._card_capped:
+            key = (frame.size, speed_bps)
+            time_ps = cache.get(key)
+            if time_ps is None:
+                time_ps = units.frame_time_ps(frame.size, speed_bps)
+                floor = self._pps_floor_ps
+                if floor > time_ps:
+                    time_ps = floor
+                cache[key] = time_ps
+            return time_ps
+        # Card-capped chips share limits between active ports: the activity
+        # count is part of the cache key, so the memo stays exact.
+        active = self.active_tx_ports()
+        key = (frame.size, speed_bps, active)
+        time_ps = cache.get(key)
+        if time_ps is not None:
+            return time_ps
         times = [units.frame_time_ps(frame.size, speed_bps)]
         chip = self.chip
-        if chip.max_pps != float("inf"):
+        inf = float("inf")
+        if chip.max_pps != inf:
             times.append(round(1e12 / chip.max_pps))
-        active = self.active_tx_ports()
-        if chip.card_max_pps != float("inf"):
+        if chip.card_max_pps != inf:
             times.append(round(1e12 * active / chip.card_max_pps))
-        if chip.card_max_bps != float("inf"):
+        if chip.card_max_bps != inf:
             bits = frame.wire_size * 8
             times.append(round(bits * 1e12 * active / chip.card_max_bps))
-        return max(times)
+        time_ps = max(times)
+        cache[key] = time_ps
+        return time_ps
 
 
 class NicPort:
     """One network port of a simulated NIC."""
+
+    __slots__ = (
+        "loop", "chip", "port_id", "speed_bps", "card", "tx_queues",
+        "rx_queues", "clock", "wire", "rate_clock_ps", "_tx_timestamp",
+        "_tx_timestamp_seq", "_rx_timestamp", "_rx_timestamp_seq",
+        "timestamp_missed", "rx_filter", "tx_packets", "tx_bytes",
+        "rx_packets", "rx_bytes", "rx_crc_errors", "rx_missed", "_mac_busy",
+        "_mac_wakeup", "_rr_next", "_fifo", "_fifo_bytes", "_prefetching",
+        "tx_observers", "fast_forward", "fast_forwarded",
+    )
 
     def __init__(
         self,
@@ -376,13 +529,19 @@ class NicPort:
         # On-chip transmit FIFO (Section 3.2: 160 kB on the X540 conceals
         # ~128 µs of pauses at 10 GbE).  The NIC prefetches descriptors
         # from unpaced queues into the FIFO; rate-limited queues are
-        # fetched on their pacing schedule instead.
-        self._fifo: Deque[SimFrame] = deque()
+        # fetched on their pacing schedule instead.  Entries are
+        # (frame, source queue) pairs so the MAC can attribute per-queue
+        # counters without touching the frame's meta dict.
+        self._fifo: Deque[Tuple[SimFrame, TxQueueSim]] = deque()
         self._fifo_bytes = 0
         self._prefetching = False
         #: Observers called with (frame, tx_start_ps) for every sent frame;
         #: benches use this to record exact departure times.
         self.tx_observers: List[Callable[[SimFrame, int], None]] = []
+        #: Opt-in steady-state accelerator (see :meth:`_fast_forward`).
+        self.fast_forward = False
+        #: Frames sent through the fast-forward path (observability).
+        self.fast_forwarded = 0
 
     # -- wiring ----------------------------------------------------------------
 
@@ -414,12 +573,15 @@ class NicPort:
 
     def _pick_queue(self) -> Optional[TxQueueSim]:
         """Round-robin over queues that are non-empty and rate-eligible."""
-        n = len(self.tx_queues)
+        queues = self.tx_queues
+        n = len(queues)
         now = self.loop.now_ps
+        start = self._rr_next
         for i in range(n):
-            queue = self.tx_queues[(self._rr_next + i) % n]
+            idx = (start + i) % n
+            queue = queues[idx]
             if queue.ring and queue.next_allowed_ps <= now:
-                self._rr_next = (self.tx_queues.index(queue) + 1) % n
+                self._rr_next = (idx + 1) % n
                 return queue
         return None
 
@@ -427,10 +589,15 @@ class NicPort:
         pending = [q.next_allowed_ps for q in self.tx_queues if q.ring]
         return min(pending) if pending else None
 
-    def _fetch_from_ring(self, queue: TxQueueSim) -> SimFrame:
-        """DMA one descriptor out of a ring: recycle + wake the producer."""
+    def _fetch_from_ring(self, queue: TxQueueSim, tracer) -> SimFrame:
+        """DMA one descriptor out of a ring: recycle + wake the producer.
+
+        ``tracer`` is passed in by the caller (hoisted out of per-frame
+        loops) so the disabled case costs a single ``is not None`` test.
+        Parked producers are woken in batches of ``space_wake_threshold``
+        freed slots (DPDK's ``tx_free_thresh``), not once per descriptor.
+        """
         frame = queue.ring.popleft()
-        tracer = self.loop.tracer
         if tracer is not None:
             tracer.emit("desc", "desc_fetch", port=self.port_id,
                         queue=queue.index, frame=tracer.frame_id(frame),
@@ -440,7 +607,13 @@ class NicPort:
             # The NIC has fetched the packet: DPDK's transmit function can
             # recycle the buffer into its mempool (Section 4.2).
             recycle()
-        queue.space_signal.trigger()
+        signal = queue.space_signal
+        if signal._waiters:
+            ring_len = len(queue.ring)
+            if ring_len == 0 or (
+                queue.ring_size - ring_len >= queue.space_wake_threshold
+            ):
+                signal.trigger()
         return frame
 
     def _prefetch(self) -> None:
@@ -449,33 +622,43 @@ class NicPort:
         Rate-limited queues are fetched on their pacing schedule instead,
         so hardware rate control timing is unaffected.
         """
-        n = len(self.tx_queues)
+        queues = self.tx_queues
+        n = len(queues)
+        fifo = self._fifo
+        fifo_cap = self.chip.tx_fifo_bytes
+        tracer = self.loop.tracer
+        # NOTE: ``_fifo_bytes`` must be updated through self: the space
+        # signal inside _fetch_from_ring can synchronously resume a task
+        # whose enqueue->kick path pops the FIFO reentrantly (the ring is
+        # re-read each iteration for the same reason).
+        if n == 1:
+            queue = queues[0]
+            if queue.rate_bps:
+                return
+            ring = queue.ring
+            while ring and self._fifo_bytes < fifo_cap:
+                frame = self._fetch_from_ring(queue, tracer)
+                fifo.append((frame, queue))
+                self._fifo_bytes += frame.size
+            return
         progress = True
-        while progress and self._fifo_bytes < self.chip.tx_fifo_bytes:
+        while progress and self._fifo_bytes < fifo_cap:
             progress = False
             for i in range(n):
-                if self._fifo_bytes >= self.chip.tx_fifo_bytes:
+                if self._fifo_bytes >= fifo_cap:
                     break
-                queue = self.tx_queues[i]
+                queue = queues[i]
                 if queue.rate_bps or not queue.ring:
                     continue
-                frame = self._fetch_from_ring(queue)
-                frame.meta["_tx_queue"] = queue
-                self._fifo.append(frame)
+                frame = self._fetch_from_ring(queue, tracer)
+                fifo.append((frame, queue))
                 self._fifo_bytes += frame.size
                 progress = True
 
-    def _next_frame(self):
-        """The frame the MAC transmits next: FIFO first, then paced rings."""
-        if self._fifo:
-            frame = self._fifo.popleft()
-            self._fifo_bytes -= frame.size
-            return frame, frame.meta.pop("_tx_queue", None)
-        queue = self._pick_queue()
-        if queue is None:
-            return None, None
-        frame = self._fetch_from_ring(queue)
-        return frame, queue
+    def _mac_done(self) -> None:
+        """End of a frame's MAC occupancy: free the MAC, send the next."""
+        self._mac_busy = False
+        self._mac_kick()
 
     def _mac_kick(self) -> None:
         """Advance the MAC: send the next eligible frame, if any.
@@ -496,26 +679,35 @@ class NicPort:
         # Mark the MAC busy *before* waking software: space signals can
         # synchronously resume a task that immediately enqueues and kicks.
         self._mac_busy = True
-        frame, queue = self._next_frame()
-        if frame is None:
-            self._mac_busy = False
-            nxt = self._earliest_pending_ps()
-            if nxt is not None and (
-                self._mac_wakeup is None or self._mac_wakeup.cancelled
-            ):
-                self._mac_wakeup = self.loop.schedule_at(
-                    max(nxt, self.loop.now_ps), self._mac_kick
-                )
-            return
+        # The frame the MAC transmits next: FIFO first, then paced rings.
+        fifo = self._fifo
+        if fifo:
+            frame, queue = fifo.popleft()
+            self._fifo_bytes -= frame.size
+        else:
+            queue = self._pick_queue()
+            if queue is None:
+                self._mac_busy = False
+                nxt = self._earliest_pending_ps()
+                if nxt is not None and (
+                    self._mac_wakeup is None or self._mac_wakeup.cancelled
+                ):
+                    self._mac_wakeup = self.loop.schedule_at(
+                        max(nxt, self.loop.now_ps), self._mac_kick
+                    )
+                return
+            frame = self._fetch_from_ring(queue, self.loop.tracer)
         if self._mac_wakeup is not None:
             self._mac_wakeup.cancel()
             self._mac_wakeup = None
-        now = self.loop.now_ps
+        loop = self.loop
+        now = loop.now_ps
+        size = frame.size
         mac_time = self.card.effective_frame_time_ps(frame, self.speed_bps)
         # Timestamp late in the transmit path (Section 6: as the frame hits
         # the wire), if the descriptor asked for it and the register is free.
         if frame.meta.get("timestamp") and self.chip.hw_timestamping and frame.is_ptp():
-            tracer = self.loop.tracer
+            tracer = loop.tracer
             if self._tx_timestamp is None:
                 self._tx_timestamp = self.clock.timestamp_ns(now)
                 self._tx_timestamp_seq = frame.ptp_sequence()
@@ -530,22 +722,132 @@ class NicPort:
                     tracer.emit("tstamp", "tstamp_missed", port=self.port_id,
                                 side="tx", frame=tracer.frame_id(frame))
         frame.meta["tx_start_ps"] = now
-        for observer in self.tx_observers:
-            observer(frame, now)
-        if self.wire is not None:
-            self.wire.transmit(frame, frame.size, start_ps=now)
+        if self.tx_observers:
+            for observer in self.tx_observers:
+                observer(frame, now)
+        wire = self.wire
+        if wire is not None:
+            wire.transmit(frame, size, start_ps=now)
+        elif frame.pool is not None:
+            # Transmit into the void: nothing can reach the frame again.
+            frame.pool.release(frame)
         self.tx_packets += 1
-        self.tx_bytes += frame.size
+        self.tx_bytes += size
         if queue is not None:
             queue.tx_packets += 1
-            queue.tx_bytes += frame.size
-            queue._advance_rate_limiter(now, frame)
+            queue.tx_bytes += size
+            # Inlined unpaced case of _advance_rate_limiter (the hot path).
+            if queue.rate_bps <= 0:
+                queue.next_allowed_ps = now
+            else:
+                queue._advance_rate_limiter(now, frame)
+        end_ps = now + mac_time
+        if self.fast_forward and self._fifo:
+            end_ps = self._fast_forward(end_ps)
+        loop.schedule_at(end_ps, self._mac_done)
 
-        def done() -> None:
-            self._mac_busy = False
-            self._mac_kick()
+    def _fast_forward(self, start_ps: int) -> int:
+        """Serialize queued FIFO frames arithmetically; returns the MAC-free time.
 
-        self.loop.schedule(mac_time, done)
+        The steady-state CBR accelerator (opt-in via :attr:`fast_forward`):
+        when the MAC's schedule is a pure function of the frames already in
+        the on-chip FIFO, the per-frame ``done`` + wire-delivery events are
+        skipped and the batch is advanced in one arithmetic loop, with the
+        receiving port's counters updated through the exact same
+        ``receive`` path (same arrival stamps the event path would use).
+
+        Falls back to event-by-event fidelity unless *all* of these hold:
+
+        * no tracer and no tx observers (both record per-frame events),
+        * a single tx queue (multi-queue interleaving is prefetch-order
+          dependent),
+        * the wire draws no per-frame randomness (no jitter/corruption/PHY
+          framing) and its sink is a plain ``NicPort.receive``,
+        * no receiver is parked on the sink's rx signals (they must wake
+          at per-frame times),
+        * the batch stays short of the next scheduled event and the active
+          ``run(until_ps=...)`` horizon, so no observer can run mid-batch,
+        * frames do not request tx timestamping.
+
+        Within those conditions the final counters match the event-driven
+        path exactly: each frame is delivered through the sink port's real
+        ``receive`` with the identical arrival stamp and order, so even
+        order-sensitive rx state (the PTP latch register) ends up
+        bit-identical; only the *instant* at which rx-side state appears
+        moves (to the start of the batch), which nothing can observe
+        because no event runs mid-batch.  Cross-validated in
+        ``benchmarks/bench_validation_event_vs_vectorized.py``.
+        """
+        loop = self.loop
+        wire = self.wire
+        if (wire is None or self.tx_observers or loop.tracer is not None
+                or len(self.tx_queues) != 1 or not wire.can_fast_forward()):
+            return start_ps
+        sink = wire.sink
+        sink_port = getattr(sink, "__self__", None)
+        if (sink_port is None or sink.__func__ is not NicPort.receive
+                or not isinstance(sink_port, NicPort)):
+            return start_ps
+        for rxq in sink_port.rx_queues:
+            if rxq.packet_signal.has_waiters:
+                return start_ps
+        queue = self.tx_queues[0]
+        if queue.rate_bps:
+            # A rate set after these frames were prefetched must still be
+            # honored per frame by the event-driven limiter.
+            return start_ps
+        # Frames already on the wire must land before this batch's
+        # synchronous deliveries to keep rx rings in order.  Their drain
+        # events are detached *before* computing the bound — otherwise
+        # those events clamp it to the very next arrival and no batch
+        # could ever form.
+        entries = wire.detach_pending()
+        bound = loop.fast_forward_bound_ps()
+        if bound is None or (entries and entries[-1][1] >= bound):
+            # No future event and no horizon (the event-driven path would
+            # interleave prefetch wakeups), or an in-flight frame arrives
+            # at/after an observable instant: keep per-frame fidelity.
+            wire.reattach_pending(entries)
+            return start_ps
+        sink_fn = wire.sink
+        for pending_frame, pending_arrival in entries:
+            sink_fn(pending_frame, pending_arrival)
+        fifo = self._fifo
+        card = self.card
+        speed = self.speed_bps
+        # Margin so every synchronous delivery lands strictly before the
+        # bound: arrival <= mac end + cable latency (wire serialization
+        # never exceeds the MAC's effective frame time).
+        latency_ps = wire._latency_ps
+        end_ps = start_ps
+        last_start = start_ps
+        sent = 0
+        sent_bytes = 0
+        while fifo:
+            frame = fifo[0][0]
+            if frame.meta.get("timestamp"):
+                break
+            mac_time = card.effective_frame_time_ps(frame, speed)
+            if end_ps + mac_time + latency_ps >= bound:
+                break
+            fifo.popleft()
+            size = frame.size
+            self._fifo_bytes -= size
+            last_start = end_ps
+            frame.meta["tx_start_ps"] = end_ps
+            wire.fast_transmit(frame, size, end_ps)
+            end_ps += mac_time
+            sent += 1
+            sent_bytes += size
+        if sent:
+            self.tx_packets += sent
+            self.tx_bytes += sent_bytes
+            queue.tx_packets += sent
+            queue.tx_bytes += sent_bytes
+            # Unpaced queue: the limiter just records the last start time.
+            queue.next_allowed_ps = last_start
+            self.fast_forwarded += sent
+        return end_ps
 
     # -- receive path --------------------------------------------------------------
 
@@ -559,15 +861,20 @@ class NicPort:
             if tracer is not None:
                 tracer.emit("drop", "drop_fcs", port=self.port_id,
                             frame=tracer.frame_id(frame), size=frame.size)
+            if frame.pool is not None:
+                frame.pool.release(frame)
             return
         if self.chip.hw_timestamping:
             # Timestamps are taken early in the receive path, referenced to
-            # the start of the frame (the wire delivers at frame end).
-            stamp_ps = arrival_ps - units.frame_time_ps(frame.size, self.speed_bps)
+            # the start of the frame (the wire delivers at frame end).  The
+            # back-reference is only computed for frames that are actually
+            # stamped — non-PTP traffic skips it.
             if self.chip.timestamp_all_rx:
+                stamp_ps = arrival_ps - units.frame_time_ps(frame.size, self.speed_bps)
                 frame.meta["rx_timestamp_ns"] = self.clock.timestamp_ns(stamp_ps)
             elif frame.is_ptp():
                 if self._rx_timestamp is None:
+                    stamp_ps = arrival_ps - units.frame_time_ps(frame.size, self.speed_bps)
                     self._rx_timestamp = self.clock.timestamp_ns(stamp_ps)
                     self._rx_timestamp_seq = frame.ptp_sequence()
                     if tracer is not None:
@@ -592,6 +899,8 @@ class NicPort:
             if tracer is not None:
                 tracer.emit("drop", "drop_rx_ring", port=self.port_id,
                             queue=queue_idx, frame=tracer.frame_id(frame))
+            if frame.pool is not None:
+                frame.pool.release(frame)
 
     # -- timestamp registers ----------------------------------------------------------
 

@@ -1,0 +1,387 @@
+"""Continuous perf-regression harness (``repro.perf``).
+
+The paper's headline claim is throughput: one core saturating 10 GbE at
+14.88 Mpps.  In this reproduction the figure/table benches replay millions
+of simulated packets through ``EventLoop``, ``SimFrame``, and the MAC/wire
+models, so *simulator events per wall-clock second* is our effective line
+rate.  This module pins a small suite of hot-path scenarios, measures them
+reproducibly, and records the trajectory in ``BENCH_core.json`` so every
+future PR is held to the current numbers.
+
+Three pinned scenarios:
+
+* ``eventloop`` — the raw scheduler: timer wheels, same-instant bursts,
+  cancellations.  Measures the event loop alone.
+* ``bench_table1`` — the Table 1 transmit loop (one core, one 10 GbE
+  port, 64 B frames): the canonical single-core hot path.
+* ``bench_fig2`` — the Figure 2 heavy multicore script (4 cores, 2 ports,
+  8 random fields + IP offload per packet): the scaling hot path.
+
+Metrics per scenario:
+
+* ``events`` / ``wall_s`` / ``events_per_sec`` — scheduler throughput;
+* ``sim_packets`` / ``wall_pps`` — simulated packets per *wall* second,
+  the simulator's effective generator rate;
+* ``sim_pps`` — packets per *simulated* second (a correctness fingerprint:
+  it must not move when only the implementation gets faster).
+
+``BENCH_core.json`` layout::
+
+    {
+      "schema": 2,
+      "baseline": {
+        "full":  {"recorded": ..., "host": ..., "scenarios": {...}},
+        "smoke": {"recorded": ..., "host": ..., "scenarios": {...}}
+      },
+      "current": {"mode": "full", "recorded": ..., "scenarios": {...}},
+      "delta":   {"bench_table1": {"events_per_sec": 2.43, ...}, ...}
+    }
+
+``delta`` values are ratios current/baseline (>1 is faster), always
+computed against the baseline of the *same mode* — smoke workloads are
+startup-dominated and must never be compared against full-length runs.
+Baselines are written once per mode (``--rebaseline``) and kept across
+runs; ``current`` is replaced on every run.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+SCHEMA_VERSION = 2
+
+#: Default location of the trajectory file, relative to the repo root.
+BENCH_FILE = "BENCH_core.json"
+
+#: Metrics compared between baseline and current (ratios in ``delta``).
+DELTA_METRICS = ("events_per_sec", "wall_pps")
+
+#: Fingerprint metrics that must be identical between runs of the same
+#: code (they depend only on simulation arithmetic, not wall time).
+FINGERPRINT_METRICS = ("events", "sim_packets", "sim_pps")
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+
+
+def _scenario_eventloop(smoke: bool) -> Dict[str, float]:
+    """Raw scheduler throughput: timers, same-instant bursts, cancels."""
+    from repro.nicsim.eventloop import EventLoop
+
+    n_timers = 20_000 if smoke else 80_000
+    loop = EventLoop()
+    state = {"chains": 0}
+
+    # Interleaved timer chains: each fired event reschedules itself a few
+    # times at a new instant, plus schedules a burst of two same-instant
+    # followers (the fast-lane shape), plus one cancelled event.
+    def chain(step: int, hops: int) -> None:
+        if hops <= 0:
+            state["chains"] += 1
+            return
+        loop.schedule(step, lambda: chain(step, hops - 1))
+        loop.schedule(0, _noop)
+        loop.schedule(0, _noop)
+        dead = loop.schedule(step * 2 + 1, _noop)
+        dead.cancel()
+
+    def _noop() -> None:
+        pass
+
+    n_chains = n_timers // 40
+    for i in range(n_chains):
+        loop.schedule(i % 97, lambda i=i: chain(11 + i % 13, 10))
+
+    t0 = time.perf_counter()
+    loop.run()
+    wall = time.perf_counter() - t0
+    events = loop.events_processed
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall,
+        "sim_packets": 0,
+        "wall_pps": 0.0,
+        "sim_pps": 0.0,
+    }
+
+
+def _scenario_bench_table1(smoke: bool) -> Dict[str, float]:
+    """The Table 1 transmit loop: one core saturating one 10 GbE port."""
+    from repro import MoonGenEnv
+
+    duration_ns = 1_500_000 if smoke else 6_000_000
+    env = MoonGenEnv(seed=1, core_freq_hz=2.4e9)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+
+    def slave(env, queue):
+        mem = env.create_mempool(
+            fill=lambda b: b.udp_packet.fill(pkt_length=60))
+        bufs = mem.buf_array()
+        while env.running():
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+    env.launch(slave, env, tx.get_tx_queue(0))
+    t0 = time.perf_counter()
+    env.wait_for_slaves(duration_ns=duration_ns)
+    wall = time.perf_counter() - t0
+    events = env.loop.events_processed
+    packets = tx.tx_packets
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall,
+        "sim_packets": packets,
+        "wall_pps": packets / wall,
+        "sim_pps": packets / (env.now_ns / 1e9),
+    }
+
+
+def _scenario_bench_fig2(smoke: bool) -> Dict[str, float]:
+    """The Figure 2 heavy script on 4 cores and two shared ports."""
+    from repro import MoonGenEnv
+
+    duration_ns = 100_000 if smoke else 300_000
+    n_cores = 4
+
+    def heavy_slave(env, queues):
+        mem = env.create_mempool(
+            fill=lambda b: b.udp_packet.fill(pkt_length=60))
+        arrays = [mem.buf_array() for _ in queues]
+        while env.running():
+            for queue, bufs in zip(queues, arrays):
+                bufs.alloc(60)
+                bufs.charge_random_fields(8)
+                bufs.offload_ip_checksums()
+                yield queue.send(bufs)
+
+    env = MoonGenEnv(seed=3, core_freq_hz=1.2e9)
+    ports = [env.config_device(i, tx_queues=n_cores) for i in (0, 1)]
+    sinks = [env.config_device(i + 2, rx_queues=1) for i in (0, 1)]
+    for port, sink in zip(ports, sinks):
+        env.connect(port, sink)
+    for core in range(n_cores):
+        env.launch(heavy_slave, env, [p.get_tx_queue(core) for p in ports])
+    t0 = time.perf_counter()
+    env.wait_for_slaves(duration_ns=duration_ns)
+    wall = time.perf_counter() - t0
+    events = env.loop.events_processed
+    packets = sum(p.tx_packets for p in ports)
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall,
+        "sim_packets": packets,
+        "wall_pps": packets / wall,
+        "sim_pps": packets / (env.now_ns / 1e9),
+    }
+
+
+SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
+    "eventloop": _scenario_eventloop,
+    "bench_table1": _scenario_bench_table1,
+    "bench_fig2": _scenario_bench_fig2,
+}
+
+
+# ---------------------------------------------------------------------------
+# measurement
+
+
+def measure(name: str, smoke: bool = False, repeats: int = 3) -> Dict[str, float]:
+    """Run one scenario ``repeats`` times; keep the fastest round.
+
+    The simulation outputs (events, packets) are identical across rounds —
+    only wall time varies — so best-of-N is the standard way to suppress
+    scheduler/GC noise.  A mismatch in the fingerprint metrics across
+    rounds indicates nondeterminism and raises.
+    """
+    runner = SCENARIOS[name]
+    best: Optional[Dict[str, float]] = None
+    for _ in range(max(1, repeats)):
+        result = runner(smoke)
+        if best is not None:
+            for key in FINGERPRINT_METRICS:
+                if result[key] != best[key]:
+                    raise RuntimeError(
+                        f"scenario {name!r} is nondeterministic: {key} was "
+                        f"{best[key]} then {result[key]}"
+                    )
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    assert best is not None
+    return best
+
+
+def run_suite(
+    names: Optional[Iterable[str]] = None,
+    smoke: bool = False,
+    repeats: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Run the pinned suite; returns ``{scenario: metrics}``."""
+    selected = list(names) if names else list(SCENARIOS)
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown perf scenarios: {unknown}; "
+                       f"valid: {sorted(SCENARIOS)}")
+    return {name: measure(name, smoke=smoke, repeats=repeats)
+            for name in selected}
+
+
+# ---------------------------------------------------------------------------
+# trajectory file
+
+
+def _host_info() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def _stamp(scenarios: Dict[str, Dict[str, float]], mode: str) -> Dict[str, object]:
+    return {
+        "mode": mode,
+        "recorded": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "host": _host_info(),
+        "scenarios": scenarios,
+    }
+
+
+def compute_delta(
+    baseline: Dict[str, Dict[str, float]],
+    current: Dict[str, Dict[str, float]],
+) -> Dict[str, Dict[str, float]]:
+    """Speedup ratios current/baseline per scenario and metric (>1: faster)."""
+    delta: Dict[str, Dict[str, float]] = {}
+    for name, metrics in current.items():
+        base = baseline.get(name)
+        if not base:
+            continue
+        ratios = {}
+        for key in DELTA_METRICS:
+            old = base.get(key) or 0.0
+            new = metrics.get(key) or 0.0
+            if old > 0 and new > 0:
+                ratios[key] = round(new / old, 4)
+        if ratios:
+            delta[name] = ratios
+    return delta
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Load an existing trajectory file; empty dict if absent/invalid."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def write_bench(
+    path: str,
+    current: Dict[str, Dict[str, float]],
+    rebaseline: bool = False,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Merge a run into ``BENCH_core.json``; returns the written document.
+
+    Baselines are per mode (``full``/``smoke``) and kept verbatim unless
+    absent or ``rebaseline`` is set; ``current`` and ``delta`` are replaced
+    every run, with ``delta`` always computed same-mode.
+    """
+    mode = "smoke" if smoke else "full"
+    doc = load_bench(path)
+    baselines = doc.get("baseline")
+    if not isinstance(baselines, dict):
+        baselines = {}
+    elif "scenarios" in baselines:
+        # Schema 1 stored a single (full-mode) baseline stamp directly.
+        baselines = {"full": baselines}
+    if rebaseline or not isinstance(baselines.get(mode), dict):
+        baselines = dict(baselines)
+        baselines[mode] = _stamp(current, mode)
+    out = {
+        "schema": SCHEMA_VERSION,
+        "baseline": baselines,
+        "current": _stamp(current, mode),
+        "delta": compute_delta(
+            baselines[mode].get("scenarios", {}), current
+        ),
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reporting
+
+
+def format_report(doc: Dict[str, object]) -> str:
+    """Human-readable summary of a trajectory document."""
+    lines: List[str] = []
+    current = doc.get("current", {})
+    baseline = doc.get("baseline", {})
+    delta = doc.get("delta", {})
+    cur = current.get("scenarios", {}) if isinstance(current, dict) else {}
+    mode = current.get("mode", "full") if isinstance(current, dict) else "full"
+    if isinstance(baseline, dict) and "scenarios" not in baseline:
+        baseline = baseline.get(mode, {})
+    base = baseline.get("scenarios", {}) if isinstance(baseline, dict) else {}
+    header = (f"{'scenario':<14} {'events/s':>12} {'wall Mpps':>10} "
+              f"{'sim Mpps':>9} {'vs baseline':>12}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, metrics in cur.items():
+        ratio = ""
+        d = delta.get(name, {}) if isinstance(delta, dict) else {}
+        if "events_per_sec" in d:
+            ratio = f"{d['events_per_sec']:.2f}x"
+        wall_mpps = (metrics.get("wall_pps") or 0.0) / 1e6
+        sim_mpps = (metrics.get("sim_pps") or 0.0) / 1e6
+        lines.append(
+            f"{name:<14} {metrics['events_per_sec']:>12,.0f} "
+            f"{wall_mpps:>10.3f} {sim_mpps:>9.2f} {ratio:>12}"
+        )
+        b = base.get(name)
+        if b:
+            lines.append(
+                f"{'  baseline':<14} {b['events_per_sec']:>12,.0f} "
+                f"{(b.get('wall_pps') or 0.0) / 1e6:>10.3f} "
+                f"{(b.get('sim_pps') or 0.0) / 1e6:>9.2f}"
+            )
+    return "\n".join(lines)
+
+
+def check_regression(
+    doc: Dict[str, object],
+    threshold: float = 0.85,
+) -> List[str]:
+    """Warnings for scenarios whose events/sec fell below ``threshold``×
+    baseline (the CI bench-smoke gate: warn, don't fail)."""
+    warnings = []
+    delta = doc.get("delta", {})
+    if isinstance(delta, dict):
+        for name, ratios in delta.items():
+            ratio = ratios.get("events_per_sec")
+            if ratio is not None and ratio < threshold:
+                warnings.append(
+                    f"perf regression: {name} events/sec at {ratio:.2f}x "
+                    f"baseline (threshold {threshold:.2f}x)"
+                )
+    return warnings
