@@ -10,9 +10,10 @@ converges once the call overhead is spread over ~32+ packets.
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, sweep_jobs
 from repro import MoonGenEnv
 from repro.nicsim.cpu import CycleCostModel, OpCost, OpCosts
+from repro.parallel import run_parallel
 from repro.units import to_mpps
 
 #: A realistic per-call cost: driver entry, descriptor-ring tail update,
@@ -44,9 +45,15 @@ def run_batch(batch_size: int, freq_hz: float = 1.2e9) -> float:
     return tx.tx_packets / (env.now_ns / 1e9)
 
 
+def _batch_point(batch_size, _seed):
+    """Sweep point for the parallel engine (seed pinned in run_batch)."""
+    return run_batch(batch_size)
+
+
 def test_ablation_batch_size(benchmark):
     def experiment():
-        return {b: run_batch(b) for b in BATCH_SIZES}
+        return dict(zip(BATCH_SIZES, run_parallel(BATCH_SIZES, _batch_point,
+                                                  jobs=sweep_jobs())))
 
     rates = run_once(benchmark, experiment)
     best = max(rates.values())

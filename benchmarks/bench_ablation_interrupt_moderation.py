@@ -13,10 +13,11 @@ moderation policy to quantify its role:
 import numpy as np
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, sweep_jobs
 from repro import units
 from repro.dut import ItrConfig, simulate_forwarder
 from repro.generators import MoonGenHwRateModel
+from repro.parallel import run_parallel
 
 LOAD_PPS = 0.5e6
 WINDOW_S = 0.03
@@ -39,9 +40,16 @@ def run_config(itr: ItrConfig, seed: int = 3):
     return simulate_forwarder(arrivals, itr=itr)
 
 
+def _config_point(name, _seed):
+    """Sweep point: one moderation policy (seed pinned in run_config)."""
+    return run_config(CONFIGS[name])
+
+
 def test_ablation_interrupt_moderation(benchmark):
     def experiment():
-        return {name: run_config(cfg) for name, cfg in CONFIGS.items()}
+        names = list(CONFIGS)
+        return dict(zip(names, run_parallel(names, _config_point,
+                                            jobs=sweep_jobs())))
 
     results = run_once(benchmark, experiment)
     rows = []

@@ -11,29 +11,41 @@ sides of the design choice.
 import numpy as np
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, sweep_jobs
 from repro.core.ratecontrol import (
     CbrPattern,
     GapFiller,
     SHORT_FRAME_MAX_PPS,
     crc_rate_control_frame_rate,
 )
+from repro.parallel import run_parallel
 
 MIN_FILLERS = (33, 50, 76, 120)
+
+
+def _precision_point(min_wire, _seed):
+    """Sweep point: worst/mean gap error for one minimum filler size."""
+    filler = GapFiller(min_filler_wire=min_wire)
+    plan = filler.plan([95.0] * 20_000)  # 27.8 ns idle: tiny gap
+    return (
+        float(np.abs(plan.actual_gaps_ns - 95.0).max()),
+        float(plan.actual_gaps_ns.mean()),
+    )
+
+
+def _frame_rate_point(min_wire, _seed):
+    """Sweep point: total frame rate at 8 Mpps CBR for one filler size."""
+    filler = GapFiller(min_filler_wire=min_wire)
+    plan = filler.plan_pattern(CbrPattern(8e6), 20_000)
+    return crc_rate_control_frame_rate(plan)
 
 
 def test_ablation_precision_vs_min_filler(benchmark):
     """Smaller minimum filler -> tighter worst-case gap error."""
     def experiment():
-        out = {}
-        for min_wire in MIN_FILLERS:
-            filler = GapFiller(min_filler_wire=min_wire)
-            plan = filler.plan([95.0] * 20_000)  # 27.8 ns idle: tiny gap
-            out[min_wire] = (
-                float(np.abs(plan.actual_gaps_ns - 95.0).max()),
-                float(plan.actual_gaps_ns.mean()),
-            )
-        return out
+        return dict(zip(MIN_FILLERS,
+                        run_parallel(MIN_FILLERS, _precision_point,
+                                     jobs=sweep_jobs())))
 
     results = run_once(benchmark, experiment)
     rows = [
@@ -56,12 +68,9 @@ def test_ablation_precision_vs_min_filler(benchmark):
 def test_ablation_frame_rate_vs_min_filler(benchmark):
     """Smaller fillers mean more frames: the MAC-limit headroom shrinks."""
     def experiment():
-        out = {}
-        for min_wire in MIN_FILLERS:
-            filler = GapFiller(min_filler_wire=min_wire)
-            plan = filler.plan_pattern(CbrPattern(8e6), 20_000)
-            out[min_wire] = crc_rate_control_frame_rate(plan)
-        return out
+        return dict(zip(MIN_FILLERS,
+                        run_parallel(MIN_FILLERS, _frame_rate_point,
+                                     jobs=sweep_jobs())))
 
     rates = run_once(benchmark, experiment)
     rows = [

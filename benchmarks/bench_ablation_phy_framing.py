@@ -12,10 +12,11 @@ range is invisible on 10GBASE-T.
 import numpy as np
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, sweep_jobs
 from repro import MoonGenEnv, units
 from repro.nicsim.eventloop import EventLoop
 from repro.nicsim.link import Wire
+from repro.parallel import run_parallel
 
 PHY_FRAME_BITS = 3200
 
@@ -36,14 +37,15 @@ def observed_gaps(tx_gaps_ns, phy: bool):
     return np.diff(arrivals) / 1000.0
 
 
+def _burst_point(phy, _seed):
+    """Sweep point: alternating 67.2/1000 ns gaps through one PHY model."""
+    return observed_gaps([67.2, 1000.0] * 200, phy=phy)
+
+
 def test_ablation_phy_framing_bursts(benchmark):
     def experiment():
-        # Alternating 67.2 ns (back-to-back) and 1000 ns gaps.
-        tx_gaps = [67.2, 1000.0] * 200
-        return {
-            "ideal PHY": observed_gaps(tx_gaps, phy=False),
-            "10GBASE-T PHY": observed_gaps(tx_gaps, phy=True),
-        }
+        gaps = run_parallel([False, True], _burst_point, jobs=sweep_jobs())
+        return {"ideal PHY": gaps[0], "10GBASE-T PHY": gaps[1]}
 
     results = run_once(benchmark, experiment)
     rows = []

@@ -8,8 +8,9 @@ aggregate line rate of 29.76 Mpps is reached — the paper's Figure 2 curve.
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, sweep_jobs
 from repro import MoonGenEnv
+from repro.parallel import run_parallel
 from repro.units import LINE_RATE_10G_64B_PPS, to_mpps
 
 FREQ_HZ = 1.2e9
@@ -43,9 +44,16 @@ def run_cores(n_cores: int) -> float:
     return sum(p.tx_packets for p in ports) / (env.now_ns / 1e9)
 
 
+def _rate_point(n_cores, _seed):
+    """Sweep point for the parallel engine (seed pinned inside run_cores)."""
+    return run_cores(n_cores)
+
+
 def test_fig2_multicore_scaling(benchmark):
     def experiment():
-        return {cores: run_cores(cores) for cores in range(1, MAX_CORES + 1)}
+        cores = list(range(1, MAX_CORES + 1))
+        return dict(zip(cores, run_parallel(cores, _rate_point,
+                                            jobs=sweep_jobs())))
 
     rates = run_once(benchmark, experiment)
     rows = [

@@ -8,8 +8,9 @@ saturates its port, so the aggregate reaches 178.5 Mpps — line rate at
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, sweep_jobs
 from repro import MoonGenEnv
+from repro.parallel import run_parallel
 from repro.units import LINE_RATE_10G_64B_PPS, to_mpps, wire_rate_gbps
 
 FREQ_HZ = 2.0e9
@@ -39,9 +40,16 @@ def run_cores(n_cores: int) -> float:
     return sum(p.tx_packets for p in ports) / (env.now_ns / 1e9)
 
 
+def _rate_point(n_cores, _seed):
+    """Sweep point for the parallel engine (seed pinned inside run_cores)."""
+    return run_cores(n_cores)
+
+
 def test_fig4_many_nics(benchmark):
     def experiment():
-        return {cores: run_cores(cores) for cores in (1, 2, 4, 8, 12)}
+        cores = [1, 2, 4, 8, 12]
+        return dict(zip(cores, run_parallel(cores, _rate_point,
+                                            jobs=sweep_jobs())))
 
     rates = run_once(benchmark, experiment)
     rows = [

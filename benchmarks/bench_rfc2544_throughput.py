@@ -9,11 +9,11 @@ where line rate in pps drops below the DuT's capacity).
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, sweep_jobs
 from repro import units
 from repro.analysis.rfc2544 import (
     default_loss_probe,
-    frame_size_sweep,
+    throughput_sweep,
     throughput_test,
 )
 
@@ -42,12 +42,12 @@ def test_rfc2544_64b_throughput(benchmark):
 
 def test_rfc2544_frame_size_sweep(benchmark):
     def experiment():
-        return frame_size_sweep(
-            line_rate_for=lambda s: units.line_rate_pps(s, units.SPEED_10G),
-            probe_factory=lambda s: default_loss_probe(
-                frame_size=s, duration_s=0.03, seed=3),
+        # Per-size searches are independent simulations: fan them out
+        # through the parallel engine (serial unless REPRO_BENCH_JOBS).
+        return throughput_sweep(
             frame_sizes=(64, 128, 256, 512, 1518),
-            resolution=0.02,
+            resolution=0.02, seed=3, duration_s=0.03,
+            jobs=sweep_jobs(),
         )
 
     results = run_once(benchmark, experiment)

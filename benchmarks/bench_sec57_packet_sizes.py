@@ -10,8 +10,9 @@ import statistics
 
 import pytest
 
-from conftest import print_table, run_once
+from conftest import print_table, run_once, sweep_jobs
 from repro import MoonGenEnv
+from repro.parallel import run_parallel
 from repro.units import line_rate_pps, SPEED_10G
 
 SIZES = (64, 72, 80, 88, 96, 104, 112, 120, 128)
@@ -67,9 +68,20 @@ def rx_cycles_per_packet(frame_size: int, seed: int = 18) -> float:
     return rx_task.core.busy_cycles / max(received[0], 1)
 
 
+def _tx_cost_point(size, _seed):
+    """Sweep point: tx cost at one frame size (seeds pinned in the runner)."""
+    return tx_cycles_per_packet(size)
+
+
+def _rx_cost_point(size, _seed):
+    """Sweep point: rx cost at one frame size (seeds pinned in the runner)."""
+    return rx_cycles_per_packet(size)
+
+
 def test_sec57_tx_cost_independent_of_size(benchmark):
     def experiment():
-        return {size: tx_cycles_per_packet(size) for size in SIZES}
+        return dict(zip(SIZES, run_parallel(SIZES, _tx_cost_point,
+                                            jobs=sweep_jobs())))
 
     costs = run_once(benchmark, experiment)
     rows = [[size, f"{c:.1f}"] for size, c in costs.items()]
@@ -87,7 +99,9 @@ def test_sec57_tx_cost_independent_of_size(benchmark):
 def test_sec57_rx_cost_independent_of_size(benchmark):
     """The netmap-2012 receive-side effect does not appear (Section 5.7)."""
     def experiment():
-        return {size: rx_cycles_per_packet(size) for size in (64, 96, 128)}
+        sizes = (64, 96, 128)
+        return dict(zip(sizes, run_parallel(sizes, _rx_cost_point,
+                                            jobs=sweep_jobs())))
 
     costs = run_once(benchmark, experiment)
     rows = [[size, f"{c:.1f}"] for size, c in costs.items()]

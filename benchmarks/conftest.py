@@ -3,11 +3,21 @@
 Every bench prints a paper-vs-measured comparison table; the pytest-benchmark
 fixture wraps the experiment once (``pedantic`` with a single round — these
 are simulations whose *output* matters, not their wall time).
+
+Sweep-style benches fan their independent points out through
+``repro.parallel.run_parallel``; ``REPRO_BENCH_JOBS`` sets the worker
+count (default 1 = serial in-process, bit-identical results either way).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
+
+
+def sweep_jobs() -> int:
+    """Worker count for bench sweeps (env ``REPRO_BENCH_JOBS``, default 1)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
 def run_once(benchmark, fn):

@@ -18,6 +18,7 @@ wall-clock numbers are machine-dependent.
 import argparse
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -40,14 +41,22 @@ def main(argv=None) -> int:
     parser.add_argument("--warn-threshold", type=float, default=0.85,
                         help="warn when events/sec falls below this ratio "
                              "of baseline (default 0.85)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="shard scenario rounds across this many worker "
+                             "processes (default 1: serial; fingerprints "
+                             "are identical either way)")
     args = parser.parse_args(argv)
 
+    start = time.perf_counter()
     results = perf.run_suite(args.scenarios, smoke=args.smoke,
-                             repeats=args.repeats)
+                             repeats=args.repeats, jobs=args.jobs)
+    sweep_wall_s = time.perf_counter() - start
     doc = perf.write_bench(args.out, results, rebaseline=args.rebaseline,
-                           smoke=args.smoke)
+                           smoke=args.smoke, jobs=args.jobs,
+                           sweep_wall_s=sweep_wall_s)
     print(perf.format_report(doc))
-    print(f"\nwrote {args.out}")
+    print(f"\nsuite wall time {sweep_wall_s:.2f} s with jobs={args.jobs}")
+    print(f"wrote {args.out}")
     for warning in perf.check_regression(doc, threshold=args.warn_threshold):
         print(f"::warning::{warning}", file=sys.stderr)
     return 0

@@ -127,3 +127,41 @@ def frame_size_sweep(
             )
         )
     return results
+
+
+def _sweep_point(point: Tuple, _seed: int) -> ThroughputResult:
+    """One frame size of :func:`throughput_sweep` (picklable spec).
+
+    The probe seed travels inside the point spec rather than using the
+    engine-derived seed, so a multi-size sweep reproduces exactly what a
+    series of single-size ``throughput_test`` calls with the same seed
+    would measure.
+    """
+    size, resolution, seed, speed_bps, duration_s = point
+    probe = default_loss_probe(frame_size=size, duration_s=duration_s,
+                               speed_bps=speed_bps, seed=seed)
+    return throughput_test(probe, units.line_rate_pps(size, speed_bps),
+                           frame_size=size, resolution=resolution)
+
+
+def throughput_sweep(
+    frame_sizes: Tuple[int, ...] = STANDARD_FRAME_SIZES,
+    resolution: float = 0.005,
+    seed: int = 0,
+    speed_bps: int = units.SPEED_10G,
+    duration_s: float = 0.04,
+    jobs: int = 1,
+) -> List[ThroughputResult]:
+    """RFC 2544 searches over frame sizes, one search per worker.
+
+    Each frame size's binary search is an independent simulation, so the
+    searches fan out through :func:`repro.parallel.run_parallel`
+    (``jobs`` workers; ``jobs=1`` runs serially in-process).  Results
+    come back in ``frame_sizes`` order and are bit-identical for any
+    ``jobs`` value.
+    """
+    from repro.parallel import run_parallel
+
+    points = [(int(size), float(resolution), int(seed), int(speed_bps),
+               float(duration_s)) for size in frame_sizes]
+    return run_parallel(points, _sweep_point, jobs=jobs, root_seed=seed)

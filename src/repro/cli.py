@@ -6,10 +6,11 @@ reproduction ships the canonical measurement scripts as subcommands::
     moongen-repro quickstart
     moongen-repro load-latency --rate 1.0 --mode crc --pattern poisson
     moongen-repro inter-arrival --rate 500
-    moongen-repro rfc2544 --frame-size 64
+    moongen-repro rfc2544 --frame-size 64 --frame-size 128 --jobs 2
     moongen-repro timestamps
     moongen-repro trace --scenario load-latency --out run.jsonl
-    moongen-repro bench --smoke
+    moongen-repro bench --smoke --jobs 2
+    moongen-repro sweep fig2-cores --jobs 4
 
 Custom userscripts use the library API directly (see examples/).
 """
@@ -95,19 +96,28 @@ def _cmd_inter_arrival(args: argparse.Namespace) -> int:
 
 
 def _cmd_rfc2544(args: argparse.Namespace) -> int:
-    from repro.analysis.rfc2544 import default_loss_probe, throughput_test
+    from repro.analysis.rfc2544 import throughput_sweep
 
-    line = units.line_rate_pps(args.frame_size, units.SPEED_10G)
-    result = throughput_test(
-        default_loss_probe(frame_size=args.frame_size, seed=args.seed),
-        line, frame_size=args.frame_size, resolution=args.resolution,
-    )
-    print(f"frame size {args.frame_size} B, line rate {line / 1e6:.2f} Mpps")
-    for trial in result.trials:
-        verdict = "pass" if trial.passed else f"{trial.loss_fraction * 100:.2f}% loss"
-        print(f"  offered {trial.offered_pps / 1e6:7.3f} Mpps: {verdict}")
-    print(f"zero-loss throughput: {result.throughput_mpps:.2f} Mpps "
-          f"({result.throughput_gbps():.2f} Gbit/s)")
+    sizes = tuple(args.frame_sizes) if args.frame_sizes else (64,)
+    results = throughput_sweep(sizes, resolution=args.resolution,
+                               seed=args.seed,
+                               duration_s=args.duration_ms / 1e3,
+                               jobs=args.jobs or 1)
+    print(f"{'size [B]':>8} {'line Mpps':>10} {'zero-loss Mpps':>15} "
+          f"{'Gbit/s':>8} {'trials':>7}")
+    for result in results:
+        line = units.line_rate_pps(result.frame_size, units.SPEED_10G)
+        print(f"{result.frame_size:>8} {line / 1e6:>10.2f} "
+              f"{result.throughput_mpps:>15.2f} "
+              f"{result.throughput_gbps():>8.2f} {len(result.trials):>7}")
+    if args.verbose:
+        for result in results:
+            print(f"\nframe size {result.frame_size} B:")
+            for trial in result.trials:
+                verdict = ("pass" if trial.passed
+                           else f"{trial.loss_fraction * 100:.2f}% loss")
+                print(f"  offered {trial.offered_pps / 1e6:7.3f} Mpps: "
+                      f"{verdict}")
     return 0
 
 
@@ -166,20 +176,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
     from repro import perf
 
+    jobs = args.jobs or 1
     try:
+        start = time.perf_counter()
         results = perf.run_suite(args.scenarios, smoke=args.smoke,
-                                 repeats=args.repeats)
+                                 repeats=args.repeats, jobs=jobs)
+        sweep_wall_s = time.perf_counter() - start
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
     doc = perf.write_bench(args.out, results, rebaseline=args.rebaseline,
-                           smoke=args.smoke)
+                           smoke=args.smoke, jobs=jobs,
+                           sweep_wall_s=sweep_wall_s)
     print(perf.format_report(doc))
-    print(f"\nwrote {args.out}")
+    print(f"\nsuite wall time {sweep_wall_s:.2f} s with jobs={jobs}")
+    print(f"wrote {args.out}")
     for warning in perf.check_regression(doc, threshold=args.warn_threshold):
         print(f"::warning::{warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.parallel.sweeps import SWEEPS, format_sweep_table
+
+    if not args.name:
+        print("available sweeps:")
+        for spec in SWEEPS.values():
+            print(f"  {spec.name:<12} {spec.description}")
+        return 0
+    spec = SWEEPS.get(args.name)
+    if spec is None:
+        print(f"unknown sweep {args.name!r}; available: "
+              f"{', '.join(sorted(SWEEPS))}", file=sys.stderr)
+        return 2
+    points = None
+    if args.points:
+        try:
+            points = [int(p) for p in args.points.split(",") if p.strip()]
+        except ValueError:
+            print(f"--points must be comma-separated integers: "
+                  f"{args.points!r}", file=sys.stderr)
+            return 2
+        if not points:
+            print("--points selected no sweep points", file=sys.stderr)
+            return 2
+    result = spec.build(points, root_seed=args.seed).run(jobs=args.jobs)
+    print(f"sweep {spec.name}: {spec.description}")
+    print(format_sweep_table(spec, result))
     return 0
 
 
@@ -214,10 +261,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=_cmd_inter_arrival)
 
-    p = sub.add_parser("rfc2544", help="RFC 2544 zero-loss throughput search")
-    p.add_argument("--frame-size", type=int, default=64)
+    p = sub.add_parser(
+        "rfc2544",
+        help="RFC 2544 zero-loss throughput search",
+        description="Binary-searches the zero-loss rate per frame size "
+                    "(repeat --frame-size for several sizes; searches "
+                    "fan out across --jobs workers) and prints one "
+                    "summary table.",
+    )
+    p.add_argument("--frame-size", type=int, action="append",
+                   dest="frame_sizes", metavar="BYTES",
+                   help="frame size in bytes; repeatable (default: 64)")
     p.add_argument("--resolution", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--duration-ms", type=float, default=40.0,
+                   help="simulated duration per trial (default: 40)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for multi-size sweeps "
+                        "(default: 1, serial)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print every binary-search trial")
     p.set_defaults(func=_cmd_rfc2544)
 
     p = sub.add_parser("timestamps", help="hardware timestamping accuracy")
@@ -267,7 +330,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warn-threshold", type=float, default=0.85,
                    help="warn when events/sec falls below this ratio "
                         "of baseline (default 0.85)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="shard scenario rounds across this many worker "
+                        "processes (default: 1, serial; fingerprints are "
+                        "identical either way, but wall-clock metrics "
+                        "are noisier when workers share cores)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a named parameter sweep through the parallel engine",
+        description="Runs one of the registered paper sweeps "
+                    "(repro.parallel.sweeps) with per-point seeds derived "
+                    "from --seed, fanned across --jobs worker processes, "
+                    "and prints a point/value table.  Results are "
+                    "bit-identical for any --jobs value.  Run without a "
+                    "name to list the available sweeps.",
+    )
+    p.add_argument("name", nargs="?", default=None,
+                   help="sweep to run (omit to list)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: host cores)")
+    p.add_argument("--points", help="comma-separated subset of sweep points")
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed for per-point seed derivation")
+    p.set_defaults(func=_cmd_sweep)
 
     return parser
 

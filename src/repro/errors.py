@@ -49,3 +49,19 @@ class SimulationError(ReproError):
 
 class TaskError(ReproError):
     """A master/slave task failed or was misused."""
+
+
+class ParallelError(ReproError):
+    """The parallel experiment engine could not complete a sweep."""
+
+
+class PointFailedError(ParallelError):
+    """A sweep point raised inside the experiment function."""
+
+
+class WorkerCrashError(ParallelError):
+    """A worker process died (signal/exit) more times than the retry budget."""
+
+
+class PointTimeoutError(ParallelError):
+    """A sweep point exceeded its per-point timeout on every attempt."""

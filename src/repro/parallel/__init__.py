@@ -1,0 +1,35 @@
+"""Parallel experiment engine (``repro.parallel``).
+
+Shards independent ``MoonGenEnv`` simulations — bench sweep points,
+RFC 2544 searches, repeat rounds — across host cores with a
+deterministic merge: results are bit-identical to serial execution
+regardless of worker count or completion order.
+
+Public surface:
+
+* :func:`run_parallel` — run ``fn(point, seed)`` over points, results in
+  submission order; per-point timeouts, crash retry, serial fallback.
+* :class:`Sweep` / :class:`SweepResult` — declarative named sweeps.
+* :func:`seed_for` / :func:`point_key` — pure per-point seed derivation.
+* :func:`default_jobs` — usable host core count.
+
+Named, CLI-runnable sweeps live in :mod:`repro.parallel.sweeps`.
+See docs/PERFORMANCE.md ("The parallel experiment engine").
+"""
+
+from repro.parallel.engine import (
+    Sweep,
+    SweepResult,
+    default_jobs,
+    run_parallel,
+)
+from repro.parallel.seeding import point_key, seed_for
+
+__all__ = [
+    "Sweep",
+    "SweepResult",
+    "default_jobs",
+    "point_key",
+    "run_parallel",
+    "seed_for",
+]

@@ -1,0 +1,344 @@
+"""Process-pool experiment engine: shard independent simulations.
+
+The paper's headline scaling result is multi-core (one core saturates
+10 GbE, twelve reach 178.5 Mpps), and our benches mirror that shape: a
+sweep is *many independent simulations* — one ``MoonGenEnv`` per point —
+whose results are merged into one table.  ``run_parallel`` fans those
+points out across host cores the way MoonGen fans userscript slaves out
+across NIC queues, with one hard guarantee:
+
+**bit-identical results regardless of worker count or completion order.**
+
+Three design rules enforce it:
+
+* Workers receive *picklable per-point specs*, never live simulation
+  state.  The experiment function builds its own ``MoonGenEnv`` from the
+  spec, so no RNG stream or event queue is ever shared between points.
+* Every point's seed is ``seed_for(root_seed, point)`` — a pure
+  function of the sweep and the point value (`repro.parallel.seeding`),
+  independent of which worker runs it or when.
+* Results are returned in submission order, whatever order workers
+  finish in.
+
+Robustness: a per-point ``timeout_s``, detection of crashed workers
+(a worker that dies without reporting), and a bounded per-point retry
+budget for both.  Degradation is graceful: ``jobs=1``, a single point,
+an unpicklable payload, or a platform without ``fork`` all fall back to
+plain in-process serial execution with identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import pickle
+import time
+import traceback
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import (
+    PointFailedError,
+    PointTimeoutError,
+    WorkerCrashError,
+)
+from repro.parallel.seeding import seed_for
+
+#: An experiment function: ``fn(point, seed) -> result``.  It must be a
+#: module-level callable (picklable by reference) and its result must be
+#: picklable; the point spec carries all configuration.
+ExperimentFn = Callable[[Any, int], Any]
+
+#: Grace period for a terminated worker to exit before SIGKILL.
+_TERM_GRACE_S = 2.0
+
+
+def default_jobs() -> int:
+    """Worker count when ``jobs`` is not given: the usable host cores."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` multiprocessing context, or ``None`` where absent.
+
+    Workers are forked, not spawned: a forked child inherits the already
+    imported simulator modules, so a sweep point costs one ``fork()``
+    rather than a fresh interpreter boot per point.  Platforms without
+    ``fork`` (Windows; macOS restricts it) degrade to serial execution.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def _payload_picklable(fn: ExperimentFn, points: Sequence[Any]) -> bool:
+    try:
+        pickle.dumps(fn)
+        pickle.dumps(list(points))
+        return True
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# worker side
+
+
+def _worker_main(conn, fn: ExperimentFn, point: Any, seed: int) -> None:
+    """Run one point in a forked child; report via the pipe and exit.
+
+    The protocol is a single ``(status, value, detail)`` message:
+    ``("ok", result, None)`` or ``("raised", message, traceback)``.  A
+    worker that dies without sending anything (segfault, ``os._exit``,
+    OOM-kill) is detected by the parent as EOF on the pipe.
+    """
+    try:
+        try:
+            payload = ("ok", fn(point, seed), None)
+        except BaseException as exc:  # report, don't die: fn errors are data
+            payload = ("raised", f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc())
+        try:
+            conn.send(payload)
+        except Exception as exc:
+            # The result itself would not pickle; that is an fn bug, not
+            # a worker crash — report it as a raised error.
+            conn.send(("raised",
+                       f"result of {fn.__name__} is not picklable: "
+                       f"{type(exc).__name__}: {exc}", None))
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+
+
+@dataclass
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    proc: Any
+    conn: Any
+    index: int
+    attempt: int
+    deadline: Optional[float]
+
+
+def _stop_worker(worker: _Running) -> None:
+    if worker.proc.is_alive():
+        worker.proc.terminate()
+        worker.proc.join(_TERM_GRACE_S)
+        if worker.proc.is_alive():
+            worker.proc.kill()
+    worker.proc.join()
+    worker.conn.close()
+
+
+def _run_pool(
+    points: List[Any],
+    fn: ExperimentFn,
+    seeds: List[int],
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+    ctx,
+) -> List[Any]:
+    n = len(points)
+    results: List[Any] = [None] * n
+    done = [False] * n
+    attempts = [0] * n
+    pending: deque = deque(range(n))
+    running: Dict[Any, _Running] = {}
+
+    def launch(index: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, fn, points[index], seeds[index]),
+            daemon=True,
+        )
+        attempts[index] += 1
+        proc.start()
+        child_conn.close()  # the child holds the only write end: EOF == death
+        deadline = (time.monotonic() + timeout_s) if timeout_s else None
+        running[parent_conn] = _Running(
+            proc, parent_conn, index, attempts[index], deadline)
+
+    def fail_or_retry(worker: _Running, exc: Exception) -> None:
+        if worker.attempt <= retries:
+            pending.append(worker.index)
+        else:
+            raise exc
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                launch(pending.popleft())
+            wait_s = None
+            now = time.monotonic()
+            deadlines = [w.deadline for w in running.values() if w.deadline]
+            if deadlines:
+                wait_s = max(0.0, min(deadlines) - now)
+            ready = multiprocessing.connection.wait(list(running), wait_s)
+            for conn in ready:
+                worker = running.pop(conn)
+                try:
+                    status, value, detail = conn.recv()
+                except EOFError:
+                    # Died without reporting: a genuine worker crash.
+                    _stop_worker(worker)
+                    fail_or_retry(worker, WorkerCrashError(
+                        f"worker for point {worker.index} "
+                        f"({points[worker.index]!r}) died with exit code "
+                        f"{worker.proc.exitcode} after "
+                        f"{worker.attempt} attempt(s)"))
+                    continue
+                worker.proc.join()
+                conn.close()
+                if status == "ok":
+                    results[worker.index] = value
+                    done[worker.index] = True
+                else:
+                    raise PointFailedError(
+                        f"point {worker.index} ({points[worker.index]!r}) "
+                        f"raised {value}"
+                        + (f"\n{detail}" if detail else ""))
+            now = time.monotonic()
+            expired = [w for w in running.values()
+                       if w.deadline is not None and now >= w.deadline]
+            for worker in expired:
+                del running[worker.conn]
+                _stop_worker(worker)
+                fail_or_retry(worker, PointTimeoutError(
+                    f"point {worker.index} ({points[worker.index]!r}) "
+                    f"exceeded {timeout_s} s on every one of "
+                    f"{worker.attempt} attempt(s)"))
+    finally:
+        for worker in list(running.values()):
+            _stop_worker(worker)
+        running.clear()
+    assert all(done)
+    return results
+
+
+def _run_serial(points: List[Any], fn: ExperimentFn,
+                seeds: List[int]) -> List[Any]:
+    results = []
+    for index, (point, seed) in enumerate(zip(points, seeds)):
+        try:
+            results.append(fn(point, seed))
+        except Exception as exc:
+            raise PointFailedError(
+                f"point {index} ({point!r}) raised "
+                f"{type(exc).__name__}: {exc}") from exc
+    return results
+
+
+def run_parallel(
+    points: Sequence[Any],
+    fn: ExperimentFn,
+    *,
+    jobs: Optional[int] = None,
+    root_seed: int = 0,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+) -> List[Any]:
+    """Run ``fn(point, seed)`` for every point; results in point order.
+
+    ``jobs`` is the worker-process count (default: host cores).  The
+    per-point ``seed`` is ``seed_for(root_seed, point)``, so the output
+    is bit-identical for any ``jobs`` — parallel execution is purely a
+    wall-clock optimization.
+
+    ``timeout_s`` bounds each point's wall time per attempt; ``retries``
+    is the extra-attempt budget per point after a worker crash or a
+    timeout (an exception *raised by fn* is deterministic and fails the
+    sweep immediately as :class:`~repro.errors.PointFailedError`).
+
+    Falls back to in-process serial execution — same results, same
+    exceptions — when ``jobs=1``, there are fewer than two points, the
+    payload does not pickle, or the platform lacks ``fork``.
+    """
+    points = list(points)
+    seeds = [seed_for(root_seed, p) for p in points]
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(points) <= 1:
+        return _run_serial(points, fn, seeds)
+    ctx = _fork_context()
+    if ctx is None:
+        warnings.warn(
+            "repro.parallel: no 'fork' start method on this platform; "
+            "running the sweep serially", RuntimeWarning, stacklevel=2)
+        return _run_serial(points, fn, seeds)
+    if not _payload_picklable(fn, points):
+        warnings.warn(
+            "repro.parallel: experiment fn or points are not picklable; "
+            "running the sweep serially", RuntimeWarning, stacklevel=2)
+        return _run_serial(points, fn, seeds)
+    return _run_pool(points, fn, seeds, min(jobs, len(points)),
+                     timeout_s, retries, ctx)
+
+
+# ---------------------------------------------------------------------------
+# sweeps
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :meth:`Sweep.run`: points with values, in point order."""
+
+    name: str
+    points: List[Any]
+    values: List[Any]
+    wall_s: float
+    jobs: int
+
+    def as_dict(self) -> Dict[Any, Any]:
+        """``{point: value}`` (points must be hashable)."""
+        return dict(zip(self.points, self.values))
+
+    def __iter__(self):
+        return iter(zip(self.points, self.values))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class Sweep:
+    """A named parameter sweep: points plus the experiment function.
+
+    Thin declarative wrapper over :func:`run_parallel` so benches and the
+    CLI share one spelling::
+
+        sweep = Sweep("fig2-cores", points=range(1, 9), fn=_rate_for_cores)
+        result = sweep.run(jobs=4)
+        rates = result.as_dict()
+    """
+
+    name: str
+    points: Sequence[Any]
+    fn: ExperimentFn
+    root_seed: int = 0
+    timeout_s: Optional[float] = None
+    retries: int = 1
+
+    def run(self, jobs: Optional[int] = None) -> SweepResult:
+        """Execute the sweep; see :func:`run_parallel` for semantics."""
+        resolved = default_jobs() if jobs is None else max(1, int(jobs))
+        start = time.perf_counter()
+        values = run_parallel(
+            self.points, self.fn, jobs=resolved, root_seed=self.root_seed,
+            timeout_s=self.timeout_s, retries=self.retries)
+        wall = time.perf_counter() - start
+        return SweepResult(self.name, list(self.points), values,
+                           wall_s=wall, jobs=resolved)

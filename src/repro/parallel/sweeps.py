@@ -1,0 +1,201 @@
+"""Named parameter sweeps runnable from the CLI (``moongen-repro sweep``).
+
+Each entry reproduces one of the paper's swept measurements as a
+self-contained, picklable experiment function plus its default point
+set, fanned out through :func:`repro.parallel.run_parallel`:
+
+* ``fig2-cores`` — Figure 2: heavy randomization script (8 random fields
+  + IP checksum offload per packet), 1.2 GHz cores on two shared 10 GbE
+  ports; aggregate Mpps per core count.
+* ``fig4-cores`` — Figure 4 / Section 5.5: one 2 GHz core per 10 GbE
+  port, up to twelve ports; aggregate Mpps (178.5 at twelve).
+* ``sec57-sizes`` — Section 5.7: transmit cycles/packet across frame
+  sizes 64-128 B (the paper finds no size dependence).
+* ``rfc2544`` — RFC 2544 zero-loss throughput search per standard frame
+  size against the simulated OvS DuT.
+
+Every experiment seeds its ``MoonGenEnv`` from the engine-derived
+per-point seed, so a sweep's output is a pure function of
+``(sweep, root_seed)`` — identical for any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.engine import ExperimentFn, Sweep, SweepResult
+
+#: ``MoonGenEnv(seed=...)`` and the generator models take 32-bit-ish
+#: seeds; fold the 63-bit engine seed down without losing determinism.
+_ENV_SEED_MASK = (1 << 31) - 1
+
+
+def _env_seed(seed: int) -> int:
+    return (seed & _ENV_SEED_MASK) or 1
+
+
+# ---------------------------------------------------------------------------
+# experiment functions (module-level: picklable by reference)
+
+
+def _fig2_point(n_cores: int, seed: int) -> float:
+    """Aggregate Mpps for ``n_cores`` heavy-randomization cores."""
+    from repro import MoonGenEnv
+
+    def heavy_slave(env, queues):
+        mem = env.create_mempool(
+            fill=lambda b: b.udp_packet.fill(pkt_length=60))
+        arrays = [mem.buf_array() for _ in queues]
+        while env.running():
+            for queue, bufs in zip(queues, arrays):
+                bufs.alloc(60)
+                bufs.charge_random_fields(8)
+                bufs.offload_ip_checksums()
+                yield queue.send(bufs)
+
+    env = MoonGenEnv(seed=_env_seed(seed), core_freq_hz=1.2e9)
+    ports = [env.config_device(i, tx_queues=n_cores) for i in (0, 1)]
+    sinks = [env.config_device(i + 2, rx_queues=1) for i in (0, 1)]
+    for port, sink in zip(ports, sinks):
+        env.connect(port, sink)
+    for core in range(n_cores):
+        env.launch(heavy_slave, env, [p.get_tx_queue(core) for p in ports])
+    env.wait_for_slaves(duration_ns=300_000)
+    return sum(p.tx_packets for p in ports) / (env.now_ns / 1e9) / 1e6
+
+
+def _fig4_point(n_cores: int, seed: int) -> float:
+    """Aggregate Mpps with one 2 GHz core per 10 GbE port."""
+    from repro import MoonGenEnv
+
+    def slave(env, queue):
+        mem = env.create_mempool(
+            fill=lambda b: b.udp_packet.fill(pkt_length=60))
+        bufs = mem.buf_array()
+        while env.running():
+            bufs.alloc(60)
+            bufs.charge_random_fields(1)
+            yield queue.send(bufs)
+
+    env = MoonGenEnv(seed=_env_seed(seed), core_freq_hz=2.0e9)
+    ports = []
+    for i in range(n_cores):
+        tx = env.config_device(2 * i, tx_queues=1)
+        rx = env.config_device(2 * i + 1, rx_queues=1)
+        env.connect(tx, rx)
+        ports.append(tx)
+        env.launch(slave, env, tx.get_tx_queue(0))
+    env.wait_for_slaves(duration_ns=120_000)
+    return sum(p.tx_packets for p in ports) / (env.now_ns / 1e9) / 1e6
+
+
+def _sec57_point(frame_size: int, seed: int) -> float:
+    """Transmit cycles per packet at one frame size (Section 5.7)."""
+    from repro import MoonGenEnv
+
+    env = MoonGenEnv(seed=_env_seed(seed), core_freq_hz=2.4e9)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+
+    def slave(env, queue):
+        mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+            pkt_length=frame_size - 4))
+        bufs = mem.buf_array()
+        while env.running():
+            bufs.alloc(frame_size - 4)
+            yield queue.send(bufs)
+
+    task = env.launch(slave, env, tx.get_tx_queue(0))
+    env.wait_for_slaves(duration_ns=150_000)
+    return task.core.busy_cycles / tx.tx_packets
+
+
+def _rfc2544_point(frame_size: int, seed: int) -> float:
+    """RFC 2544 zero-loss throughput (Mpps) at one frame size."""
+    from repro import units
+    from repro.analysis.rfc2544 import default_loss_probe, throughput_test
+
+    line = units.line_rate_pps(frame_size, units.SPEED_10G)
+    result = throughput_test(
+        default_loss_probe(frame_size=frame_size, seed=_env_seed(seed)),
+        line, frame_size=frame_size, resolution=0.02,
+    )
+    return result.throughput_mpps
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+@dataclass
+class SweepSpec:
+    """A registered sweep: experiment fn, default points, presentation."""
+
+    name: str
+    description: str
+    fn: ExperimentFn
+    default_points: Tuple[Any, ...]
+    headers: Tuple[str, str]
+    format_value: Callable[[Any], str] = field(default=lambda v: f"{v:.2f}")
+
+    def build(self, points: Optional[Sequence[Any]] = None,
+              root_seed: int = 0) -> Sweep:
+        """Instantiate a runnable :class:`Sweep` (optionally a subset)."""
+        return Sweep(self.name,
+                     tuple(points) if points else self.default_points,
+                     self.fn, root_seed=root_seed)
+
+
+SWEEPS: Dict[str, SweepSpec] = {
+    spec.name: spec for spec in (
+        SweepSpec(
+            name="fig2-cores",
+            description="Figure 2: heavy script, aggregate Mpps vs cores "
+                        "(1.2 GHz, 2x10GbE)",
+            fn=_fig2_point,
+            default_points=tuple(range(1, 9)),
+            headers=("cores", "Mpps"),
+        ),
+        SweepSpec(
+            name="fig4-cores",
+            description="Figure 4: one core per 10 GbE port, aggregate "
+                        "Mpps vs cores (2 GHz)",
+            fn=_fig4_point,
+            default_points=(1, 2, 4, 8, 12),
+            headers=("cores", "Mpps"),
+        ),
+        SweepSpec(
+            name="sec57-sizes",
+            description="Section 5.7: tx cycles/packet vs frame size",
+            fn=_sec57_point,
+            default_points=(64, 72, 80, 88, 96, 104, 112, 120, 128),
+            headers=("size [B]", "cycles/pkt"),
+            format_value=lambda v: f"{v:.1f}",
+        ),
+        SweepSpec(
+            name="rfc2544",
+            description="RFC 2544 zero-loss throughput vs frame size "
+                        "(simulated OvS DuT)",
+            fn=_rfc2544_point,
+            default_points=(64, 128, 256, 512, 1024, 1280, 1518),
+            headers=("size [B]", "zero-loss Mpps"),
+        ),
+    )
+}
+
+
+def format_sweep_table(spec: SweepSpec, result: SweepResult) -> str:
+    """Aligned two-column table plus a wall-clock/jobs footer."""
+    rows = [(str(point), spec.format_value(value))
+            for point, value in result]
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(spec.headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(spec.headers, widths))]
+    lines.append("-" * len(lines[0]))
+    lines.extend("  ".join(c.ljust(w) for c, w in zip(row, widths))
+                 for row in rows)
+    lines.append(f"({len(result)} points, jobs={result.jobs}, "
+                 f"wall {result.wall_s:.2f} s)")
+    return "\n".join(lines)

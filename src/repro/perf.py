@@ -23,7 +23,15 @@ Metrics per scenario:
 * ``sim_packets`` / ``wall_pps`` — simulated packets per *wall* second,
   the simulator's effective generator rate;
 * ``sim_pps`` — packets per *simulated* second (a correctness fingerprint:
-  it must not move when only the implementation gets faster).
+  it must not move when only the implementation gets faster);
+* ``wall_s_median`` / ``wall_s_stdev`` — spread of ``wall_s`` across the
+  repeat rounds, so regression checks can judge deltas against noise.
+
+``run_suite(jobs=N)`` shards the (scenario, round) grid across worker
+processes via ``repro.parallel``; fingerprints are identical to serial,
+stamps record ``host.cpu_count``/``host.jobs`` and the suite's
+``sweep_wall_s`` so cross-machine and serial-vs-parallel wall-clock
+deltas stay interpretable.
 
 ``BENCH_core.json`` layout::
 
@@ -49,8 +57,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import statistics
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 SCHEMA_VERSION = 2
 
@@ -196,18 +205,21 @@ SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
 # measurement
 
 
-def measure(name: str, smoke: bool = False, repeats: int = 3) -> Dict[str, float]:
-    """Run one scenario ``repeats`` times; keep the fastest round.
+def _collapse_rounds(name: str,
+                     rounds: List[Dict[str, float]]) -> Dict[str, float]:
+    """Best-of-N plus noise statistics over a scenario's repeat rounds.
 
     The simulation outputs (events, packets) are identical across rounds —
     only wall time varies — so best-of-N is the standard way to suppress
-    scheduler/GC noise.  A mismatch in the fingerprint metrics across
-    rounds indicates nondeterminism and raises.
+    scheduler/GC noise, and ``wall_s_median``/``wall_s_stdev`` record how
+    noisy the rounds were so the CI regression check can judge a delta
+    against the measurement spread.  A mismatch in the fingerprint
+    metrics across rounds indicates nondeterminism and raises.
     """
-    runner = SCENARIOS[name]
     best: Optional[Dict[str, float]] = None
-    for _ in range(max(1, repeats)):
-        result = runner(smoke)
+    walls: List[float] = []
+    for result in rounds:
+        walls.append(result["wall_s"])
         if best is not None:
             for key in FINGERPRINT_METRICS:
                 if result[key] != best[key]:
@@ -218,21 +230,60 @@ def measure(name: str, smoke: bool = False, repeats: int = 3) -> Dict[str, float
         if best is None or result["wall_s"] < best["wall_s"]:
             best = result
     assert best is not None
+    best = dict(best)
+    best["wall_s_median"] = statistics.median(walls)
+    best["wall_s_stdev"] = (statistics.stdev(walls)
+                            if len(walls) > 1 else 0.0)
     return best
+
+
+def measure(name: str, smoke: bool = False, repeats: int = 3) -> Dict[str, float]:
+    """Run one scenario ``repeats`` times; fastest round plus noise stats."""
+    runner = SCENARIOS[name]
+    return _collapse_rounds(
+        name, [runner(smoke) for _ in range(max(1, repeats))])
+
+
+def _scenario_round(point: Tuple[str, bool, int], _seed: int) -> Dict[str, float]:
+    """One (scenario, round) sweep point for the parallel engine.
+
+    Scenario workloads carry their own pinned seeds (part of what the
+    fingerprints pin down), so the engine-derived seed is unused — the
+    round index in the point only differentiates sweep points.
+    """
+    name, smoke, _round = point
+    return SCENARIOS[name](smoke)
 
 
 def run_suite(
     names: Optional[Iterable[str]] = None,
     smoke: bool = False,
     repeats: int = 3,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
-    """Run the pinned suite; returns ``{scenario: metrics}``."""
+    """Run the pinned suite; returns ``{scenario: metrics}``.
+
+    With ``jobs > 1`` every (scenario, round) pair becomes a sweep point
+    fanned across worker processes via ``repro.parallel`` — fingerprints
+    are identical to a serial run, but wall-clock metrics contend for
+    cores, so parallel runs are for fingerprint checks and wall-clock
+    sweeps, not for precision baselines (docs/PERFORMANCE.md).
+    """
+    from repro.parallel import run_parallel
+
     selected = list(names) if names else list(SCENARIOS)
     unknown = [n for n in selected if n not in SCENARIOS]
     if unknown:
         raise KeyError(f"unknown perf scenarios: {unknown}; "
                        f"valid: {sorted(SCENARIOS)}")
-    return {name: measure(name, smoke=smoke, repeats=repeats)
+    repeats = max(1, repeats)
+    points = [(name, bool(smoke), rnd)
+              for name in selected for rnd in range(repeats)]
+    rounds = run_parallel(points, _scenario_round, jobs=jobs)
+    grouped: Dict[str, List[Dict[str, float]]] = {n: [] for n in selected}
+    for point, result in zip(points, rounds):
+        grouped[point[0]].append(result)
+    return {name: _collapse_rounds(name, grouped[name])
             for name in selected}
 
 
@@ -240,22 +291,37 @@ def run_suite(
 # trajectory file
 
 
-def _host_info() -> Dict[str, str]:
+def _host_info(jobs: int = 1) -> Dict[str, object]:
+    # cpu_count and jobs make cross-machine deltas interpretable: a
+    # sweep_wall_s from a 2-job run on a 16-core box is not comparable
+    # to one from a 1-core CI runner.
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
+        "cpu_count": os.cpu_count() or 1,
+        "jobs": jobs,
     }
 
 
-def _stamp(scenarios: Dict[str, Dict[str, float]], mode: str) -> Dict[str, object]:
-    return {
+def _stamp(
+    scenarios: Dict[str, Dict[str, float]],
+    mode: str,
+    jobs: int = 1,
+    sweep_wall_s: Optional[float] = None,
+) -> Dict[str, object]:
+    stamp: Dict[str, object] = {
         "mode": mode,
         "recorded": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
-        "host": _host_info(),
+        "host": _host_info(jobs),
         "scenarios": scenarios,
     }
+    if sweep_wall_s is not None:
+        # Wall time of the whole suite sweep under `jobs` workers: the
+        # number that proves (or disproves) parallel speedup on this host.
+        stamp["sweep_wall_s"] = round(sweep_wall_s, 4)
+    return stamp
 
 
 def compute_delta(
@@ -294,6 +360,8 @@ def write_bench(
     current: Dict[str, Dict[str, float]],
     rebaseline: bool = False,
     smoke: bool = False,
+    jobs: int = 1,
+    sweep_wall_s: Optional[float] = None,
 ) -> Dict[str, object]:
     """Merge a run into ``BENCH_core.json``; returns the written document.
 
@@ -311,11 +379,11 @@ def write_bench(
         baselines = {"full": baselines}
     if rebaseline or not isinstance(baselines.get(mode), dict):
         baselines = dict(baselines)
-        baselines[mode] = _stamp(current, mode)
+        baselines[mode] = _stamp(current, mode, jobs, sweep_wall_s)
     out = {
         "schema": SCHEMA_VERSION,
         "baseline": baselines,
-        "current": _stamp(current, mode),
+        "current": _stamp(current, mode, jobs, sweep_wall_s),
         "delta": compute_delta(
             baselines[mode].get("scenarios", {}), current
         ),

@@ -72,7 +72,47 @@ class TestCommands:
     def test_rfc2544(self):
         code, out = run_cli(["rfc2544", "--resolution", "0.05"])
         assert code == 0
-        assert "zero-loss throughput" in out
+        assert "zero-loss Mpps" in out
+        assert "  64 " in out or "64 " in out.splitlines()[1]
+
+    def test_rfc2544_multiple_frame_sizes_one_table(self):
+        code, out = run_cli([
+            "rfc2544", "--resolution", "0.05", "--duration-ms", "20",
+            "--frame-size", "64", "--frame-size", "512", "--jobs", "2",
+        ])
+        assert code == 0
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert lines[0].startswith("size [B]")
+        sizes = [int(l.split()[0]) for l in lines[1:3]]
+        assert sizes == [64, 512]
+
+    def test_rfc2544_verbose_lists_trials(self):
+        code, out = run_cli([
+            "rfc2544", "--resolution", "0.05", "--verbose",
+        ])
+        assert code == 0
+        assert "offered" in out
+
+    def test_sweep_lists_available_sweeps(self):
+        code, out = run_cli(["sweep"])
+        assert code == 0
+        for name in ("fig2-cores", "fig4-cores", "sec57-sizes", "rfc2544"):
+            assert name in out
+
+    def test_sweep_unknown_name_fails(self, capsys):
+        code, _ = run_cli(["sweep", "nope"])
+        assert code == 2
+
+    def test_sweep_runs_points_subset(self):
+        code, out = run_cli([
+            "sweep", "fig2-cores", "--points", "1,2", "--jobs", "2",
+        ])
+        assert code == 0
+        assert "cores" in out and "jobs=2" in out
+
+    def test_bench_accepts_jobs_flag(self):
+        args = build_parser().parse_args(["bench", "--jobs", "4"])
+        assert args.jobs == 4
 
     def test_timestamps(self):
         code, out = run_cli(["timestamps", "--probes", "50"])

@@ -13,10 +13,11 @@ import repro.dut
 import repro.generators
 import repro.nicsim
 import repro.packet
+import repro.parallel
 
 PACKAGES = [
     repro, repro.core, repro.packet, repro.nicsim, repro.dut,
-    repro.generators, repro.analysis, repro.apps,
+    repro.generators, repro.analysis, repro.apps, repro.parallel,
 ]
 
 
@@ -77,6 +78,8 @@ class TestModuleHygiene:
         "repro.analysis.interarrival", "repro.analysis.latencystats",
         "repro.analysis.cost_estimator", "repro.analysis.rfc2544",
         "repro.apps.scanner", "repro.apps.analyzer",
+        "repro.parallel.engine", "repro.parallel.seeding",
+        "repro.parallel.sweeps",
     ]
 
     @pytest.mark.parametrize("module_name", MODULES)

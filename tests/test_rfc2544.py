@@ -9,6 +9,7 @@ from repro.analysis.rfc2544 import (
     Trial,
     default_loss_probe,
     frame_size_sweep,
+    throughput_sweep,
     throughput_test,
 )
 from repro.errors import ConfigurationError
@@ -92,3 +93,26 @@ class TestAgainstSimulatedDut:
 
     def test_standard_sizes_constant(self):
         assert STANDARD_FRAME_SIZES == (64, 128, 256, 512, 1024, 1280, 1518)
+
+    def test_throughput_sweep_serial(self):
+        results = throughput_sweep(
+            frame_sizes=(64, 1518), resolution=0.05, seed=7,
+            duration_s=0.01, jobs=1,
+        )
+        assert [r.frame_size for r in results] == [64, 1518]
+        assert results[1].throughput_pps == pytest.approx(
+            units.line_rate_pps(1518, units.SPEED_10G), rel=0.02
+        )
+
+    def test_throughput_sweep_parallel_matches_serial(self):
+        """The per-size searches fan through repro.parallel: worker count
+        must not change a single trial."""
+        kwargs = dict(frame_sizes=(64, 512), resolution=0.05, seed=7,
+                      duration_s=0.01)
+        serial = throughput_sweep(jobs=1, **kwargs)
+        parallel = throughput_sweep(jobs=2, **kwargs)
+        for a, b in zip(serial, parallel):
+            assert a.frame_size == b.frame_size
+            assert a.throughput_pps == b.throughput_pps
+            assert [(t.offered_pps, t.passed) for t in a.trials] == \
+                   [(t.offered_pps, t.passed) for t in b.trials]
