@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""RFC 2544 throughput search on a faulty link: the degradation table.
+
+RFC 2544 proper demands *zero* loss per trial.  On a channel with
+scheduled burst loss (the Gilbert–Elliott regime of ``repro.faults``)
+that criterion is unsatisfiable — some loss is intrinsic to the medium,
+every rate fails, and the binary search degenerates to its floor rate
+instead of characterizing the DuT.  Budgeting the channel's intrinsic
+loss with ``throughput_test(loss_tolerance=...)`` keeps the search
+convergent: this script runs the same search under increasing loss
+budgets and prints how the measured "throughput" recovers from the
+degenerate floor to the DuT's true overload point (~1.9 Mpps for 64 B
+frames, Section 8.3) once the budget covers the channel.
+
+Run:  python examples/chaos_rfc2544.py [frame_size]
+"""
+
+import sys
+
+from repro import units
+from repro.analysis.rfc2544 import default_loss_probe, throughput_test
+from repro.faults import GilbertElliott
+from repro.parallel.seeding import seed_for
+
+SEED = 7
+
+#: The channel: rare burst starts, short bursts, heavy in-burst loss —
+#: a stationary intrinsic loss of roughly 6 %.
+CHANNEL = dict(p_good_bad=0.02, p_bad_good=0.25, loss_good=0.0, loss_bad=0.8)
+
+
+def bursty_probe(frame_size, duration_s=0.008, seed=SEED):
+    """A loss probe whose channel adds Gilbert–Elliott burst loss.
+
+    DuT loss comes from the usual simulated forwarder; frames the DuT
+    forwards then cross the faulty link.  Each trial draws its own
+    deterministically seeded loss stream (keyed by the offered rate), so
+    the whole search replays bit-identically.
+    """
+    dut_probe = default_loss_probe(frame_size=frame_size,
+                                   duration_s=duration_s, seed=seed)
+
+    def probe(pps):
+        dut_loss = dut_probe(pps)
+        n = max(int(pps * duration_s), 100)
+        forwarded = max(int(n * (1.0 - dut_loss)), 1)
+        model = GilbertElliott(
+            seed_for(seed, ("chaos-rfc2544", frame_size, round(pps))),
+            **CHANNEL)
+        for _ in range(forwarded):
+            model(frame_size)
+        channel_loss = model.loss_fraction()
+        return dut_loss + (1.0 - dut_loss) * channel_loss
+
+    return probe
+
+
+def main():
+    frame_size = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    line = units.line_rate_pps(frame_size, units.SPEED_10G)
+    probe = bursty_probe(frame_size)
+
+    print(f"RFC 2544 search, {frame_size} B frames over a bursty link "
+          f"(~6 % intrinsic loss, Gilbert-Elliott)")
+    print(f"{'tolerance':>9}  {'throughput':>12}  {'trials':>6}  verdict")
+    floor = line * 0.01
+    for tolerance in (0.0, 0.02, 0.05, 0.08, 0.12):
+        result = throughput_test(probe, line, frame_size=frame_size,
+                                 resolution=0.02, min_rate_pps=floor,
+                                 loss_tolerance=tolerance)
+        degenerate = result.throughput_pps <= floor * 1.5
+        verdict = ("degenerate (channel loss exceeds the budget)"
+                   if degenerate else "converged on the DuT")
+        print(f"{tolerance:>8.0%}  {result.throughput_mpps:>7.2f} Mpps  "
+              f"{len(result.trials):>6}  {verdict}")
+
+    print("\nBelow the channel's intrinsic loss the search collapses to its "
+          "floor rate — the strict RFC 2544 criterion measures the *link*, "
+          "not the DuT.  Once the loss budget covers the channel, the "
+          "search converges on the DuT's real overload point again.")
+
+
+if __name__ == "__main__":
+    main()

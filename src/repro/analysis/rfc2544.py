@@ -25,14 +25,20 @@ STANDARD_FRAME_SIZES = (64, 128, 256, 512, 1024, 1280, 1518)
 
 @dataclass
 class Trial:
-    """One load trial of the binary search."""
+    """One load trial of the binary search.
+
+    ``tolerance`` is the loss fraction the trial is allowed (RFC 2544
+    proper demands 0.0; a lossy medium needs its intrinsic loss budgeted
+    — see :func:`throughput_test`'s ``loss_tolerance``).
+    """
 
     offered_pps: float
     loss_fraction: float
+    tolerance: float = 0.0
 
     @property
     def passed(self) -> bool:
-        return self.loss_fraction == 0.0
+        return self.loss_fraction <= self.tolerance
 
 
 @dataclass
@@ -80,30 +86,43 @@ def throughput_test(
     frame_size: int = 64,
     resolution: float = 0.005,
     min_rate_pps: Optional[float] = None,
+    loss_tolerance: float = 0.0,
 ) -> ThroughputResult:
     """RFC 2544 section 26.1: binary search for the zero-loss rate.
 
     ``resolution`` is the relative rate granularity at which the search
     stops.  Starts at line rate (the standard's first trial) and halves the
     interval on loss.
+
+    ``loss_tolerance`` relaxes the pass criterion to ``loss_fraction <=
+    loss_tolerance``.  On a faulty medium (burst loss, link flaps — the
+    ``repro.faults`` regimes) some loss is intrinsic to the channel and
+    *every* rate fails the strict criterion: the search then degenerates
+    to the floor rate instead of characterizing the DuT.  Budgeting the
+    channel's intrinsic loss keeps the search convergent and the result
+    meaningful; the per-trial record keeps the tolerance used.
     """
     if not 0 < resolution < 1:
         raise ConfigurationError(f"resolution must be in (0, 1): {resolution}")
+    if not 0.0 <= loss_tolerance < 1.0:
+        raise ConfigurationError(
+            f"loss_tolerance must be in [0, 1): {loss_tolerance}"
+        )
     low = min_rate_pps if min_rate_pps is not None else line_rate_pps * 0.01
     high = line_rate_pps
     trials: List[Trial] = []
 
-    loss = loss_probe(high)
-    trials.append(Trial(high, loss))
-    if loss == 0.0:
+    trial = Trial(high, loss_probe(high), loss_tolerance)
+    trials.append(trial)
+    if trial.passed:
         return ThroughputResult(frame_size, high, trials)
 
     best = 0.0
     while (high - low) / line_rate_pps > resolution:
         mid = (low + high) / 2
-        loss = loss_probe(mid)
-        trials.append(Trial(mid, loss))
-        if loss == 0.0:
+        trial = Trial(mid, loss_probe(mid), loss_tolerance)
+        trials.append(trial)
+        if trial.passed:
             best = mid
             low = mid
         else:

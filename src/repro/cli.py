@@ -11,6 +11,7 @@ reproduction ships the canonical measurement scripts as subcommands::
     moongen-repro trace --scenario load-latency --out run.jsonl
     moongen-repro bench --smoke --jobs 2
     moongen-repro sweep fig2-cores --jobs 4
+    moongen-repro faults --plan burst-loss --plan flap --jobs 2
 
 Custom userscripts use the library API directly (see examples/).
 """
@@ -24,13 +25,39 @@ from typing import List, Optional
 from repro import __version__, units
 
 
+def _resolve_faults(args: argparse.Namespace):
+    """Turn ``--faults`` into something ``MoonGenEnv`` accepts.
+
+    Builtin plan names (``moongen-repro faults --list``) win, seeded with
+    the command's ``--seed``; anything else passes through to
+    :func:`repro.faults.load_plan` (a plan.json path or inline JSON).
+    """
+    if not args.faults:
+        return None
+    from repro.faults import builtin_plans
+
+    plans = builtin_plans(seed=args.seed)
+    return plans.get(args.faults, args.faults)
+
+
+def _warn_unmatched_faults(env) -> None:
+    """stderr note when a fault's target never registered (silent no-op)."""
+    injector = getattr(env, "injector", None)
+    if injector is None:
+        return
+    for index, target in injector.unmatched():
+        print(f"warning: fault #{index} targets {target!r} which does not "
+              "exist in this topology; it will not fire", file=sys.stderr)
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     from repro import MoonGenEnv
 
-    env = MoonGenEnv(seed=args.seed)
+    env = MoonGenEnv(seed=args.seed, faults=_resolve_faults(args))
     tx = env.config_device(0, tx_queues=1)
     rx = env.config_device(1, rx_queues=1)
     env.connect(tx, rx)
+    _warn_unmatched_faults(env)
 
     def slave(env, queue):
         mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
@@ -55,12 +82,14 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
     from repro.core.latency import LoadLatencyExperiment
     from repro.dut import OvsForwarder
 
-    env = MoonGenEnv(seed=args.seed)
+    env = MoonGenEnv(seed=args.seed, faults=_resolve_faults(args))
     tx = env.config_device(0, tx_queues=2)
     rx = env.config_device(1, rx_queues=1)
     dut = OvsForwarder(env.loop)
     env.connect_to_sink(tx, dut.ingress)
     dut.connect_output(env.wire_to_device(rx))
+    env.register_dut(dut)
+    _warn_unmatched_faults(env)
 
     pps = args.rate * 1e6
     pattern = PoissonPattern(pps, seed=args.seed) if args.pattern == "poisson" else None
@@ -77,9 +106,41 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
           f"interrupt rate {dut.interrupt_rate_hz() / 1e3:.1f} kHz")
     if len(result.latency):
         q1, med, q3 = result.latency.quartiles()
+        confidence = (f", confidence {result.probe_confidence:.2f}"
+                      if result.probe_confidence < 1.0 else "")
         print(f"latency over {len(result.latency)} probes: "
               f"q1={q1 / 1e3:.1f} µs median={med / 1e3:.1f} µs "
-              f"q3={q3 / 1e3:.1f} µs (lost {result.lost_probes})")
+              f"q3={q3 / 1e3:.1f} µs (lost {result.lost_probes}{confidence})")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import builtin_plans
+    from repro.faults.runner import run_matrix
+
+    plans = builtin_plans()
+    if args.list:
+        print("builtin fault plans:")
+        for name, plan in sorted(plans.items()):
+            kinds = ", ".join(type(f).__name__ for f in plan.faults)
+            print(f"  {name:<12} {kinds}")
+        return 0
+    names = args.plans or sorted(plans)
+    results = run_matrix(names, seed=args.seed, plan_seed=args.plan_seed,
+                         jobs=args.jobs or 1)
+    if args.json:
+        import json
+
+        print(json.dumps(results, indent=2, sort_keys=True))
+        return 0
+    print(f"{'plan':<12} {'tx':>7} {'rx':>7} {'lost':>6} {'gaps':>5} "
+          f"{'worst':>6} {'crc':>5} {'flaps':>5} {'fingerprint':>16}")
+    for name in names:
+        r = results[name]
+        print(f"{name:<12} {r['tx_packets']:>7} {r['rx_packets']:>7} "
+              f"{r['seq_lost']:>6} {r['seq_gap_events']:>5} "
+              f"{r['seq_longest_gap']:>6} {r['rx_crc_errors']:>5} "
+              f"{r['rx_link_changes']:>5} {r['fingerprint']:>16}")
     return 0
 
 
@@ -242,6 +303,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("quickstart", help="saturate a simulated 10 GbE link")
     p.add_argument("--duration-ms", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--faults", metavar="PLAN",
+                   help="fault plan: builtin name (see 'faults --list') or a plan.json path")
     p.set_defaults(func=_cmd_quickstart)
 
     p = sub.add_parser("load-latency",
@@ -252,6 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration-ms", type=float, default=20.0)
     p.add_argument("--probes", type=int, default=200)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--faults", metavar="PLAN",
+                   help="fault plan: builtin name (see 'faults --list') or a plan.json path")
     p.set_defaults(func=_cmd_load_latency)
 
     p = sub.add_parser("inter-arrival",
@@ -297,7 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "or --out.  The same scenarios back the golden-trace "
                     "regression tests (docs/TRACING.md).",
     )
-    p.add_argument("--scenario", choices=("load-latency", "poisson"),
+    p.add_argument("--scenario", choices=("load-latency", "poisson", "faults"),
                    default="load-latency")
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--out", help="write the trace to this file (default stdout)")
@@ -355,6 +420,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="root seed for per-point seed derivation")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "faults",
+        help="run chaos scenarios under fault plans, print fingerprints",
+        description="Runs the canonical chaos scenario (repro.faults.runner) "
+                    "under one or more fault plans — builtin names or paths "
+                    "to plan.json files — and prints per-plan degradation "
+                    "counters plus a deterministic fingerprint.  Results are "
+                    "bit-identical for any --jobs value; the CI fault-matrix "
+                    "job diffs the --json output of serial and sharded runs.",
+    )
+    p.add_argument("--plan", action="append", dest="plans", metavar="NAME",
+                   help="builtin plan name or path to a plan.json; "
+                        "repeatable (default: all builtin plans)")
+    p.add_argument("--list", action="store_true",
+                   help="list the builtin plans and exit")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario seed (default: 0)")
+    p.add_argument("--plan-seed", type=int, default=None,
+                   help="seed for the fault streams (default: --seed)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: 1, serial)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full result dicts as JSON")
+    p.set_defaults(func=_cmd_faults)
 
     return parser
 

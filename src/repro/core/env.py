@@ -15,6 +15,7 @@ from repro.core.memory import MemPool, PacketBuffer
 from repro.core.ops import CyclesOp, SleepOp
 from repro.core.tasks import Task
 from repro.errors import ConfigurationError, DeviceError
+from repro.faults import FaultInjector, load_plan
 from repro.trace import Tracer
 from repro.nicsim.cpu import CpuCore, CycleCostModel, REFERENCE_FREQ_HZ
 from repro.nicsim.eventloop import EventLoop
@@ -32,6 +33,7 @@ class MoonGenEnv:
         cost_noise: bool = True,
         trace=None,
         fast_forward: bool = False,
+        faults=None,
     ) -> None:
         self.loop = EventLoop()
         #: Opt-in steady-state accelerator: ports batch fixed-period CBR
@@ -63,6 +65,14 @@ class MoonGenEnv:
                 categories = None if trace is True else trace
                 self.tracer = Tracer(categories=categories)
             self.tracer.bind(self.loop)
+        #: Deterministic fault injection (``repro.faults``).  ``faults``
+        #: may be a :class:`~repro.faults.FaultPlan`, a plan dict, JSON
+        #: text, or a path to a plan file.  ``None`` (the default) keeps
+        #: every fault hook inert — runs without faults are bit-identical
+        #: to builds without the subsystem.
+        self.injector: Optional[FaultInjector] = None
+        if faults is not None:
+            self.injector = FaultInjector(self.loop, load_plan(faults))
 
     # -- time -----------------------------------------------------------------
 
@@ -122,6 +132,8 @@ class MoonGenEnv:
         port.fast_forward = self.fast_forward
         device = Device(self, port)
         self.devices[port_id] = device
+        if self.injector is not None:
+            self.injector.register_port(f"port:{port_id}", port)
         return device
 
     def wait_for_links(self) -> None:
@@ -142,6 +154,11 @@ class MoonGenEnv:
         wire_ba.connect(a.port.receive)
         a.port.attach_wire(wire_ab)
         b.port.attach_wire(wire_ba)
+        if self.injector is not None:
+            self.injector.register_wire(
+                f"wire:{a.port.port_id}->{b.port.port_id}", wire_ab)
+            self.injector.register_wire(
+                f"wire:{b.port.port_id}->{a.port.port_id}", wire_ba)
         return wire_ab, wire_ba
 
     def connect_to_sink(
@@ -154,6 +171,9 @@ class MoonGenEnv:
         wire = Wire(self.loop, device.port.speed_bps, cable, seed=self._next_wire_seed())
         wire.connect(sink)
         device.port.attach_wire(wire)
+        if self.injector is not None:
+            self.injector.register_wire(
+                f"wire:{device.port.port_id}->sink", wire)
         return wire
 
     def wire_to_device(
@@ -170,7 +190,19 @@ class MoonGenEnv:
             seed=self._next_wire_seed(),
         )
         wire.connect(device.port.receive)
+        if self.injector is not None:
+            self.injector.register_wire(
+                f"wire:env->{device.port.port_id}", wire)
         return wire
+
+    def register_dut(self, dut) -> None:
+        """Register a device under test as a fault target (``"dut"``).
+
+        A no-op without a fault plan; with one, DuT faults (overload) arm
+        against ``dut`` — anything exposing ``set_overload(factor)``.
+        """
+        if self.injector is not None:
+            self.injector.register_dut(dut)
 
     def _next_wire_seed(self) -> int:
         self._wire_seed += 1

@@ -31,6 +31,10 @@ class LoadLatencyResult:
     latency: Histogram
     lost_probes: int
     dut_crc_drops: int = 0
+    #: Fraction of sent probes that produced a latency sample (see
+    #: :attr:`Timestamper.confidence`); below ~0.9 the histogram
+    #: under-represents the probe stream and percentiles carry a caveat.
+    probe_confidence: float = 1.0
 
     @property
     def achieved_pps(self) -> float:
@@ -131,4 +135,5 @@ class LoadLatencyExperiment:
             latency=self.timestamper.histogram,
             lost_probes=self.timestamper.lost_probes,
             dut_crc_drops=dut_crc_counter() if dut_crc_counter else 0,
+            probe_confidence=self.timestamper.confidence,
         )

@@ -8,7 +8,7 @@ counters printing once per second.
 
 from __future__ import annotations
 
-from typing import Optional, TextIO
+from typing import Dict, List, Optional, TextIO
 
 from repro.core.stats import DeviceRxCounter, DeviceTxCounter
 
@@ -34,6 +34,33 @@ class DeviceStatsMonitor:
         self.rx = DeviceRxCounter(device, fmt, **kwargs)
         self.samples = 0
         self._finalized = False
+        #: Explicit gap annotations: one entry per sampling interval that
+        #: overlapped a link flap (``repro.faults``), instead of silently
+        #: folding the outage into an ordinary low-rate sample.  Each entry
+        #: records the sample time, how many carrier transitions the
+        #: interval absorbed, and the link state at sampling time.
+        self.gaps: List[Dict[str, object]] = []
+        self._last_link_changes = self._link_changes()
+
+    def _link_changes(self) -> int:
+        port = getattr(self.device, "port", None)
+        return getattr(port, "link_changes", 0)
+
+    def _check_link_gap(self) -> None:
+        changes = self._link_changes()
+        delta = changes - self._last_link_changes
+        port = getattr(self.device, "port", None)
+        link_up = getattr(port, "link_up", True)
+        if delta == 0 and link_up:
+            return
+        self._last_link_changes = changes
+        gap = {"t_ns": self.env.now_ns, "transitions": delta,
+               "link_up": link_up}
+        self.gaps.append(gap)
+        tracer = getattr(self.env, "tracer", None)
+        if tracer is not None:
+            tracer.emit("stats", "stats_gap", dev=self.device.port_id,
+                        transitions=delta, link_up=link_up)
 
     def _trace_sample(self) -> None:
         tracer = getattr(self.env, "tracer", None)
@@ -52,6 +79,7 @@ class DeviceStatsMonitor:
             self.tx.sample()
             self.rx.sample()
             self.samples += 1
+            self._check_link_gap()
             self._trace_sample()
         self.finalize()
 
@@ -67,6 +95,7 @@ class DeviceStatsMonitor:
         self._finalized = True
         self.tx.sample()
         self.rx.sample()
+        self._check_link_gap()
         self._trace_sample()
         self.tx.finalize()
         self.rx.finalize()

@@ -43,17 +43,36 @@ class SequenceStamper:
 
 @dataclass
 class SequenceReport:
-    """Aggregate receive-side accounting."""
+    """Aggregate receive-side accounting.
+
+    ``gap_events``/``longest_gap`` characterize the *shape* of loss:
+    under a bursty channel (e.g. a ``repro.faults`` Gilbert–Elliott model
+    or a link flap) the same loss fraction arrives as few, long gaps —
+    ``gap_events`` approximates the number of bursts and ``longest_gap``
+    the worst one, which a uniform loss fraction would hide.
+    """
 
     received: int = 0
     lost: int = 0
     reordered: int = 0
     duplicates: int = 0
+    #: Distinct sequence-number gaps observed (bursts, if loss is bursty).
+    gap_events: int = 0
+    #: Largest single gap, in packets, at the time it was observed.
+    longest_gap: int = 0
 
     @property
     def loss_fraction(self) -> float:
+        """Fraction of expected packets lost, clamped to [0, 1].
+
+        Clamped because straggler re-classification makes ``lost``
+        transiently non-monotonic; a report read mid-stream must still be
+        a valid fraction.
+        """
         total = self.received + self.lost
-        return self.lost / total if total else 0.0
+        if total <= 0:
+            return 0.0
+        return min(1.0, max(0.0, self.lost / total))
 
 
 class SequenceTracker:
@@ -89,6 +108,9 @@ class SequenceTracker:
             skipped = range(self._expected, seq)
             self._missing.update(skipped)
             report.lost += len(skipped)
+            report.gap_events += 1
+            if len(skipped) > report.longest_gap:
+                report.longest_gap = len(skipped)
             report.received += 1
             self._expected = seq + 1
         else:

@@ -141,8 +141,26 @@ class Timestamper:
         self.resync = resync
         self.histogram = Histogram()
         self.lost_probes = 0
+        #: Probes actually sent; with :attr:`lost_probes` this yields
+        #: :attr:`confidence` — graceful degradation under faults: a lossy
+        #: or flapping link costs samples, never an exception.
+        self.attempted = 0
         self._pool = MemPool(n_buffers=64, buf_capacity=512, fill=None)
         self._seq = 0
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of sent probes that produced a latency sample, in [0, 1].
+
+        Vacuously 1.0 before any probe is sent.  A value below ~0.9 means
+        the histogram under-represents the probe stream (burst loss, link
+        flap, or a DuT dropping probes) and percentiles should be quoted
+        with that caveat — this is the "mark confidence" half of the
+        fault-tolerance contract.
+        """
+        if self.attempted <= 0:
+            return 1.0
+        return max(0.0, min(1.0, 1.0 - self.lost_probes / self.attempted))
 
     # -- probe crafting ----------------------------------------------------------
 
@@ -197,12 +215,18 @@ class Timestamper:
             self._seq = (self._seq + 1) & 0xFFFF
             bufs.alloc(self.pkt_size - 4)  # buffer excludes FCS
             self._craft(bufs[0])
+            self.attempted += 1
             yield self.tx_queue.send_with_timestamp(bufs)
             sample = yield from self._collect(rx_queue, timeout_ns)
             if sample is None:
                 self.lost_probes += 1
                 # Clear a stale tx timestamp so the next probe can latch.
                 self.tx_device.port.read_tx_timestamp()
+                tracer = self.env.loop.tracer
+                if tracer is not None:
+                    tracer.emit("tstamp", "probe_lost", seq=self._seq,
+                                lost=self.lost_probes,
+                                attempted=self.attempted)
             else:
                 self.histogram.update(sample)
             if interval_ns > 0:

@@ -56,6 +56,14 @@ class OvsForwarder:
         self.forwarded = 0
         self._start_ps: Optional[int] = None
         self._last_activity_ps = 0
+        #: Fault injection (``repro.faults``): multiplies the per-packet
+        #: service time — a saturated forwarder (>1.0) drains slower, so
+        #: its rx ring fills and ``rx_dropped`` climbs.
+        self.overload = 1.0
+
+    def set_overload(self, factor: float) -> None:
+        """Scale the per-packet service time (DuT overload fault)."""
+        self.overload = factor
 
     def connect_output(self, wire: Wire) -> None:
         """Attach the wire the forwarder transmits onto."""
@@ -121,7 +129,7 @@ class OvsForwarder:
                 self._schedule_interrupt()
             return
         frame = self.ring.popleft()
-        service_ps = round(self.config.service_ns * 1000)
+        service_ps = round(self.config.service_ns * self.overload * 1000)
 
         def done(frame=frame) -> None:
             self.moderator.account(1, frame.size)

@@ -1,0 +1,58 @@
+"""Deterministic, composable fault injection (``repro.faults``).
+
+The chaos layer of the simulator: a :class:`FaultPlan` declares scheduled
+faults — bursty loss (Gilbert–Elliott), CRC corruption windows, link
+flaps, NIC faults (queue stall, DMA slowdown, rx-ring freeze), clock
+faults (step, drift), DuT overload — and a :class:`FaultInjector` arms
+them against a running simulation as ordinary event-loop events.  Every
+stochastic fault draws from its own BLAKE2b-derived stream
+(``seed_for(plan.seed, (index, fault))``), so a plan replays
+bit-identically under any ``--jobs`` count; with no plan installed every
+hook is inert and runs are unchanged.
+
+Entry points::
+
+    env = MoonGenEnv(seed=1, faults=plan)     # or a path to plan.json
+    moongen-repro faults --plan burst-loss    # CLI chaos runs
+
+See ``docs/FAULTS.md`` for the fault catalog, plan schema, and the
+determinism guarantees; graceful-degradation behavior of the measurement
+stack lives with each component (``seqcheck``, ``timestamping``,
+``monitor``, ``rfc2544``).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import GilbertElliott
+from repro.faults.plan import (
+    FAULT_KINDS,
+    BurstLoss,
+    ClockDrift,
+    ClockStep,
+    CorruptionBurst,
+    DmaSlowdown,
+    DutOverload,
+    FaultPlan,
+    LinkFlap,
+    QueueStall,
+    RingFreeze,
+    builtin_plans,
+    load_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "BurstLoss",
+    "ClockDrift",
+    "ClockStep",
+    "CorruptionBurst",
+    "DmaSlowdown",
+    "DutOverload",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliott",
+    "LinkFlap",
+    "QueueStall",
+    "RingFreeze",
+    "builtin_plans",
+    "load_plan",
+]

@@ -1,0 +1,71 @@
+"""Stochastic fault models.
+
+Each model owns its own seeded ``random.Random`` stream (derived from the
+plan seed via :func:`repro.parallel.seeding.seed_for`), so installing a
+model on a wire never shifts the wire's own jitter/corruption draws, and a
+plan replays bit-identically however the surrounding sweep is sharded.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class GilbertElliott:
+    """The Gilbert–Elliott two-state burst-loss channel.
+
+    The classic model for correlated packet loss: a hidden good/bad state
+    moves per frame with transition probabilities ``p_good_bad`` /
+    ``p_bad_good``; a frame is then lost with the current state's loss
+    probability.  The expected bad-state dwell time is ``1/p_bad_good``
+    frames — losses arrive in bursts, not as independent coin flips.
+
+    Draw discipline: exactly **two** RNG draws per frame (one transition,
+    one loss), regardless of state or outcome, so the stream position is a
+    pure function of the number of frames offered — replays stay aligned
+    even if an unrelated change moves a burst boundary.
+
+    Instances are callables matching ``Wire.loss_model``:
+    ``model(frame_size) -> bool`` (True = lose the frame).
+    """
+
+    __slots__ = ("rng", "p_good_bad", "p_bad_good", "loss_good", "loss_bad",
+                 "bad", "offered", "lost", "bursts")
+
+    def __init__(
+        self,
+        seed: int,
+        p_good_bad: float = 0.01,
+        p_bad_good: float = 0.25,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.9,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+        #: Frames offered / lost while installed (observability).
+        self.offered = 0
+        self.lost = 0
+        #: Good→bad transitions (number of bursts entered).
+        self.bursts = 0
+
+    def __call__(self, frame_size: int) -> bool:
+        rng = self.rng
+        transition = rng.random()
+        if self.bad:
+            if transition < self.p_bad_good:
+                self.bad = False
+        elif transition < self.p_good_bad:
+            self.bad = True
+            self.bursts += 1
+        lost = rng.random() < (self.loss_bad if self.bad else self.loss_good)
+        self.offered += 1
+        if lost:
+            self.lost += 1
+        return lost
+
+    def loss_fraction(self) -> float:
+        return self.lost / self.offered if self.offered else 0.0

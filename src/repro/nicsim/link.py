@@ -125,7 +125,8 @@ class Wire:
         "loop", "speed_bps", "cable", "rng", "phy_frame_bits", "corrupt_rate",
         "corrupted", "sink", "busy_until_ps", "frames_sent", "bytes_sent",
         "_last_delivery_ps", "_ser_cache", "_jitter_free", "_latency_ps",
-        "_phy_ps", "_pending",
+        "_phy_ps", "_pending", "carrier_up", "loss_model", "dropped",
+        "faulted",
     )
 
     def __init__(
@@ -148,6 +149,24 @@ class Wire:
         self.phy_frame_bits = phy_frame_bits
         self.corrupt_rate = corrupt_rate
         self.corrupted = 0
+        #: Carrier state: while ``False`` (a link flap, ``repro.faults``),
+        #: transmitted frames are lost on the wire and counted in
+        #: :attr:`dropped` — no RNG draw is consumed for them.
+        self.carrier_up = True
+        #: Optional per-frame loss decider (e.g. a Gilbert–Elliott model
+        #: from ``repro.faults``): called as ``loss_model(frame_size)`` and
+        #: returning True to lose the frame.  It owns its *own* RNG stream,
+        #: so installing one never shifts this wire's jitter/corruption
+        #: draws.
+        self.loss_model: Optional[Callable[[int], bool]] = None
+        #: Frames lost on the wire by faults (carrier down or loss model);
+        #: corrupted frames are *not* counted here — they arrive with a bad
+        #: FCS and are dropped (and counted) by the receiving NIC.
+        self.dropped = 0
+        #: Set by a fault injector that targets this wire; forces the
+        #: event-driven path even while no fault window is active, so a
+        #: fast-forward batch can never straddle a scheduled fault.
+        self.faulted = False
         self.sink: Optional[Callable[[object, int], None]] = None
         #: Time the wire becomes free (end of last serialization), ps.
         self.busy_until_ps = 0
@@ -201,6 +220,23 @@ class Wire:
         self.bytes_sent += frame_size
         tracer = self.loop.tracer
         if self.sink is not None:
+            if not self.carrier_up:
+                # Link flap: the carrier is down, the frame is lost on the
+                # wire.  No RNG draw is consumed — the medium never carried
+                # the frame — so the jitter/corruption streams of frames
+                # after the flap are unaffected by its duration.
+                self.dropped += 1
+                if tracer is not None:
+                    tracer.emit("drop", "wire_carrier_down",
+                                frame=tracer.frame_id(frame),
+                                size=frame_size)
+                self._release(frame)
+                return end
+            # Per-frame RNG draw order is pinned (regression-tested in
+            # tests/test_link.py): 1. medium jitter, then 2. corruption —
+            # both from this wire's own RNG.  The fault loss model sits in
+            # between but draws from its *own* stream, and a lost frame
+            # skips the corruption draw entirely (see below).
             if self._jitter_free:
                 arrival = end + self._latency_ps
             else:
@@ -212,13 +248,27 @@ class Wire:
                 # so packets within one PHY frame appear back-to-back.
                 phy_ps = self._phy_ps
                 arrival = -(-arrival // phy_ps) * phy_ps
-            if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
-                # A bit error on the wire: the FCS no longer matches.
-                frame = self._corrupt(frame)
-                self.corrupted += 1
+            if self.loss_model is not None and self.loss_model(frame_size):
+                # Lost on the medium: whether the frame would also have
+                # been corrupted is unobservable, so the corruption draw is
+                # not consumed and ``dropped``/``corrupted`` stay disjoint.
+                self.dropped += 1
                 if tracer is not None:
-                    tracer.emit("drop", "wire_corrupt",
-                                frame=tracer.frame_id(frame), size=frame_size)
+                    tracer.emit("drop", "wire_loss",
+                                frame=tracer.frame_id(frame),
+                                size=frame_size)
+                self._release(frame)
+                return end
+            corrupted = bool(self.corrupt_rate
+                             and self.rng.random() < self.corrupt_rate)
+            if corrupted:
+                # A bit error on the wire: the FCS no longer matches.  The
+                # counter and the trace drop-event move together with the
+                # actual FCS mark, so ``corrupted`` always equals the
+                # receiving NIC's eventual ``rx_crc_errors``.
+                frame, corrupted = self._corrupt(frame)
+                if corrupted:
+                    self.corrupted += 1
             # Keep in-order delivery even if jitter would reorder frames.
             if arrival <= self._last_delivery_ps:
                 arrival = self._last_delivery_ps + 1
@@ -227,6 +277,10 @@ class Wire:
                 tracer.emit("wire", "wire_tx", frame=tracer.frame_id(frame),
                             size=frame_size, start=start, end=end,
                             arrival=arrival)
+                if corrupted:
+                    tracer.emit("drop", "wire_corrupt",
+                                frame=tracer.frame_id(frame),
+                                size=frame_size)
             self._pending.append(
                 (frame, arrival, self.loop.schedule_at(arrival, self._deliver_due))
             )
@@ -234,6 +288,13 @@ class Wire:
             tracer.emit("wire", "wire_tx", frame=tracer.frame_id(frame),
                         size=frame_size, start=start, end=end)
         return end
+
+    @staticmethod
+    def _release(frame: object) -> None:
+        """Recycle a frame lost on the wire: nothing can reach it again."""
+        pool = getattr(frame, "pool", None)
+        if pool is not None:
+            pool.release(frame)
 
     def _deliver_due(self) -> None:
         """Hand every in-flight frame whose arrival is due to the sink.
@@ -257,12 +318,17 @@ class Wire:
 
         Jitter and corruption consume random numbers per frame, and the
         tracer records per-frame wire events — each forces the event-driven
-        path to keep bit-for-bit fidelity.
+        path to keep bit-for-bit fidelity.  A wire targeted by a fault
+        injector (``faulted``) is likewise pinned to the event-driven path:
+        its carrier/loss state can change at any scheduled fault boundary.
         """
         return (self.sink is not None
                 and self._jitter_free
                 and not self.corrupt_rate
                 and not self.phy_frame_bits
+                and not self.faulted
+                and self.carrier_up
+                and self.loss_model is None
                 and self.loop.tracer is None)
 
     def detach_pending(self) -> List[Tuple[object, int]]:
@@ -314,10 +380,22 @@ class Wire:
         return end
 
     @staticmethod
-    def _corrupt(frame: object) -> object:
+    def _corrupt(frame: object) -> Tuple[object, bool]:
+        """Break the frame's FCS; returns ``(frame, mark_applied)``.
+
+        Frames without an FCS flag (plain test payloads) cannot carry the
+        mark; reporting that keeps the ``corrupted`` counter consistent
+        with what the receiving NIC will actually drop.
+        """
         if hasattr(frame, "fcs_ok"):
             frame.fcs_ok = False
-        return frame
+            return frame, True
+        return frame, False
+
+    @property
+    def in_flight(self) -> int:
+        """Frames serialized but not yet delivered to the sink."""
+        return len(self._pending)
 
     def utilization(self) -> float:
         """Fraction of elapsed wire time spent serializing frames.

@@ -267,7 +267,7 @@ class TxQueueSim:
 
     __slots__ = ("port", "index", "ring_size", "ring", "space_signal",
                  "space_wake_threshold", "rate_bps", "next_allowed_ps",
-                 "_rate_error_ps", "tx_packets", "tx_bytes")
+                 "_rate_error_ps", "tx_packets", "tx_bytes", "stalled")
 
     def __init__(self, port: "NicPort", index: int,
                  ring_size: int = DEFAULT_RING_SIZE) -> None:
@@ -287,6 +287,11 @@ class TxQueueSim:
         self._rate_error_ps = 0.0
         self.tx_packets = 0
         self.tx_bytes = 0
+        #: Fault injection (``repro.faults``): a stalled queue is neither
+        #: prefetched into the FIFO nor picked by the MAC — descriptors
+        #: accumulate in the ring and producers back-pressure on the space
+        #: signal.  Cleared by the injector, which then kicks the MAC.
+        self.stalled = False
 
     @property
     def free_slots(self) -> int:
@@ -365,7 +370,7 @@ class RxQueueSim:
     """A receive queue: descriptor ring filled by the NIC, drained by software."""
 
     __slots__ = ("port", "index", "ring_size", "ring", "packet_signal",
-                 "rx_packets", "rx_bytes")
+                 "rx_packets", "rx_bytes", "frozen")
 
     def __init__(self, port: "NicPort", index: int,
                  ring_size: int = DEFAULT_RING_SIZE) -> None:
@@ -376,10 +381,14 @@ class RxQueueSim:
         self.packet_signal = Signal()
         self.rx_packets = 0
         self.rx_bytes = 0
+        #: Fault injection (``repro.faults``): a frozen descriptor ring
+        #: refuses delivery, so arrivals take the existing ``rx_missed`` /
+        #: ``drop_rx_ring`` overflow path.
+        self.frozen = False
 
     def deliver(self, frame: SimFrame) -> bool:
-        """NIC-side delivery; False if the ring overflowed."""
-        if len(self.ring) >= self.ring_size:
+        """NIC-side delivery; False if the ring overflowed (or is frozen)."""
+        if self.frozen or len(self.ring) >= self.ring_size:
             return False
         self.ring.append(frame)
         self.rx_packets += 1
@@ -470,6 +479,7 @@ class NicPort:
         "rx_packets", "rx_bytes", "rx_crc_errors", "rx_missed", "_mac_busy",
         "_mac_wakeup", "_rr_next", "_fifo", "_fifo_bytes", "_prefetching",
         "tx_observers", "fast_forward", "fast_forwarded",
+        "link_up", "link_changes", "link_signal", "dma_slowdown",
     )
 
     def __init__(
@@ -542,6 +552,13 @@ class NicPort:
         self.fast_forward = False
         #: Frames sent through the fast-forward path (observability).
         self.fast_forwarded = 0
+        # Fault injection (``repro.faults``): link/carrier state as software
+        # sees it (the LSC interrupt's view), and a DMA-slowdown factor that
+        # stretches the per-frame MAC occupancy (PCIe contention model).
+        self.link_up = True
+        self.link_changes = 0
+        self.link_signal = Signal()
+        self.dma_slowdown = 1.0
 
     # -- wiring ----------------------------------------------------------------
 
@@ -565,6 +582,30 @@ class NicPort:
         """Install a Flow-Director-style filter mapping frames to rx queues."""
         self.rx_filter = fn
 
+    def set_link_state(self, up: bool) -> None:
+        """Fault injection: flip the port's carrier state (LSC event).
+
+        Updates the software-visible link status, counts the transition,
+        emits a ``fault`` trace record, and wakes anything parked on
+        :attr:`link_signal` (monitors annotate the gap).  The wire-level
+        consequence (frames lost while the carrier is down) is driven by
+        the injector through :attr:`Wire.carrier_up` on the attached wires.
+        """
+        if up == self.link_up:
+            return
+        self.link_up = up
+        self.link_changes += 1
+        tracer = self.loop.tracer
+        if tracer is not None:
+            tracer.emit("fault", "link_up" if up else "link_down",
+                        port=self.port_id, changes=self.link_changes)
+        signal = self.link_signal
+        if signal._waiters:
+            signal.trigger()
+        if up:
+            # Coming back up: queued descriptors may be sendable again.
+            self._mac_kick()
+
     def has_pending_tx(self) -> bool:
         return (self._mac_busy or bool(self._fifo)
                 or any(q.ring for q in self.tx_queues))
@@ -580,13 +621,14 @@ class NicPort:
         for i in range(n):
             idx = (start + i) % n
             queue = queues[idx]
-            if queue.ring and queue.next_allowed_ps <= now:
+            if queue.ring and not queue.stalled and queue.next_allowed_ps <= now:
                 self._rr_next = (idx + 1) % n
                 return queue
         return None
 
     def _earliest_pending_ps(self) -> Optional[int]:
-        pending = [q.next_allowed_ps for q in self.tx_queues if q.ring]
+        pending = [q.next_allowed_ps for q in self.tx_queues
+                   if q.ring and not q.stalled]
         return min(pending) if pending else None
 
     def _fetch_from_ring(self, queue: TxQueueSim, tracer) -> SimFrame:
@@ -704,6 +746,8 @@ class NicPort:
         now = loop.now_ps
         size = frame.size
         mac_time = self.card.effective_frame_time_ps(frame, self.speed_bps)
+        if self.dma_slowdown != 1.0:
+            mac_time = round(mac_time * self.dma_slowdown)
         # Timestamp late in the transmit path (Section 6: as the frame hits
         # the wire), if the descriptor asked for it and the register is free.
         if frame.meta.get("timestamp") and self.chip.hw_timestamping and frame.is_ptp():
@@ -781,7 +825,8 @@ class NicPort:
         loop = self.loop
         wire = self.wire
         if (wire is None or self.tx_observers or loop.tracer is not None
-                or len(self.tx_queues) != 1 or not wire.can_fast_forward()):
+                or len(self.tx_queues) != 1 or self.dma_slowdown != 1.0
+                or not wire.can_fast_forward()):
             return start_ps
         sink = wire.sink
         sink_port = getattr(sink, "__self__", None)

@@ -45,7 +45,7 @@ from repro.errors import (
     PointTimeoutError,
     WorkerCrashError,
 )
-from repro.parallel.seeding import seed_for
+from repro.parallel.seeding import point_key, seed_for
 
 #: An experiment function: ``fn(point, seed) -> result``.  It must be a
 #: module-level callable (picklable by reference) and its result must be
@@ -196,7 +196,8 @@ def _run_pool(
                     _stop_worker(worker)
                     fail_or_retry(worker, WorkerCrashError(
                         f"worker for point {worker.index} "
-                        f"({points[worker.index]!r}) died with exit code "
+                        f"(key {point_key(points[worker.index])!r}) "
+                        f"died with exit code "
                         f"{worker.proc.exitcode} after "
                         f"{worker.attempt} attempt(s)"))
                     continue
@@ -217,7 +218,8 @@ def _run_pool(
                 del running[worker.conn]
                 _stop_worker(worker)
                 fail_or_retry(worker, PointTimeoutError(
-                    f"point {worker.index} ({points[worker.index]!r}) "
+                    f"point {worker.index} "
+                    f"(key {point_key(points[worker.index])!r}) "
                     f"exceeded {timeout_s} s on every one of "
                     f"{worker.attempt} attempt(s)"))
     finally:

@@ -36,9 +36,15 @@ def loadgen_pair(
     tx_queues: int = 2,
     rx_queues: int = 1,
     core_freq_hz: float = 2.4e9,
+    faults=None,
 ) -> LoadgenPair:
-    """A generator port wired straight to a receiver port."""
-    env = MoonGenEnv(seed=seed, core_freq_hz=core_freq_hz)
+    """A generator port wired straight to a receiver port.
+
+    ``faults`` is forwarded to :class:`MoonGenEnv`: anything
+    :func:`repro.faults.load_plan` accepts, targeting ``port:0``,
+    ``port:1``, or ``wire:0->1`` / ``wire:1->0``.
+    """
+    env = MoonGenEnv(seed=seed, core_freq_hz=core_freq_hz, faults=faults)
     tx_dev = env.config_device(0, tx_queues=tx_queues, rx_queues=1, chip=chip)
     rx_dev = env.config_device(1, tx_queues=1, rx_queues=rx_queues, chip=chip)
     env.connect(tx_dev, rx_dev, cable=cable)
@@ -60,14 +66,21 @@ def dut_topology(
     dut_config: Optional[DutConfig] = None,
     tx_queues: int = 2,
     core_freq_hz: float = 2.4e9,
+    faults=None,
 ) -> DutTopology:
-    """The l2-load-latency wiring: one port in, one port out of the DuT."""
-    env = MoonGenEnv(seed=seed, core_freq_hz=core_freq_hz)
+    """The l2-load-latency wiring: one port in, one port out of the DuT.
+
+    ``faults`` is forwarded to :class:`MoonGenEnv`; fault targets here
+    are ``port:0``/``port:1``, ``wire:0->sink`` (into the DuT),
+    ``wire:env->1`` (out of it), and ``dut``.
+    """
+    env = MoonGenEnv(seed=seed, core_freq_hz=core_freq_hz, faults=faults)
     tx_dev = env.config_device(0, tx_queues=tx_queues, rx_queues=1)
     rx_dev = env.config_device(1, tx_queues=1, rx_queues=1)
     dut = OvsForwarder(env.loop, dut_config)
     env.connect_to_sink(tx_dev, dut.ingress)
     dut.connect_output(env.wire_to_device(rx_dev))
+    env.register_dut(dut)
     return DutTopology(env, tx_dev, rx_dev, dut)
 
 

@@ -54,7 +54,8 @@ from repro.errors import ConfigurationError
 #: ``tstamp`` — a hardware timestamp register was latched (or missed);
 #: ``irq``    — the DuT raised an interrupt;
 #: ``cpu``    — a simulated core was charged cycles;
-#: ``stats``  — a statistics monitor sampled device counters.
+#: ``stats``  — a statistics monitor sampled device counters;
+#: ``fault``  — a fault was injected or cleared (``repro.faults``).
 CATEGORIES = (
     "event",
     "proc",
@@ -65,6 +66,7 @@ CATEGORIES = (
     "irq",
     "cpu",
     "stats",
+    "fault",
 )
 
 

@@ -24,7 +24,7 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 #: Categories used for golden traces (everything except the raw scheduler
 #: ``event`` feed, which triples trace size without adding semantics).
 GOLDEN_CATEGORIES: Tuple[str, ...] = (
-    "proc", "desc", "wire", "drop", "tstamp", "irq", "cpu", "stats",
+    "proc", "desc", "wire", "drop", "tstamp", "irq", "cpu", "stats", "fault",
 )
 
 
@@ -101,10 +101,58 @@ def run_poisson(seed: int = 11,
     return env.tracer.to_jsonl()
 
 
+def run_faults(seed: int = 11,
+               categories: Optional[Iterable[str]] = None) -> str:
+    """A chaos run: paced frames over a wire under a tiny fault plan.
+
+    A Gilbert–Elliott loss burst, a CRC corruption window, a clock step,
+    and a link flap all land inside ~30 µs of simulated time, so the
+    golden trace pins every ``fault.*`` record kind plus the degraded
+    ``wire``/``drop`` records they cause — while staying a few hundred
+    lines like the other goldens.
+    """
+    from repro import MoonGenEnv
+    from repro.faults import (
+        BurstLoss,
+        ClockStep,
+        CorruptionBurst,
+        FaultPlan,
+        LinkFlap,
+    )
+    from repro.nicsim.nic import SimFrame
+
+    plan = FaultPlan(faults=(
+        BurstLoss(target="wire:0->1", start_ns=2_000.0, end_ns=14_000.0,
+                  p_good_bad=0.2, p_bad_good=0.2, loss_bad=0.8),
+        CorruptionBurst(target="wire:0->1", start_ns=16_000.0,
+                        end_ns=24_000.0, rate=0.5),
+        ClockStep(target="port:1", at_ns=20_000.0, step_ns=250.0),
+        LinkFlap(target="port:1", start_ns=26_000.0, end_ns=30_000.0),
+    ), seed=seed)
+    env = MoonGenEnv(seed=seed, cost_noise=False,
+                     trace=tuple(categories) if categories else GOLDEN_CATEGORIES,
+                     faults=plan)
+    tx_dev = env.config_device(0, tx_queues=1)
+    rx_dev = env.config_device(1, rx_queues=1)
+    env.connect(tx_dev, rx_dev)
+    queue = tx_dev.port.get_tx_queue(0)
+    payload = bytes(range(60))
+
+    def cbr_source():
+        for _ in range(28):
+            yield 1_100_000  # 1.1 µs between frames, in ps
+            queue.enqueue([SimFrame(payload)])
+
+    env.loop.spawn(cbr_source(), name="cbr-source")
+    env.loop.run()
+    return env.tracer.to_jsonl()
+
+
 #: Scenario registry: name -> (runner, golden file name).
 SCENARIOS: Dict[str, Tuple[Callable[..., str], str]] = {
     "load-latency": (run_cbr_load_latency, "load_latency_cbr.jsonl"),
     "poisson": (run_poisson, "poisson.jsonl"),
+    "faults": (run_faults, "faults_chaos.jsonl"),
 }
 
 

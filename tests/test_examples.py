@@ -68,6 +68,12 @@ class TestExamples:
         assert "zero-loss" in out
         assert "Mpps" in out
 
+    def test_chaos_rfc2544(self):
+        out = run_example("chaos_rfc2544", ["64"])
+        assert "tolerance" in out
+        assert "degenerate" in out  # the strict criterion collapses
+        assert "converged on the DuT" in out  # the budgeted one recovers
+
     def test_pcap_replay(self):
         out = run_example("pcap_replay", ["150"])
         assert "captured 150 packets" in out
