@@ -3,15 +3,17 @@
 The original MoonGen is launched as ``MoonGen <userscript> [args]``; the
 reproduction ships the canonical measurement scripts as subcommands::
 
-    moongen-repro quickstart
+    moongen-repro quickstart --metrics out.jsonl
     moongen-repro load-latency --rate 1.0 --mode crc --pattern poisson
     moongen-repro inter-arrival --rate 500
     moongen-repro rfc2544 --frame-size 64 --frame-size 128 --jobs 2
     moongen-repro timestamps
     moongen-repro trace --scenario load-latency --out run.jsonl
     moongen-repro bench --smoke --jobs 2
-    moongen-repro sweep fig2-cores --jobs 4
+    moongen-repro sweep fig2-cores --jobs 4 --live
     moongen-repro faults --plan burst-loss --plan flap --jobs 2
+    moongen-repro metrics quickstart --out metrics.jsonl
+    moongen-repro profile quickstart
 
 Custom userscripts use the library API directly (see examples/).
 """
@@ -50,14 +52,42 @@ def _warn_unmatched_faults(env) -> None:
               "exist in this topology; it will not fire", file=sys.stderr)
 
 
-def _cmd_quickstart(args: argparse.Namespace) -> int:
+def _metrics_interval_ns(args: argparse.Namespace) -> float:
+    """Snapshot interval: ~20 samples over the run, at least 100 µs."""
+    return max(100_000.0, args.duration_ms * 1e6 / 20.0)
+
+
+def _write_metrics(snapshotter, out: str, command: str, seed: int,
+                   fault_plan=None) -> None:
+    """Finalize a snapshot series; write JSONL + provenance manifest."""
+    from repro.metrics import RunManifest, write_jsonl
+
+    snapshotter.finalize()
+    with open(out, "w", newline="\n") as fh:
+        write_jsonl(snapshotter.series, fh)
+    manifest_path = RunManifest(
+        command=command,
+        seed=seed,
+        jobs=1,
+        config={"interval_ns": snapshotter.interval_ns,
+                "metrics": snapshotter.registry.names()},
+        fault_plan=(fault_plan.to_dict()
+                    if hasattr(fault_plan, "to_dict") else fault_plan),
+        result_fingerprint=snapshotter.series.fingerprint(),
+    ).write(out)
+    print(f"wrote {len(snapshotter.series)} metric snapshots to {out} "
+          f"(fingerprint {snapshotter.series.fingerprint()}, "
+          f"manifest {manifest_path})")
+
+
+def _build_quickstart(seed: int, faults=None, metrics=False):
+    """The quickstart topology: one CBR slave saturating a 10 GbE link."""
     from repro import MoonGenEnv
 
-    env = MoonGenEnv(seed=args.seed, faults=_resolve_faults(args))
+    env = MoonGenEnv(seed=seed, faults=faults, metrics=metrics)
     tx = env.config_device(0, tx_queues=1)
     rx = env.config_device(1, rx_queues=1)
     env.connect(tx, rx)
-    _warn_unmatched_faults(env)
 
     def slave(env, queue):
         mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
@@ -69,11 +99,66 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
             yield queue.send(bufs)
 
     env.launch(slave, env, tx.get_tx_queue(0))
+    return env, tx, rx
+
+
+def _build_dut_forward(seed: int, faults=None, metrics=False,
+                       rate_pps: float = 1.5e6, frame_size: int = 64):
+    """CBR traffic through the simulated OvS DuT (load-latency shape)."""
+    from repro import MoonGenEnv
+    from repro.dut import OvsForwarder
+
+    env = MoonGenEnv(seed=seed, cost_noise=False, faults=faults,
+                     metrics=metrics)
+    tx = env.config_device(0, tx_queues=2)
+    rx = env.config_device(1, rx_queues=1)
+    dut = OvsForwarder(env.loop)
+    env.connect_to_sink(tx, dut.ingress)
+    dut.connect_output(env.wire_to_device(rx))
+    env.register_dut(dut)
+
+    load_queue = tx.get_tx_queue(0)
+    load_queue.set_rate_pps(rate_pps, frame_size)
+
+    def tx_task():
+        mem = env.create_mempool()
+        bufs = mem.buf_array(32)
+        dst = str(rx.mac)
+        src = str(tx.mac)
+        while env.running():
+            bufs.alloc(frame_size - 4)  # buffers exclude the FCS
+            for buf in bufs:
+                buf.eth_packet.fill(eth_src=src, eth_dst=dst,
+                                    eth_type=0x0800)
+            yield load_queue.send(bufs)
+
+    def rx_task():
+        rx_queue = rx.get_rx_queue(0)
+        while env.running():
+            rx_queue.try_fetch(64)
+            yield env.sleep_us(10.0)
+
+    env.launch(tx_task)
+    env.launch(rx_task)
+    return env, tx, rx, dut
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    env, tx, rx = _build_quickstart(args.seed,
+                                    faults=_resolve_faults(args),
+                                    metrics=bool(args.metrics))
+    _warn_unmatched_faults(env)
+    snapshotter = None
+    if args.metrics:
+        snapshotter = env.start_snapshotter(_metrics_interval_ns(args))
     env.wait_for_slaves(duration_ns=args.duration_ms * 1e6)
     pps = tx.tx_packets / (env.now_ns / 1e9)
     print(f"transmitted {tx.tx_packets} packets in {env.now_ns / 1e6:.2f} ms "
           f"simulated: {pps / 1e6:.2f} Mpps "
           f"(line rate {units.LINE_RATE_10G_64B_PPS / 1e6:.2f})")
+    if snapshotter is not None:
+        _write_metrics(snapshotter, args.metrics, "moongen-repro quickstart",
+                       args.seed)
     return 0
 
 
@@ -82,7 +167,8 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
     from repro.core.latency import LoadLatencyExperiment
     from repro.dut import OvsForwarder
 
-    env = MoonGenEnv(seed=args.seed, faults=_resolve_faults(args))
+    env = MoonGenEnv(seed=args.seed, faults=_resolve_faults(args),
+                     metrics=bool(args.metrics))
     tx = env.config_device(0, tx_queues=2)
     rx = env.config_device(1, rx_queues=1)
     dut = OvsForwarder(env.loop)
@@ -90,6 +176,9 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
     dut.connect_output(env.wire_to_device(rx))
     env.register_dut(dut)
     _warn_unmatched_faults(env)
+    snapshotter = None
+    if args.metrics:
+        snapshotter = env.start_snapshotter(_metrics_interval_ns(args))
 
     pps = args.rate * 1e6
     pattern = PoissonPattern(pps, seed=args.seed) if args.pattern == "poisson" else None
@@ -111,6 +200,93 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
         print(f"latency over {len(result.latency)} probes: "
               f"q1={q1 / 1e3:.1f} µs median={med / 1e3:.1f} µs "
               f"q3={q3 / 1e3:.1f} µs (lost {result.lost_probes}{confidence})")
+    if snapshotter is not None:
+        _write_metrics(snapshotter, args.metrics,
+                       "moongen-repro load-latency", args.seed)
+    return 0
+
+
+def _live_progress(label: str):
+    """A ``run_parallel`` progress hook: one overwritten stderr line.
+
+    Shows points done / total, an ETA extrapolated from the mean
+    per-point wall time so far, and the last completed point's
+    fingerprint (``fingerprint`` key of a result dict, else a stable
+    hash of the value).
+    """
+    import time as _time
+
+    from repro.metrics.manifest import stable_hash
+
+    start = _time.monotonic()
+
+    def progress(done: int, total: int, result) -> None:
+        elapsed = _time.monotonic() - start
+        eta = elapsed / done * (total - done)
+        if isinstance(result, dict) and "fingerprint" in result:
+            fp = result["fingerprint"]
+        else:
+            fp = stable_hash(result)
+        end = "\n" if done == total else ""
+        print(f"\r{label}: {done}/{total} points, "
+              f"eta {eta:5.1f}s, last {fp}", end=end,
+              file=sys.stderr, flush=True)
+
+    return progress
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.metrics import to_prometheus, write_csv
+
+    faults = _resolve_faults(args)
+    if args.scenario == "quickstart":
+        env, tx, rx = _build_quickstart(args.seed, faults=faults,
+                                        metrics=True)
+    else:
+        env, tx, rx, _ = _build_dut_forward(args.seed, faults=faults,
+                                            metrics=True)
+    _warn_unmatched_faults(env)
+    snapshotter = env.start_snapshotter(_metrics_interval_ns(args))
+    env.wait_for_slaves(duration_ns=args.duration_ms * 1e6)
+    if args.out:
+        _write_metrics(snapshotter, args.out,
+                       f"moongen-repro metrics {args.scenario}", args.seed,
+                       fault_plan=faults)
+    else:
+        snapshotter.finalize()
+        sys.stdout.write(snapshotter.series.to_jsonl())
+    if args.csv:
+        with open(args.csv, "w", newline="\n") as fh:
+            write_csv(snapshotter.series, fh)
+        print(f"wrote CSV series to {args.csv}")
+    if args.prom:
+        with open(args.prom, "w", newline="\n") as fh:
+            fh.write(to_prometheus(env.metrics))
+        print(f"wrote Prometheus scrape file to {args.prom}")
+    final = snapshotter.series.final_values()
+    print(f"scenario {args.scenario!r}: {len(snapshotter.series)} snapshots "
+          f"of {len(env.metrics)} metrics over {env.now_ns / 1e6:.2f} ms; "
+          f"final nic0.tx.packets={final.get('nic0.tx.packets')} "
+          f"(device says {tx.tx_packets})")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.metrics import profile_env
+
+    faults = _resolve_faults(args)
+    if args.scenario == "quickstart":
+        env, _, _ = _build_quickstart(args.seed, faults=faults)
+    else:
+        env, _, _, _ = _build_dut_forward(args.seed, faults=faults)
+    _warn_unmatched_faults(env)
+    report = profile_env(env, duration_ns=args.duration_ms * 1e6)
+    print(report.format_table())
+    if args.json:
+        with open(args.json, "w", newline="\n") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"wrote profile JSON to {args.json}")
     return 0
 
 
@@ -126,8 +302,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             print(f"  {name:<12} {kinds}")
         return 0
     names = args.plans or sorted(plans)
+    progress = _live_progress("faults") if args.live else None
     results = run_matrix(names, seed=args.seed, plan_seed=args.plan_seed,
-                         jobs=args.jobs or 1)
+                         jobs=args.jobs or 1, progress=progress)
     if args.json:
         import json
 
@@ -255,7 +432,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                            sweep_wall_s=sweep_wall_s)
     print(perf.format_report(doc))
     print(f"\nsuite wall time {sweep_wall_s:.2f} s with jobs={jobs}")
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} (+ manifest)")
+    if args.metrics:
+        # One extra *instrumented* run of the bench topology: the perf
+        # scenarios themselves stay uninstrumented (their numbers feed
+        # baselines), this sidecar series shows what the workload did.
+        env, _, _, _ = _build_dut_forward(args.seed, metrics=True)
+        snapshotter = env.start_snapshotter(interval_ns=200_000.0)
+        env.wait_for_slaves(duration_ns=4e6)
+        _write_metrics(snapshotter, args.metrics, "moongen-repro bench",
+                       args.seed)
     for warning in perf.check_regression(doc, threshold=args.warn_threshold):
         print(f"::warning::{warning}", file=sys.stderr)
     return 0
@@ -285,7 +471,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if not points:
             print("--points selected no sweep points", file=sys.stderr)
             return 2
-    result = spec.build(points, root_seed=args.seed).run(jobs=args.jobs)
+    progress = _live_progress(f"sweep {spec.name}") if args.live else None
+    result = spec.build(points, root_seed=args.seed).run(jobs=args.jobs,
+                                                         progress=progress)
     print(f"sweep {spec.name}: {spec.description}")
     print(format_sweep_table(spec, result))
     return 0
@@ -305,6 +493,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--faults", metavar="PLAN",
                    help="fault plan: builtin name (see 'faults --list') or a plan.json path")
+    p.add_argument("--metrics", metavar="OUT.JSONL",
+                   help="sample the metrics registry during the run and "
+                        "write the JSONL time series (+ manifest) here")
     p.set_defaults(func=_cmd_quickstart)
 
     p = sub.add_parser("load-latency",
@@ -317,6 +508,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--faults", metavar="PLAN",
                    help="fault plan: builtin name (see 'faults --list') or a plan.json path")
+    p.add_argument("--metrics", metavar="OUT.JSONL",
+                   help="sample the metrics registry during the run and "
+                        "write the JSONL time series (+ manifest) here")
     p.set_defaults(func=_cmd_load_latency)
 
     p = sub.add_parser("inter-arrival",
@@ -400,6 +594,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "processes (default: 1, serial; fingerprints are "
                         "identical either way, but wall-clock metrics "
                         "are noisier when workers share cores)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--metrics", metavar="OUT.JSONL",
+                   help="also run one instrumented bench-shaped simulation "
+                        "and write its metrics time series (+ manifest)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -419,6 +617,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", help="comma-separated subset of sweep points")
     p.add_argument("--seed", type=int, default=0,
                    help="root seed for per-point seed derivation")
+    p.add_argument("--live", action="store_true",
+                   help="one-line live progress on stderr "
+                        "(points done / ETA / last fingerprint)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -444,7 +645,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (default: 1, serial)")
     p.add_argument("--json", action="store_true",
                    help="emit the full result dicts as JSON")
+    p.add_argument("--live", action="store_true",
+                   help="one-line live progress on stderr "
+                        "(plans done / ETA / last fingerprint)")
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a scenario with the metrics registry sampled, emit JSONL",
+        description="Runs a canonical scenario with run-wide telemetry "
+                    "(repro.metrics) enabled: every component registers "
+                    "its counters/gauges and a sim-time snapshotter "
+                    "samples them into a deterministic time series "
+                    "(docs/METRICS.md).  Writes JSONL to stdout or --out "
+                    "(with a provenance manifest), optionally CSV and a "
+                    "Prometheus text-format scrape file.",
+    )
+    p.add_argument("scenario", choices=("quickstart", "load-latency"),
+                   help="topology to run instrumented")
+    p.add_argument("--duration-ms", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--faults", metavar="PLAN",
+                   help="fault plan: builtin name (see 'faults --list') or a plan.json path")
+    p.add_argument("--out", metavar="OUT.JSONL",
+                   help="write the JSONL series here (default: stdout); "
+                        "a .manifest.json is written next to it")
+    p.add_argument("--csv", metavar="OUT.CSV",
+                   help="also write the series as CSV")
+    p.add_argument("--prom", metavar="OUT.PROM",
+                   help="also write final values as a Prometheus "
+                        "text-format scrape file")
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "profile",
+        help="self-profile the event loop, attribute wall-time per category",
+        description="Runs a scenario with a per-event wall-clock latch "
+                    "and prints host-time attribution per category "
+                    "(nic/wire/dut/process/scheduler/...) plus the top "
+                    "callbacks — the tool for localizing BENCH_core.json "
+                    "regressions (docs/METRICS.md).",
+    )
+    p.add_argument("scenario", choices=("quickstart", "load-latency"),
+                   help="topology to profile")
+    p.add_argument("--duration-ms", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--faults", metavar="PLAN",
+                   help="fault plan: builtin name (see 'faults --list') or a plan.json path")
+    p.add_argument("--json", metavar="OUT.JSON",
+                   help="also write the full report as JSON")
+    p.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -34,6 +34,7 @@ class MoonGenEnv:
         trace=None,
         fast_forward: bool = False,
         faults=None,
+        metrics=None,
     ) -> None:
         self.loop = EventLoop()
         #: Opt-in steady-state accelerator: ports batch fixed-period CBR
@@ -73,6 +74,51 @@ class MoonGenEnv:
         self.injector: Optional[FaultInjector] = None
         if faults is not None:
             self.injector = FaultInjector(self.loop, load_plan(faults))
+        #: Run-wide telemetry (``repro.metrics``).  ``metrics`` may be
+        #: ``True`` (fresh registry) or a pre-built
+        #: :class:`~repro.metrics.MetricsRegistry`.  ``None``/``False``
+        #: (default) keeps every registration hook inert: metrics are
+        #: pull-based, so a disabled run pays literally nothing.  With a
+        #: registry, devices/wires/DuT/injector auto-register as the
+        #: topology is built; sample it with :meth:`start_snapshotter`.
+        self.metrics = None
+        if metrics:
+            if metrics is True:
+                from repro.metrics import MetricsRegistry
+
+                self.metrics = MetricsRegistry()
+            else:
+                self.metrics = metrics
+            registry = self.metrics
+            loop = self.loop
+            # Snapshots land *inside* run(), whose hot loop keeps its
+            # event count in a local for speed; the live cell exposes the
+            # in-progress counts so mid-run samples are not stale.
+            loop.live_counts = [0, 0]
+
+            def _events_total() -> int:
+                live = loop.live_counts
+                return loop.events_processed + (live[0] if live else 0)
+
+            def _lane_total() -> int:
+                live = loop.live_counts
+                return loop.lane_events_processed + (live[1] if live else 0)
+
+            events = registry.counter(
+                "loop.events", _events_total,
+                help="events executed by the scheduler")
+            registry.rate("loop.events_per_s", events,
+                          help="event rate between snapshots (sim time)")
+            registry.gauge("loop.pending", lambda: loop.pending_events,
+                           help="live events currently scheduled")
+            registry.gauge(
+                "loop.lane_hit_ratio",
+                lambda: (_lane_total() / _events_total()
+                         if _events_total() else 0.0),
+                help="fraction of events taken via the same-instant "
+                     "fast lane")
+            if self.injector is not None:
+                self.injector.register_metrics(registry)
 
     # -- time -----------------------------------------------------------------
 
@@ -134,6 +180,8 @@ class MoonGenEnv:
         self.devices[port_id] = device
         if self.injector is not None:
             self.injector.register_port(f"port:{port_id}", port)
+        if self.metrics is not None:
+            port.register_metrics(self.metrics)
         return device
 
     def wait_for_links(self) -> None:
@@ -159,6 +207,11 @@ class MoonGenEnv:
                 f"wire:{a.port.port_id}->{b.port.port_id}", wire_ab)
             self.injector.register_wire(
                 f"wire:{b.port.port_id}->{a.port.port_id}", wire_ba)
+        if self.metrics is not None:
+            wire_ab.register_metrics(
+                self.metrics, f"{a.port.port_id}->{b.port.port_id}")
+            wire_ba.register_metrics(
+                self.metrics, f"{b.port.port_id}->{a.port.port_id}")
         return wire_ab, wire_ba
 
     def connect_to_sink(
@@ -174,6 +227,9 @@ class MoonGenEnv:
         if self.injector is not None:
             self.injector.register_wire(
                 f"wire:{device.port.port_id}->sink", wire)
+        if self.metrics is not None:
+            wire.register_metrics(self.metrics,
+                                  f"{device.port.port_id}->sink")
         return wire
 
     def wire_to_device(
@@ -193,6 +249,9 @@ class MoonGenEnv:
         if self.injector is not None:
             self.injector.register_wire(
                 f"wire:env->{device.port.port_id}", wire)
+        if self.metrics is not None:
+            wire.register_metrics(self.metrics,
+                                  f"env->{device.port.port_id}")
         return wire
 
     def register_dut(self, dut) -> None:
@@ -203,6 +262,8 @@ class MoonGenEnv:
         """
         if self.injector is not None:
             self.injector.register_dut(dut)
+        if self.metrics is not None and hasattr(dut, "register_metrics"):
+            dut.register_metrics(self.metrics)
 
     def _next_wire_seed(self) -> int:
         self._wire_seed += 1
@@ -274,3 +335,31 @@ class MoonGenEnv:
     def stop(self) -> None:
         """Make ``running()`` false immediately."""
         self._end_ps = self.loop.now_ps
+
+    def stop_after(self, duration_ns: float) -> None:
+        """Set the stop horizon without running the loop.
+
+        For callers that drive the loop themselves (e.g. the
+        :class:`~repro.metrics.LoopProfiler`): ``running()`` turns false
+        once the horizon passes, exactly as in :meth:`wait_for_slaves`.
+        """
+        self._end_ps = self.loop.now_ps + round(duration_ns * 1000)
+
+    # -- telemetry ------------------------------------------------------------
+
+    def start_snapshotter(self, interval_ns: float = 1_000_000.0):
+        """Launch a metrics :class:`~repro.metrics.Snapshotter` task.
+
+        Requires ``MoonGenEnv(metrics=...)``; returns the snapshotter
+        (its ``series`` holds the sampled rows after the run).
+        """
+        if self.metrics is None:
+            raise ConfigurationError(
+                "start_snapshotter() needs MoonGenEnv(metrics=True)"
+            )
+        from repro.metrics import Snapshotter
+
+        snapshotter = Snapshotter(self, self.metrics,
+                                  interval_ns=interval_ns)
+        self.launch(snapshotter.task, name="metrics-snapshotter")
+        return snapshotter

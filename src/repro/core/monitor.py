@@ -4,6 +4,13 @@ MoonGen's counters can read "the NIC's statistics registers" (Section 4.2)
 instead of being updated manually.  :class:`DeviceStatsMonitor` is the
 task that does so periodically — the equivalent of the original's device
 counters printing once per second.
+
+The monitor has two outputs: the classic stream formats (``fmt="csv"`` /
+``"plain"``, or ``"none"`` for publish-only runs with no stream at all)
+and, when the environment carries a metrics registry
+(``MoonGenEnv(metrics=True)``), a set of ``monitor.dev<N>.*`` metrics
+mirroring what the monitor itself accounted — totals, per-snapshot rates,
+sample count, and link-gap annotations.
 """
 
 from __future__ import annotations
@@ -41,6 +48,33 @@ class DeviceStatsMonitor:
         #: interval absorbed, and the link state at sampling time.
         self.gaps: List[Dict[str, object]] = []
         self._last_link_changes = self._link_changes()
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            self.register_metrics(registry)
+
+    def register_metrics(self, registry) -> None:
+        """Publish the monitor's view under ``monitor.dev<N>.*``.
+
+        The tx/rx totals mirror the counters the monitor accounts from the
+        device registers — by construction equal to the device totals at
+        every snapshot taken after a monitor sample (the hypothesis mirror
+        property pins this).
+        """
+        base = f"monitor.dev{self.device.port_id}"
+        tx_total = registry.counter(
+            f"{base}.tx.packets", lambda: self.tx.total_packets,
+            help="tx packets accounted by the stats monitor")
+        rx_total = registry.counter(
+            f"{base}.rx.packets", lambda: self.rx.total_packets,
+            help="rx packets accounted by the stats monitor")
+        registry.rate(f"{base}.tx.pps", tx_total,
+                      help="monitor-view tx rate between snapshots")
+        registry.rate(f"{base}.rx.pps", rx_total,
+                      help="monitor-view rx rate between snapshots")
+        registry.counter(f"{base}.samples", lambda: self.samples,
+                         help="monitor sampling intervals completed")
+        registry.counter(f"{base}.gaps", lambda: len(self.gaps),
+                         help="sampling intervals annotated as link-flap gaps")
 
     def _link_changes(self) -> int:
         port = getattr(self.device, "port", None)
@@ -53,8 +87,15 @@ class DeviceStatsMonitor:
         link_up = getattr(port, "link_up", True)
         if delta == 0 and link_up:
             return
+        now_ns = self.env.now_ns
+        if delta == 0 and self.gaps and self.gaps[-1]["t_ns"] == now_ns:
+            # Same-instant re-sample: the task's last interval already
+            # annotated this outage, and finalize() (or a second counter
+            # sampling the same port) runs at the same simulated instant.
+            # A second entry would double-count one gap.
+            return
         self._last_link_changes = changes
-        gap = {"t_ns": self.env.now_ns, "transitions": delta,
+        gap = {"t_ns": now_ns, "transitions": delta,
                "link_up": link_up}
         self.gaps.append(gap)
         tracer = getattr(self.env, "tracer", None)

@@ -2,10 +2,12 @@
 
 Counters sample rates over fixed intervals of *simulated* time and report
 averages and standard deviations of the per-interval rates, exactly like the
-original's per-second console output.  Two formatter styles exist: ``plain``
-(human-readable, used by the example scripts) and ``csv`` (the default in
-the original, for easy post-processing); output can be diverted to any
-stream.
+original's per-second console output.  Three formatter styles exist:
+``plain`` (human-readable, used by the example scripts), ``csv`` (the
+default in the original, for easy post-processing), and ``none``
+(publish-only: totals and per-interval rates accumulate for programmatic
+readers such as the metrics registry, but nothing is written anywhere);
+output can be diverted to any stream.
 """
 
 from __future__ import annotations
@@ -37,7 +39,7 @@ class _BaseCounter:
         interval_ns: float = DEFAULT_INTERVAL_NS,
         direction: str = "TX",
     ) -> None:
-        if fmt not in ("plain", "csv"):
+        if fmt not in ("plain", "csv", "none"):
             raise ConfigurationError(f"unknown stats format: {fmt!r}")
         self.name = str(name)
         self.fmt = fmt
@@ -80,7 +82,9 @@ class _BaseCounter:
         self.interval_pps.append(pps)
         self.interval_byte_rates.append(byte_rate)
         index = len(self.interval_pps)
-        if self.fmt == "plain":
+        if self.fmt == "none":
+            pass
+        elif self.fmt == "plain":
             self.stream.write(
                 f"[{self.name}] {self.direction}: {_fmt_rate(pps, byte_rate)}\n"
             )
@@ -122,6 +126,8 @@ class _BaseCounter:
         if self._finalized:
             return
         self._finalized = True
+        if self.fmt == "none":
+            return
         pps = self.average_pps()
         byte_rate = self.average_byte_rate()
         if self.fmt == "plain":

@@ -65,6 +65,25 @@ class OvsForwarder:
         """Scale the per-packet service time (DuT overload fault)."""
         self.overload = factor
 
+    def register_metrics(self, registry) -> None:
+        """Publish forwarder state under ``dut.*`` (pull-based)."""
+        rx = registry.counter("dut.rx.packets", lambda: self.rx_packets,
+                              help="frames accepted into the DuT ring")
+        fwd = registry.counter("dut.forwarded", lambda: self.forwarded,
+                               help="frames forwarded out the egress wire")
+        registry.rate("dut.rx.pps", rx)
+        registry.rate("dut.forwarded.pps", fwd)
+        registry.gauge("dut.ring.depth", lambda: len(self.ring),
+                       help="frames queued in the forwarder ring")
+        registry.counter("dut.rx.dropped", lambda: self.rx_dropped,
+                         help="frames dropped on ring overflow")
+        registry.counter("dut.rx.crc_errors", lambda: self.rx_crc_errors)
+        registry.counter("dut.interrupts",
+                         lambda: self.moderator.interrupts,
+                         help="interrupts fired (after moderation)")
+        registry.gauge("dut.overload", lambda: self.overload,
+                       help="service-time multiplier (1.0 = nominal)")
+
     def connect_output(self, wire: Wire) -> None:
         """Attach the wire the forwarder transmits onto."""
         self.output = wire

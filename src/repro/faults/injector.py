@@ -104,6 +104,15 @@ class FaultInjector:
             if isinstance(fault, DutOverload):
                 self._arm_dut_fault(index, fault, dut)
 
+    def register_metrics(self, registry) -> None:
+        """Publish injector state under ``faults.*`` (pull-based)."""
+        registry.counter("faults.injected", lambda: self.injected,
+                         help="fault boundaries fired so far")
+        registry.gauge("faults.active", lambda: self.active,
+                       help="fault windows currently open")
+        registry.gauge("faults.planned", lambda: len(self.plan),
+                       help="faults in the armed plan")
+
     def unmatched(self) -> List[Tuple[int, str]]:
         """``(index, target)`` of faults whose target never registered."""
         return [(i, f.target) for i, f in enumerate(self.plan.faults)

@@ -34,6 +34,7 @@ def run_plan(
     rate_pps: float = 1.5e6,
     frame_size: int = 64,
     trace=None,
+    metrics: bool = False,
 ) -> Dict[str, Any]:
     """Run the chaos scenario under ``plan``; returns the stats dict.
 
@@ -43,6 +44,11 @@ def run_plan(
     / ``wire:env->1`` around the OvS forwarder.  ``trace`` is forwarded to
     :class:`~repro.core.env.MoonGenEnv`; pass a bound-free
     :class:`~repro.trace.Tracer` to keep the records.
+
+    With ``metrics=True`` the run also carries a metrics registry and a
+    1 ms snapshotter; the result gains a ``metrics_fingerprint`` key (the
+    BLAKE2b hash of the snapshot series) — the value the CI fault-matrix
+    job compares between serial and sharded runs.
     """
     from repro.core.env import MoonGenEnv
     from repro.core.monitor import DeviceStatsMonitor
@@ -52,7 +58,8 @@ def run_plan(
     plan = load_plan(plan)
     needs_dut = any(isinstance(f, DutOverload) for f in plan.faults)
 
-    env = MoonGenEnv(seed=seed, cost_noise=False, trace=trace, faults=plan)
+    env = MoonGenEnv(seed=seed, cost_noise=False, trace=trace, faults=plan,
+                     metrics=metrics)
     tx_dev = env.config_device(0, tx_queues=2, rx_queues=1)
     rx_dev = env.config_device(1, tx_queues=1, rx_queues=1)
     dut = None
@@ -94,6 +101,9 @@ def run_plan(
 
     monitor = DeviceStatsMonitor(env, rx_dev, interval_ns=1_000_000.0,
                                  stream=io.StringIO())
+    snapshotter = None
+    if metrics:
+        snapshotter = env.start_snapshotter(interval_ns=1_000_000.0)
     env.launch(tx_task)
     env.launch(rx_task)
     env.launch(monitor.task)
@@ -131,6 +141,9 @@ def run_plan(
     if dut is not None:
         result["dut_forwarded"] = dut.forwarded
         result["dut_rx_dropped"] = dut.rx_dropped
+    if snapshotter is not None:
+        snapshotter.finalize()
+        result["metrics_fingerprint"] = snapshotter.series.fingerprint()
     result["fingerprint"] = fingerprint_of(result)
     return result
 
@@ -161,7 +174,7 @@ def run_named_plan(point, seed: int) -> Dict[str, Any]:
                 f"({sorted(plans)}) and not a readable plan file"
             )
         plan = load_plan(name)
-    result = run_plan(plan, seed=scenario_seed)
+    result = run_plan(plan, seed=scenario_seed, metrics=True)
     result["plan"] = name
     return result
 
@@ -171,15 +184,20 @@ def run_matrix(
     seed: int = 0,
     plan_seed: Optional[int] = None,
     jobs: int = 1,
+    progress=None,
 ) -> Dict[str, Dict[str, Any]]:
     """Run several builtin plans, optionally sharded over workers.
 
     Returns ``{plan_name: result_dict}``; bit-identical for any ``jobs``
-    value (the determinism the CI fault-matrix job asserts).
+    value (the determinism the CI fault-matrix job asserts).  Every
+    result carries ``metrics_fingerprint`` (see :func:`run_plan`), which
+    the CI gate compares alongside the result fingerprint.  ``progress``
+    is forwarded to :func:`repro.parallel.run_parallel`.
     """
     from repro.parallel import run_parallel
 
     plan_seed = seed if plan_seed is None else plan_seed
     points = [(str(name), int(seed), int(plan_seed)) for name in plan_names]
-    results = run_parallel(points, run_named_plan, jobs=jobs, root_seed=seed)
+    results = run_parallel(points, run_named_plan, jobs=jobs, root_seed=seed,
+                           progress=progress)
     return {r["plan"]: r for r in results}

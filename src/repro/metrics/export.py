@@ -1,0 +1,158 @@
+"""Exporters for metrics snapshots: JSONL, CSV, Prometheus text format.
+
+JSONL is the primary interchange format (one canonical-JSON row per
+snapshot; byte-stable, fingerprintable).  CSV flattens the same rows for
+spreadsheets — histogram-valued columns are reduced to their totals.
+The Prometheus exporter is a *one-shot scrape file*: the current value of
+every metric in text exposition format, so a run's final state can be
+dropped where any Prometheus-compatible tool picks it up.  There is no
+HTTP endpoint — the simulator is batch, not a server.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.metrics.registry import Log2Histogram, MetricsRegistry
+from repro.metrics.snapshot import TimeSeries, canonical_json
+
+#: Characters legal in a Prometheus metric name; everything else maps to
+#: ``_`` (dots and the wire ``->`` arrow included).
+_PROM_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a registry name for Prometheus (``nic0.tx.pps`` →
+    ``nic0_tx_pps``, ``wire.0->1.in_flight`` → ``wire_0__1_in_flight``)."""
+    sanitized = "".join(c if c in _PROM_OK else "_" for c in name)
+    if sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: Any) -> str:
+    """Format a sample value the way Prometheus expects."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def write_jsonl(series: TimeSeries, stream: TextIO) -> None:
+    """The canonical time-series format: one JSON object per snapshot."""
+    stream.write(series.to_jsonl())
+
+
+def write_csv(series: TimeSeries, stream: TextIO) -> None:
+    """Flatten the series to CSV; histogram cells become their totals.
+
+    The header is the union of columns across rows (first-seen order) so a
+    series whose registry grew mid-run still exports every column.
+    """
+    columns: List[str] = []
+    seen = set()
+    for row in series:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    if not columns:
+        return
+    stream.write(",".join(columns) + "\n")
+    for row in series:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, dict):  # histogram snapshot → total count
+                value = value.get("total", "")
+            cells.append(str(value))
+        stream.write(",".join(cells) + "\n")
+
+
+def to_prometheus(registry: MetricsRegistry,
+                  now_ns: Optional[float] = None) -> str:
+    """One-shot scrape file: the current value of every metric.
+
+    ``now_ns`` is passed to :meth:`Metric.sample` (rates advance their
+    window); omit it to read without touching rate state.
+    """
+    out = io.StringIO()
+    for metric in registry.metrics():
+        name = prometheus_name(metric.name)
+        value = (metric.sample(now_ns) if now_ns is not None
+                 else metric.read())
+        if metric.help:
+            out.write(f"# HELP {name} {metric.help}\n")
+        if isinstance(metric, Log2Histogram):
+            out.write(f"# TYPE {name} histogram\n")
+            cumulative = 0
+            for i, count in enumerate(metric.counts):
+                if not count:
+                    continue
+                cumulative += count
+                le = "+Inf" if i == metric.N_BUCKETS - 1 else str(1 << i)
+                out.write(f'{name}_bucket{{le="{le}"}} {cumulative}\n')
+            if cumulative < metric.total:  # all-empty safety; unreachable
+                cumulative = metric.total
+            out.write(f'{name}_bucket{{le="+Inf"}} {metric.total}\n')
+            out.write(f"{name}_sum {_prom_value(metric.sum)}\n")
+            out.write(f"{name}_count {metric.total}\n")
+        else:
+            # Prometheus has no "rate" type; export rates as gauges.
+            prom_type = "counter" if metric.kind == "counter" else "gauge"
+            out.write(f"# TYPE {name} {prom_type}\n")
+            out.write(f"{name} {_prom_value(value)}\n")
+    return out.getvalue()
+
+
+def validate_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse and schema-check a metrics JSONL export; returns the rows.
+
+    Every row must be a JSON object with a numeric ``t_ns``, rows must be
+    time-ordered, and all rows must share the same column set (the CI
+    metrics-smoke job runs this over the CLI's output).
+    """
+    import json
+
+    rows: List[Dict[str, Any]] = []
+    columns: Optional[frozenset] = None
+    last_t = float("-inf")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        if not isinstance(row, dict):
+            raise ValueError(f"line {lineno}: not a JSON object")
+        if not isinstance(row.get("t_ns"), (int, float)):
+            raise ValueError(f"line {lineno}: missing numeric t_ns")
+        if row["t_ns"] < last_t:
+            raise ValueError(
+                f"line {lineno}: t_ns {row['t_ns']} < previous {last_t}"
+            )
+        last_t = row["t_ns"]
+        cols = frozenset(row)
+        if columns is None:
+            columns = cols
+        elif cols != columns:
+            raise ValueError(
+                f"line {lineno}: columns differ from first row: "
+                f"{sorted(cols ^ columns)}"
+            )
+        rows.append(row)
+    if not rows:
+        raise ValueError("empty metrics series")
+    return rows
+
+
+__all__ = [
+    "canonical_json",
+    "prometheus_name",
+    "to_prometheus",
+    "validate_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,331 @@
+"""Deterministic metrics registry: named counters, gauges, and histograms.
+
+The registry is the simulator's analog of MoonGen reading "the NIC's
+statistics registers" (Section 4.2) once per second — except every layer
+registers, not just the NICs.  Components publish metrics under stable
+dotted names (``nic0.tx.pps``, ``wire.0->1.in_flight``, ``dut.ring.depth``,
+``faults.active``) and a :class:`~repro.metrics.snapshot.Snapshotter`
+samples the whole registry on a fixed *simulated-time* interval.
+
+Design rules (they are what make metrics snapshots bit-identical between
+serial and ``--jobs N`` runs, the CI hard gate):
+
+* **Pull, not push.**  A metric is a *reader* over simulation state that
+  already exists (``port.tx_packets``, ``len(ring)``, ``injector.active``)
+  — registering one adds zero work to the hot path.  Nothing in the
+  transmit/receive/event loops checks "is metrics enabled"; sampling cost
+  is paid only at snapshot instants.
+* **Sim-time only.**  Every sampled value is a pure function of simulation
+  state at a simulated instant; wall-clock never leaks into a series.
+* **Deterministic order.**  Metrics iterate in registration order, which
+  is topology-construction order — identical for identical scripts.
+
+``Log2Histogram`` is the fixed-bucket histogram used for latency-style
+metrics: power-of-two bucket edges in nanoseconds (the shape P4TG uses for
+data-plane RTT histograms).  It interoperates with the sample-exact
+:class:`repro.core.histogram.Histogram` via :meth:`Log2Histogram.observe_histogram`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Valid metric name characters; enforced so every exporter (JSONL, CSV,
+#: Prometheus text) can rely on a common grammar.  Dots separate
+#: components, ``->`` names wire directions.
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._->:"
+)
+
+
+def check_name(name: str) -> str:
+    """Validate a metric name; returns it unchanged."""
+    if not name or not set(name) <= _NAME_OK:
+        raise ConfigurationError(
+            f"invalid metric name {name!r}: use dotted lowercase segments "
+            "(letters, digits, '.', '_', '->', ':')"
+        )
+    return name
+
+
+class Metric:
+    """Base class: a named, typed reader over simulation state."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = check_name(name)
+        self.help = help
+
+    def read(self) -> Any:
+        raise NotImplementedError
+
+    def sample(self, now_ns: float) -> Any:
+        """The value recorded at a snapshot instant (default: :meth:`read`)."""
+        return self.read()
+
+
+class Counter(Metric):
+    """A monotonically increasing total.
+
+    Either *source-backed* (``fn`` reads an existing register, e.g.
+    ``lambda: port.tx_packets``) or *manual* (:meth:`inc`).  Mirroring a
+    device register through ``fn`` guarantees the counter can never drift
+    from the hardware view — the property the hypothesis mirror test pins.
+    """
+
+    kind = "counter"
+
+    __slots__ = ("_fn", "_value")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None,
+                 help: str = "") -> None:
+        super().__init__(name, help)
+        self._fn = fn
+        self._value = 0
+
+    def inc(self, n: float = 1) -> None:
+        if self._fn is not None:
+            raise ConfigurationError(
+                f"counter {self.name!r} is source-backed; it cannot be "
+                "incremented manually"
+            )
+        if n < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc({n}))"
+            )
+        self._value += n
+
+    def read(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Gauge(Metric):
+    """An instantaneous value: queue depth, in-flight frames, active faults."""
+
+    kind = "gauge"
+
+    __slots__ = ("_fn", "_value")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None,
+                 help: str = "") -> None:
+        super().__init__(name, help)
+        self._fn = fn
+        self._value = 0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ConfigurationError(
+                f"gauge {self.name!r} is source-backed; it cannot be set"
+            )
+        self._value = value
+
+    def read(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Rate(Metric):
+    """A per-second rate derived from a counter between two snapshots.
+
+    ``nic0.tx.pps`` is a :class:`Rate` over the ``nic0.tx.packets``
+    counter: at each snapshot it reports ``(total - previous total) /
+    interval_seconds`` of *simulated* time — exactly the per-interval
+    console rates of ``stats.lua``, as a time series.  The first sample
+    (no previous snapshot) reports 0.0.
+    """
+
+    kind = "rate"
+
+    __slots__ = ("source", "_last_value", "_last_t_ns")
+
+    def __init__(self, name: str, source: Counter, help: str = "") -> None:
+        super().__init__(name, help)
+        self.source = source
+        self._last_value: Optional[float] = None
+        self._last_t_ns = 0.0
+
+    def read(self) -> float:
+        return 0.0
+
+    def sample(self, now_ns: float) -> float:
+        value = self.source.read()
+        if self._last_value is None or now_ns <= self._last_t_ns:
+            rate = 0.0
+        else:
+            dt_s = (now_ns - self._last_t_ns) / 1e9
+            rate = (value - self._last_value) / dt_s
+        self._last_value = value
+        self._last_t_ns = now_ns
+        return rate
+
+
+class Log2Histogram(Metric):
+    """A fixed-bucket histogram with power-of-two bucket edges.
+
+    Bucket ``i`` counts samples in ``[2**(i-1), 2**i)`` (bucket 0 counts
+    ``[0, 1)``); ``n_buckets`` buckets cover everything below
+    ``2**(n_buckets-1)`` with a final overflow bucket above that.  With
+    nanosecond samples and the default 48 buckets the range spans sub-ns
+    to ~39 hours — one latch per observation, no allocation, and the
+    bucket layout is identical on every run (the snapshot-determinism
+    requirement sample-exact histograms cannot give across merges).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("counts", "total", "sum")
+
+    N_BUCKETS = 48
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.counts = [0] * self.N_BUCKETS
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Latch one sample (>= 0; latencies/inter-arrivals in ns)."""
+        if value < 0:
+            raise ConfigurationError(
+                f"histogram {self.name!r} observed negative value {value}"
+            )
+        bucket = int(value).bit_length()
+        if bucket >= self.N_BUCKETS:
+            bucket = self.N_BUCKETS - 1
+        self.counts[bucket] += 1
+        self.total += 1
+        self.sum += value
+
+    def observe_histogram(self, histogram) -> None:
+        """Latch every sample of a :class:`repro.core.histogram.Histogram`."""
+        for sample in histogram.samples:
+            self.observe(sample)
+
+    def bucket_edges(self) -> List[float]:
+        """Upper (exclusive) edge of each bucket; the last is +inf."""
+        edges = [float(1 << i) for i in range(self.N_BUCKETS - 1)]
+        edges.append(float("inf"))
+        return edges
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper edge of the bucket
+        containing the q-th sample); 0.0 on an empty histogram."""
+        if not 0 <= q <= 1:
+            raise ConfigurationError(f"quantile out of range: {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q * (self.total - 1)
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen > rank:
+                return float(1 << i)
+        return float(1 << (self.N_BUCKETS - 1))
+
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def read(self) -> Dict[str, Any]:
+        """Snapshot value: compact dict of non-empty buckets plus totals.
+
+        Keys are stringified bucket indices so the JSONL row stays small
+        for mostly-empty histograms and round-trips through JSON exactly.
+        """
+        return {
+            "total": self.total,
+            "sum": self.sum,
+            "buckets": {str(i): c for i, c in enumerate(self.counts) if c},
+        }
+
+
+class MetricsRegistry:
+    """Named metrics in deterministic (registration) order."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, metric: Metric) -> Metric:
+        """Add a metric; duplicate names raise (stable names are the API)."""
+        if metric.name in self._metrics:
+            raise ConfigurationError(
+                f"metric {metric.name!r} already registered"
+            )
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, fn: Optional[Callable[[], float]] = None,
+                help: str = "") -> Counter:
+        return self.register(Counter(name, fn, help))
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              help: str = "") -> Gauge:
+        return self.register(Gauge(name, fn, help))
+
+    def rate(self, name: str, source: Counter, help: str = "") -> Rate:
+        return self.register(Rate(name, source, help))
+
+    def log2_histogram(self, name: str, help: str = "") -> Log2Histogram:
+        return self.register(Log2Histogram(name, help))
+
+    def counter_with_rate(self, base_name: str, fn: Callable[[], float],
+                          rate_suffix: str = "pps",
+                          help: str = "") -> Tuple[Counter, Rate]:
+        """The common pair: a source-backed total plus its per-second rate.
+
+        ``nic0.tx`` becomes ``nic0.tx.packets`` (counter) and
+        ``nic0.tx.pps`` (rate).
+        """
+        counter = self.counter(f"{base_name}.packets", fn, help)
+        rate = self.rate(f"{base_name}.{rate_suffix}", counter, help)
+        return counter, rate
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no metric named {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def metrics(self) -> List[Metric]:
+        return list(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, now_ns: float) -> Dict[str, Any]:
+        """Read every metric at a snapshot instant, in registration order."""
+        return {name: metric.sample(now_ns)
+                for name, metric in self._metrics.items()}
+
+    def read_all(self) -> Dict[str, Any]:
+        """Current values without advancing rate state (debug/inspection)."""
+        return {name: metric.read()
+                for name, metric in self._metrics.items()}
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Log2Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "Rate",
+    "check_name",
+]

@@ -88,6 +88,16 @@ class EventLoop:
         #: Total events executed by :meth:`run`/:meth:`step` over the loop's
         #: lifetime (the perf harness's events/sec numerator).
         self.events_processed = 0
+        #: Of those, events taken from the same-instant fast lane by
+        #: :meth:`run` — ``lane_events_processed / events_processed`` is
+        #: the fast-lane hit ratio published as ``loop.lane_hit_ratio``.
+        self.lane_events_processed = 0
+        #: Live-count cell for metrics (``repro.metrics``): ``None`` (the
+        #: default) keeps :meth:`run`'s per-event cost at one local test,
+        #: like the tracer hook; a ``[events, lane_events]`` list makes
+        #: the in-progress counts of the *current* ``run()`` call visible
+        #: to snapshot samplers (the totals above only flush on exit).
+        self.live_counts = None
         #: Optional :class:`repro.trace.Tracer`; ``None`` keeps every
         #: instrumentation site on its zero-cost fast path.
         self.tracer = None
@@ -142,10 +152,17 @@ class EventLoop:
 
     @property
     def pending_events(self) -> int:
-        """Live (non-cancelled) events currently scheduled."""
-        return (len(self._queue) + len(self._lane)
-                - self._cancelled_pending
-                - sum(1 for e in self._lane if e.cancelled))
+        """Live (non-cancelled) events currently scheduled.
+
+        Counted exactly (O(n)): ``_cancelled_pending`` only bounds the
+        cancelled entries from above — cancelling a handle whose event
+        already fired (the MAC-wakeup and ``wait_any``-timeout patterns)
+        increments it without a matching heap entry, which would read as
+        a negative count here.  This is a sampling-time read (the
+        ``loop.pending`` metric), never hot-path work.
+        """
+        return (sum(1 for entry in self._queue if not entry[2].cancelled)
+                + sum(1 for e in self._lane if not e.cancelled))
 
     def next_event_time_ps(self) -> Optional[int]:
         """Time of the next live event, or ``None`` if the loop is empty.
@@ -230,8 +247,10 @@ class EventLoop:
         pop = heapq.heappop
         push = heapq.heappush
         tracer = self.tracer
+        live = self.live_counts
         now = self.now_ps
         count = 0
+        lane_count = 0
         prev_until = self._until_ps
         self._until_ps = until_ps
         try:
@@ -253,6 +272,7 @@ class EventLoop:
                         event = lane.popleft()
                         if event.cancelled:
                             continue
+                        lane_count += 1
                 elif queue:
                     entry = pop(queue)
                     event = entry[2]
@@ -274,6 +294,9 @@ class EventLoop:
                                 cb=_callback_name(event.callback))
                 event.callback()
                 count += 1
+                if live is not None:
+                    live[0] = count
+                    live[1] = lane_count
                 if count > max_events:
                     raise SimulationError(
                         f"event budget exhausted after {max_events} events at "
@@ -282,6 +305,10 @@ class EventLoop:
         finally:
             self._until_ps = prev_until
             self.events_processed += count
+            self.lane_events_processed += lane_count
+            if live is not None:
+                live[0] = 0
+                live[1] = 0
         if until_ps is not None and until_ps > self.now_ps:
             self.now_ps = until_ps
 

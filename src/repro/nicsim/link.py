@@ -191,6 +191,28 @@ class Wire:
         """Attach the receiving port: called as ``sink(frame, arrival_ps)``."""
         self.sink = sink
 
+    def register_metrics(self, registry, name: str) -> None:
+        """Publish this wire's counters under ``wire.<A>-><B>.*``.
+
+        ``name`` is the directed endpoint pair (``"0->1"``); the wire does
+        not know its own topology name, the environment passes it in.
+        Pull-based — nothing on the serialization path changes.
+        """
+        base = f"wire.{name}"
+        sent = registry.counter(f"{base}.frames", lambda: self.frames_sent,
+                                help="frames serialized onto the wire")
+        registry.rate(f"{base}.fps", sent,
+                      help="frame rate between snapshots (sim time)")
+        registry.counter(f"{base}.bytes", lambda: self.bytes_sent)
+        registry.counter(f"{base}.dropped", lambda: self.dropped,
+                         help="frames lost to faults (carrier/loss model)")
+        registry.counter(f"{base}.corrupted", lambda: self.corrupted,
+                         help="frames delivered with a broken FCS")
+        registry.gauge(f"{base}.in_flight", lambda: len(self._pending),
+                       help="frames serialized but not yet delivered")
+        registry.gauge(f"{base}.carrier_up",
+                       lambda: 1 if self.carrier_up else 0)
+
     def serialization_ps(self, frame_size: int) -> int:
         """Wire occupancy of a frame including preamble/SFD/IFG."""
         ser = self._ser_cache.get(frame_size)

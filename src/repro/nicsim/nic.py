@@ -610,6 +610,45 @@ class NicPort:
         return (self._mac_busy or bool(self._fifo)
                 or any(q.ring for q in self.tx_queues))
 
+    # -- observability -----------------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Publish this port's statistics registers under ``nic<N>.*``.
+
+        Pull-based: every metric is a reader over counters the port
+        already maintains, so registration adds nothing to the transmit
+        or receive paths (``repro.metrics`` design contract).
+        """
+        base = f"nic{self.port_id}"
+        tx = registry.counter(f"{base}.tx.packets",
+                              lambda: self.tx_packets,
+                              help="frames transmitted onto the wire")
+        rx = registry.counter(f"{base}.rx.packets",
+                              lambda: self.rx_packets,
+                              help="frames accepted into rx rings")
+        registry.rate(f"{base}.tx.pps", tx,
+                      help="tx rate between snapshots (sim time)")
+        registry.rate(f"{base}.rx.pps", rx,
+                      help="rx rate between snapshots (sim time)")
+        registry.counter(f"{base}.tx.bytes", lambda: self.tx_bytes)
+        registry.counter(f"{base}.rx.bytes", lambda: self.rx_bytes)
+        registry.counter(f"{base}.rx.crc_errors",
+                         lambda: self.rx_crc_errors,
+                         help="frames dropped for bad FCS")
+        registry.counter(f"{base}.rx.missed", lambda: self.rx_missed,
+                         help="frames lost to full rx rings")
+        registry.gauge(f"{base}.tx.ring", lambda: sum(
+            len(q.ring) for q in self.tx_queues),
+            help="descriptors queued across tx rings")
+        registry.gauge(f"{base}.rx.ring", lambda: sum(
+            len(q.ring) for q in self.rx_queues),
+            help="frames waiting across rx rings")
+        registry.gauge(f"{base}.fifo", lambda: len(self._fifo),
+                       help="frames staged in the MAC fifo")
+        registry.gauge(f"{base}.link_up", lambda: 1 if self.link_up else 0)
+        registry.counter(f"{base}.link_changes", lambda: self.link_changes,
+                         help="carrier transitions (LSC events)")
+
     # -- transmit path -----------------------------------------------------------
 
     def _pick_queue(self) -> Optional[TxQueueSim]:

@@ -149,10 +149,12 @@ def _run_pool(
     timeout_s: Optional[float],
     retries: int,
     ctx,
+    progress: Optional[Callable[[int, int, Any], None]] = None,
 ) -> List[Any]:
     n = len(points)
     results: List[Any] = [None] * n
     done = [False] * n
+    done_count = 0
     attempts = [0] * n
     pending: deque = deque(range(n))
     running: Dict[Any, _Running] = {}
@@ -206,6 +208,9 @@ def _run_pool(
                 if status == "ok":
                     results[worker.index] = value
                     done[worker.index] = True
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, n, value)
                 else:
                     raise PointFailedError(
                         f"point {worker.index} ({points[worker.index]!r}) "
@@ -230,8 +235,12 @@ def _run_pool(
     return results
 
 
-def _run_serial(points: List[Any], fn: ExperimentFn,
-                seeds: List[int]) -> List[Any]:
+def _run_serial(
+    points: List[Any],
+    fn: ExperimentFn,
+    seeds: List[int],
+    progress: Optional[Callable[[int, int, Any], None]] = None,
+) -> List[Any]:
     results = []
     for index, (point, seed) in enumerate(zip(points, seeds)):
         try:
@@ -240,6 +249,8 @@ def _run_serial(points: List[Any], fn: ExperimentFn,
             raise PointFailedError(
                 f"point {index} ({point!r}) raised "
                 f"{type(exc).__name__}: {exc}") from exc
+        if progress is not None:
+            progress(index + 1, len(points), results[-1])
     return results
 
 
@@ -251,6 +262,7 @@ def run_parallel(
     root_seed: int = 0,
     timeout_s: Optional[float] = None,
     retries: int = 1,
+    progress: Optional[Callable[[int, int, Any], None]] = None,
 ) -> List[Any]:
     """Run ``fn(point, seed)`` for every point; results in point order.
 
@@ -264,6 +276,11 @@ def run_parallel(
     timeout (an exception *raised by fn* is deterministic and fails the
     sweep immediately as :class:`~repro.errors.PointFailedError`).
 
+    ``progress`` (optional) is called in the parent as
+    ``progress(done_count, total, result)`` after every completed point,
+    in *completion* order — purely observational (the ``--live`` CLI
+    line); it must not mutate results.
+
     Falls back to in-process serial execution — same results, same
     exceptions — when ``jobs=1``, there are fewer than two points, the
     payload does not pickle, or the platform lacks ``fork``.
@@ -274,20 +291,20 @@ def run_parallel(
         jobs = default_jobs()
     jobs = max(1, int(jobs))
     if jobs == 1 or len(points) <= 1:
-        return _run_serial(points, fn, seeds)
+        return _run_serial(points, fn, seeds, progress)
     ctx = _fork_context()
     if ctx is None:
         warnings.warn(
             "repro.parallel: no 'fork' start method on this platform; "
             "running the sweep serially", RuntimeWarning, stacklevel=2)
-        return _run_serial(points, fn, seeds)
+        return _run_serial(points, fn, seeds, progress)
     if not _payload_picklable(fn, points):
         warnings.warn(
             "repro.parallel: experiment fn or points are not picklable; "
             "running the sweep serially", RuntimeWarning, stacklevel=2)
-        return _run_serial(points, fn, seeds)
+        return _run_serial(points, fn, seeds, progress)
     return _run_pool(points, fn, seeds, min(jobs, len(points)),
-                     timeout_s, retries, ctx)
+                     timeout_s, retries, ctx, progress)
 
 
 # ---------------------------------------------------------------------------
@@ -334,13 +351,16 @@ class Sweep:
     timeout_s: Optional[float] = None
     retries: int = 1
 
-    def run(self, jobs: Optional[int] = None) -> SweepResult:
+    def run(self, jobs: Optional[int] = None,
+            progress: Optional[Callable[[int, int, Any], None]] = None,
+            ) -> SweepResult:
         """Execute the sweep; see :func:`run_parallel` for semantics."""
         resolved = default_jobs() if jobs is None else max(1, int(jobs))
         start = time.perf_counter()
         values = run_parallel(
             self.points, self.fn, jobs=resolved, root_seed=self.root_seed,
-            timeout_s=self.timeout_s, retries=self.retries)
+            timeout_s=self.timeout_s, retries=self.retries,
+            progress=progress)
         wall = time.perf_counter() - start
         return SweepResult(self.name, list(self.points), values,
                            wall_s=wall, jobs=resolved)

@@ -368,6 +368,12 @@ def write_bench(
     Baselines are per mode (``full``/``smoke``) and kept verbatim unless
     absent or ``rebaseline`` is set; ``current`` and ``delta`` are replaced
     every run, with ``delta`` always computed same-mode.
+
+    Alongside the trajectory file, a provenance manifest
+    (``<path minus .json>.manifest.json``, see ``repro.metrics.manifest``)
+    records the invocation, config hash, and a fingerprint of the run's
+    deterministic metrics — the receipt that makes any number in
+    BENCH_core.json reproducible.
     """
     mode = "smoke" if smoke else "full"
     doc = load_bench(path)
@@ -393,6 +399,19 @@ def write_bench(
         json.dump(out, fh, indent=2, sort_keys=True)
         fh.write("\n")
     os.replace(tmp, path)
+    from repro.metrics.manifest import RunManifest, stable_hash
+
+    fingerprints = {
+        name: {key: metrics.get(key) for key in FINGERPRINT_METRICS}
+        for name, metrics in current.items()
+    }
+    RunManifest(
+        command=f"moongen-repro bench{' --smoke' if smoke else ''}",
+        jobs=jobs,
+        config={"mode": mode, "scenarios": sorted(current),
+                "schema": SCHEMA_VERSION},
+        result_fingerprint=stable_hash(fingerprints),
+    ).write(path)
     return out
 
 

@@ -98,3 +98,87 @@ class TestDeviceStatsMonitor:
         assert monitor.tx.total_packets == 10
         monitor.finalize()
         assert monitor.tx.total_packets == 10
+
+
+class TestPublishOnlyFormat:
+    """``fmt="none"``: the monitor accounts totals but writes nothing."""
+
+    def test_none_format_writes_nothing(self):
+        env = MoonGenEnv(seed=6)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        out = io.StringIO()
+        monitor = DeviceStatsMonitor(env, tx, interval_ns=1_000_000,
+                                     fmt="none", stream=out)
+
+        def slave(env, queue):
+            mem = env.create_mempool(fill=lambda b: b.udp_packet.fill(
+                pkt_length=60))
+            bufs = mem.buf_array()
+            while env.running():
+                bufs.alloc(60)
+                yield queue.send(bufs)
+
+        env.launch(slave, env, tx.get_tx_queue(0))
+        env.launch(monitor.task)
+        env.wait_for_slaves(duration_ns=5_000_000)
+        assert out.getvalue() == ""  # no header, no rows, no summary
+        assert monitor.tx.total_packets > 0  # totals still accounted
+        assert monitor.samples >= 4
+
+    def test_unknown_format_still_rejected(self):
+        env = MoonGenEnv(seed=6)
+        tx = env.config_device(0, tx_queues=1)
+        with pytest.raises(Exception, match="unknown stats format"):
+            DeviceStatsMonitor(env, tx, fmt="wide")
+
+    def test_none_format_publishes_into_registry(self):
+        env = MoonGenEnv(seed=6, metrics=True)
+        tx = env.config_device(0, tx_queues=1)
+        monitor = DeviceStatsMonitor(env, tx, fmt="none")
+        tx.port.tx_packets = 5
+        tx.port.tx_bytes = 320
+        monitor.finalize()
+        assert env.metrics.get("monitor.dev0.tx.packets").read() == 5
+
+
+class TestLinkGapDedup:
+    """A link-flap gap is annotated once per sampling interval, not once
+    per counter re-sample at the same instant."""
+
+    def test_same_instant_resample_does_not_double_count(self):
+        env = MoonGenEnv(seed=1)
+        dev = env.config_device(0, tx_queues=1, rx_queues=1)
+        monitor = DeviceStatsMonitor(env, dev, fmt="none")
+        dev.port.set_link_state(False)
+        monitor._check_link_gap()  # the interval sample annotates the flap
+        assert len(monitor.gaps) == 1
+        # finalize (and the rx counter sampling the same port) re-checks at
+        # the same simulated instant: the outage must not count twice.
+        monitor._check_link_gap()
+        monitor.finalize()
+        assert len(monitor.gaps) == 1
+
+    def test_continuing_outage_annotated_per_interval(self):
+        env = MoonGenEnv(seed=1)
+        dev = env.config_device(0, tx_queues=1, rx_queues=1)
+        monitor = DeviceStatsMonitor(env, dev, fmt="none")
+        dev.port.set_link_state(False)
+        monitor._check_link_gap()
+        env.loop.now_ps += 1_000_000_000  # next sampling interval, still down
+        monitor._check_link_gap()
+        assert len(monitor.gaps) == 2
+        assert monitor.gaps[1]["transitions"] == 0
+
+    def test_recovered_link_records_the_transition(self):
+        env = MoonGenEnv(seed=1)
+        dev = env.config_device(0, tx_queues=1, rx_queues=1)
+        monitor = DeviceStatsMonitor(env, dev, fmt="none")
+        dev.port.set_link_state(False)
+        env.loop.now_ps += 1_000_000_000
+        dev.port.set_link_state(True)
+        monitor._check_link_gap()
+        assert len(monitor.gaps) == 1
+        assert monitor.gaps[0]["transitions"] == 2
+        assert monitor.gaps[0]["link_up"] is True
