@@ -29,6 +29,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="short runs (CI-sized workloads)")
+    parser.add_argument("--batch", action="store_true",
+                        help="run under the vectorized batch tier; records "
+                             "the '-batch' modes plus delta_vs_event (the "
+                             "tier's speedup over the event baseline)")
     parser.add_argument("--scenario", action="append", dest="scenarios",
                         choices=sorted(perf.SCENARIOS),
                         help="run only this scenario (repeatable)")
@@ -49,11 +53,12 @@ def main(argv=None) -> int:
 
     start = time.perf_counter()
     results = perf.run_suite(args.scenarios, smoke=args.smoke,
-                             repeats=args.repeats, jobs=args.jobs)
+                             repeats=args.repeats, jobs=args.jobs,
+                             batch=args.batch)
     sweep_wall_s = time.perf_counter() - start
     doc = perf.write_bench(args.out, results, rebaseline=args.rebaseline,
                            smoke=args.smoke, jobs=args.jobs,
-                           sweep_wall_s=sweep_wall_s)
+                           sweep_wall_s=sweep_wall_s, batch=args.batch)
     print(perf.format_report(doc))
     print(f"\nsuite wall time {sweep_wall_s:.2f} s with jobs={args.jobs}")
     print(f"wrote {args.out}")

@@ -1,0 +1,107 @@
+"""Vectorized batch execution tier for the event loop.
+
+``repro.batch`` generalizes the steady-state CBR fast-forward (PR 2) into
+a real execution tier: a run-detector (:mod:`repro.batch.detector`)
+inspects a port's pending work for homogeneous event trains — per-queue
+TX/DMA/serialize/wire-delivery sequences with no cross-component
+interaction before a horizon — and executes each train as a closed-form or
+numpy-vectorized batch (:mod:`repro.batch.kernels`), updating NIC, link,
+and rx-side state to exactly the values the discrete loop would have
+produced.  At any interaction point (a fault firing, queue-full
+backpressure via the tx space signal, a parked receiver, a monitor that
+must sample, an enabled tracer, an in-flight frame straddling the bound)
+it falls back to event-by-event execution and accounts the reason.
+
+Enable it with ``MoonGenEnv(batch=True)`` (or the legacy alias
+``fast_forward=True``), or ``--batch`` on the CLI.  Bit-identical output
+is the house invariant: ``tests/test_batch_equivalence.py`` runs every
+wired scenario twice (batch on/off) and diffs result dicts, device
+counters, metrics fingerprints, and golden traces.
+
+The tier keeps its own statistics *outside* any metrics registry: batch
+self-accounting describes the scheduler's work, not the simulated world,
+and registering it would (correctly) change metrics fingerprints between
+batch and event runs.  Read them with :meth:`BatchTier.stats` or
+:meth:`BatchTier.summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.batch.detector import FALLBACK_REASONS, Train, detect_train
+from repro.batch.kernels import run_train
+
+__all__ = ["BatchTier", "Train", "detect_train", "run_train",
+           "FALLBACK_REASONS"]
+
+
+class BatchTier:
+    """The batch dispatch hook installed on an :class:`EventLoop`.
+
+    One tier is shared by every port on a loop (``loop.batch``); ports
+    opted in via ``NicPort.fast_forward`` route their post-transmit MAC
+    state through :meth:`execute`.
+
+    ``horizon_ns`` optionally caps the train length in simulated time:
+    each train then ends no later than ``start + horizon``, forcing a
+    return to the discrete loop at least that often.  The default
+    (``None``) lets trains run to the next live event / run horizon /
+    intrinsic stop, which is always exact; the cap exists for tests that
+    probe bound handling and for callers that want bounded latency
+    between fallback points.
+    """
+
+    def __init__(self, horizon_ns: Optional[float] = None) -> None:
+        self.horizon_ps: Optional[int] = (
+            None if horizon_ns is None else max(1, round(horizon_ns * 1000)))
+        #: Trains executed (at least one frame batched).
+        self.trains = 0
+        #: Frames sent through batch kernels.
+        self.frames = 0
+        #: Estimated events the discrete loop would have scheduled for the
+        #: batched frames (MAC-done + wire delivery per frame, plus the
+        #: pacing wakeup for paced trains).
+        self.events_saved = 0
+        #: Fallback reason -> count (reasons from ``FALLBACK_REASONS``).
+        self.fallbacks: Dict[str, int] = {}
+
+    def execute(self, port, start_ps: int) -> int:
+        """Try to batch from ``port``'s current MAC kick.
+
+        Returns the MAC-free time to schedule ``_mac_done`` at: advanced
+        past every batched frame, or ``start_ps`` unchanged on fallback.
+        """
+        train = detect_train(port, start_ps, self.horizon_ps)
+        if type(train) is str:
+            counts = self.fallbacks
+            counts[train] = counts.get(train, 0) + 1
+            return start_ps
+        end_ps, sent = run_train(train, start_ps)
+        if sent:
+            self.trains += 1
+            self.frames += sent
+            self.events_saved += (3 if train.paced else 2) * sent
+        else:
+            counts = self.fallbacks
+            counts["horizon"] = counts.get("horizon", 0) + 1
+        return end_ps
+
+    def stats(self) -> Dict[str, object]:
+        """A stable snapshot dict (CLI/manifest friendly)."""
+        return {
+            "trains": self.trains,
+            "frames": self.frames,
+            "events_saved": self.events_saved,
+            "fallbacks": dict(sorted(self.fallbacks.items())),
+        }
+
+    def summary(self) -> str:
+        """One human-readable line for CLI output."""
+        if not self.trains:
+            reasons = sorted(self.fallbacks.items(), key=lambda kv: -kv[1])
+            top = ", ".join(f"{k}={v}" for k, v in reasons[:3])
+            return f"batch tier: no trains batched ({top or 'no attempts'})"
+        avg = self.frames / self.trains
+        return (f"batch tier: {self.frames} frames in {self.trains} trains "
+                f"(avg {avg:.1f}/train), ~{self.events_saved} events saved")

@@ -1,0 +1,212 @@
+"""Run detection: when is a port's pending work a batchable event train?
+
+A *train* is a maximal sequence of per-queue TX → DMA → serialize →
+wire-delivery events whose timing and side effects are a pure function of
+state already visible at the head of the train: frames staged in the MAC
+FIFO (plus, for a single source queue, descriptors the prefetcher would
+pull from its ring), a jitter-free wire, and a plain ``NicPort.receive``
+sink.  Such a train can be executed arithmetically (``repro.batch.kernels``)
+without scheduling its events, and the world at the next *observable*
+instant — the next live event, the active ``run(until_ps=...)`` horizon, or
+the tier's own train-length cap — is bit-identical to what the discrete
+loop would have produced.
+
+``detect_train`` returns either a :class:`Train` or a stable reason string
+(one of :data:`FALLBACK_REASONS`), in which case the caller must execute
+event-by-event.  The rules mirror, check for check, the conditions the
+event path consults per frame:
+
+* per-frame observers force fidelity: an enabled tracer, tx observers, a
+  wire that draws RNG per frame (jitter/corruption/loss), a fault injector
+  targeting the wire, a DMA slowdown, or a sink that is not a plain
+  ``NicPort.receive`` (e.g. :meth:`repro.dut.OvsForwarder.ingress`, which
+  schedules interrupts relative to the *current* loop time and therefore
+  must see every arrival as its own event);
+* software parked on signals must wake at exact per-frame instants: rx
+  ``packet_signal`` waiters fall back entirely, and tx ``space_signal``
+  waiters bound the train with a *fetch budget* — the number of descriptor
+  fetches that can run before the space signal would fire, so the wakeup
+  itself always replays event-wise at its precise instant;
+* interleavings that depend on prefetch order fall back: descriptor
+  fetches are only emulated for a single-queue port, and a FIFO train on a
+  multi-queue port requires every unpaced ring to be empty;
+* frames carrying a ``timestamp`` request end the train (the latch
+  registers are order- and instant-sensitive), as does an in-flight wire
+  entry arriving at or after the bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.nicsim.nic import NicPort
+
+#: Stable fallback-reason vocabulary (docs/PERFORMANCE.md documents each).
+#: ``Wire.batch_blockers`` contributes the ``wire-*`` and ``tracer``
+#: reasons; everything else is attributed here or by the tier itself.
+FALLBACK_REASONS: Tuple[str, ...] = (
+    "tracer",               # enabled tracer records per-frame events
+    "tx-observers",         # per-frame departure observers installed
+    "dma-slowdown",         # fault: MAC occupancy is stretched per frame
+    "no-wire",              # transmitting into the void
+    "wire-unconnected",     # wire has no sink
+    "wire-jitter",          # medium draws per-frame jitter (RNG)
+    "wire-corruption",      # per-frame corruption draws (RNG)
+    "wire-phy-framing",     # 10GBASE-T PHY-frame arrival quantization
+    "wire-faulted",         # a fault injector targets this wire
+    "wire-carrier-down",    # link flap in progress
+    "wire-loss-model",      # Gilbert-Elliott style loss decider installed
+    "sink-unbatchable",     # sink is not a plain NicPort.receive (e.g. DuT)
+    "rx-waiters",           # software parked on the sink's rx signals
+    "multi-queue-ring",     # prefetch/round-robin order depends on >1 ring
+    "queue-stalled",        # fault: the only active queue is stalled
+    "space-signal",         # the very next descriptor fetch would wake a
+                            # parked producer — no frame fits before it
+    "inflight-past-bound",  # an in-flight frame lands at/after the bound
+    "unbounded",            # no live event bounds the train and no producer
+                            # is parked to bound it intrinsically
+    "horizon",              # train detected, but no frame fits before the
+                            # bound (accounted by the tier, not here)
+)
+
+
+class Train:
+    """A detected batchable train, ready for ``kernels.run_train``.
+
+    ``entries`` are the wire's detached in-flight ``(frame, arrival_ps)``
+    pairs; the kernel delivers them synchronously before transmitting (the
+    detector has already checked they all land strictly before ``bound_ps``).
+    ``fetch_budget`` is ``None`` for unlimited descriptor fetches, or the
+    exact number of fetches that may run before a tx space signal would
+    fire.  ``queue`` is the single source queue for fetch emulation and
+    rate-limiter bookkeeping (``None`` for a multi-queue FIFO-only drain).
+    """
+
+    __slots__ = ("port", "wire", "queue", "paced", "bound_ps", "latency_ps",
+                 "entries", "fetch_budget")
+
+    def __init__(self, port, wire, queue, paced, bound_ps, latency_ps,
+                 entries, fetch_budget) -> None:
+        self.port = port
+        self.wire = wire
+        self.queue = queue
+        self.paced = paced
+        self.bound_ps = bound_ps
+        self.latency_ps = latency_ps
+        self.entries = entries
+        self.fetch_budget = fetch_budget
+
+
+def _space_signal_budget(queue) -> Optional[int]:
+    """Fetches allowed before the queue's space signal would fire.
+
+    With producers parked on ``space_signal``, the ring only shrinks for
+    the duration of a train, so the trigger condition inside
+    ``NicPort._fetch_from_ring`` (ring drained, or ``space_wake_threshold``
+    slots free) is a pure function of the fetch count: after ``m`` fetches
+    the ring holds ``len(ring) - m`` and ``free + m`` slots are free.  The
+    first fetch that would trigger must instead happen event-wise — the
+    woken producer runs at that exact instant — so the budget is one less.
+    """
+    if not queue.space_signal.has_waiters:
+        return None
+    ring_len = len(queue.ring)
+    free = queue.ring_size - ring_len
+    first_trigger = min(ring_len, max(1, queue.space_wake_threshold - free))
+    return first_trigger - 1
+
+
+def detect_train(port: NicPort, start_ps: int,
+                 horizon_ps: Optional[int] = None) -> Union[Train, str]:
+    """Inspect ``port`` mid-kick; return a :class:`Train` or a reason string.
+
+    Called by :meth:`repro.batch.BatchTier.execute` from inside
+    ``NicPort._mac_kick`` right after a frame entered the MAC (its
+    occupancy ends at ``start_ps``).  On success the wire's in-flight
+    entries are already detached and owned by the returned train; on
+    fallback the wire is left exactly as found.
+    """
+    loop = port.loop
+    if loop.tracer is not None:
+        return "tracer"
+    if port.tx_observers:
+        return "tx-observers"
+    if port.dma_slowdown != 1.0:
+        return "dma-slowdown"
+    wire = port.wire
+    if wire is None:
+        return "no-wire"
+    if not wire.can_fast_forward():
+        blockers = wire.batch_blockers()
+        return blockers[0] if blockers else "wire-unconnected"
+    sink = wire.sink
+    sink_port = getattr(sink, "__self__", None)
+    if (sink_port is None
+            or getattr(sink, "__func__", None) is not NicPort.receive
+            or not isinstance(sink_port, NicPort)):
+        return "sink-unbatchable"
+    if not sink_port.batch_ready_rx():
+        return "rx-waiters"
+
+    queues = port.tx_queues
+    if port._fifo:
+        # FIFO train: the MAC drains staged frames; descriptor fetches are
+        # emulated only for a single-queue port (multi-queue prefetch
+        # interleaving is order-dependent), and only off an unpaced queue
+        # (the prefetcher skips paced rings).
+        if len(queues) == 1:
+            queue = queues[0]
+        else:
+            if any(q.ring for q in queues if not q.rate_bps):
+                return "multi-queue-ring"
+            queue = None
+        paced = False
+        budget = _space_signal_budget(queue) if queue is not None else None
+    else:
+        # Paced ring train: the MAC is idle between pacing ticks and frames
+        # come straight off exactly one eligible ring on the limiter's
+        # schedule.  (An unpaced non-empty ring with an empty FIFO cannot
+        # reach here: this kick's prefetch would have staged it.)
+        active = [q for q in queues if q.ring and not q.stalled]
+        if not active:
+            return "queue-stalled"
+        if len(active) > 1:
+            return "multi-queue-ring"
+        queue = active[0]
+        if not queue.rate_bps:
+            return "multi-queue-ring"
+        paced = True
+        budget = _space_signal_budget(queue)
+        if budget == 0:
+            # The very next fetch — which a paced train needs for its very
+            # next frame — would wake a parked producer: nothing to batch.
+            return "space-signal"
+
+    # In-flight frames must land strictly before the bound, or an
+    # observer scheduled at the bound could see them early.  Detach their
+    # drain events *before* computing the bound — otherwise those events
+    # clamp it to the very next arrival and no train could ever form.
+    entries = wire.detach_pending()
+    bound = loop.fast_forward_bound_ps()
+    if bound is None and budget is None:
+        # Empty heap and nobody parked on the space signal.  This kick may
+        # be running synchronously inside a producer's own ``enqueue`` —
+        # the producer is mid-call, its continuation event not yet
+        # scheduled — so an "unbounded" train would drain the ring before
+        # the producer ever feels queue-full backpressure, changing its
+        # park/resume instants.  A parked producer (``budget`` set) bounds
+        # the train intrinsically: the budget stops it one fetch short of
+        # the wakeup, which then replays event-wise at its exact instant.
+        # The tier's horizon cap below deliberately cannot rescue this
+        # case: it caps a train, it does not create a legitimate bound.
+        wire.reattach_pending(entries)
+        return "unbounded"
+    if horizon_ps is not None:
+        limit = start_ps + horizon_ps
+        if bound is None or limit < bound:
+            bound = limit
+    if bound is not None and entries and entries[-1][1] >= bound:
+        wire.reattach_pending(entries)
+        return "inflight-past-bound"
+    return Train(port, wire, queue, paced, bound, wire._latency_ps,
+                 entries, budget)

@@ -80,11 +80,11 @@ def _write_metrics(snapshotter, out: str, command: str, seed: int,
           f"manifest {manifest_path})")
 
 
-def _build_quickstart(seed: int, faults=None, metrics=False):
+def _build_quickstart(seed: int, faults=None, metrics=False, batch=False):
     """The quickstart topology: one CBR slave saturating a 10 GbE link."""
     from repro import MoonGenEnv
 
-    env = MoonGenEnv(seed=seed, faults=faults, metrics=metrics)
+    env = MoonGenEnv(seed=seed, faults=faults, metrics=metrics, batch=batch)
     tx = env.config_device(0, tx_queues=1)
     rx = env.config_device(1, rx_queues=1)
     env.connect(tx, rx)
@@ -146,7 +146,8 @@ def _build_dut_forward(seed: int, faults=None, metrics=False,
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     env, tx, rx = _build_quickstart(args.seed,
                                     faults=_resolve_faults(args),
-                                    metrics=bool(args.metrics))
+                                    metrics=bool(args.metrics),
+                                    batch=args.batch)
     _warn_unmatched_faults(env)
     snapshotter = None
     if args.metrics:
@@ -156,6 +157,8 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     print(f"transmitted {tx.tx_packets} packets in {env.now_ns / 1e6:.2f} ms "
           f"simulated: {pps / 1e6:.2f} Mpps "
           f"(line rate {units.LINE_RATE_10G_64B_PPS / 1e6:.2f})")
+    if env.batch is not None:
+        print(env.batch.summary())
     if snapshotter is not None:
         _write_metrics(snapshotter, args.metrics, "moongen-repro quickstart",
                        args.seed)
@@ -168,7 +171,7 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
     from repro.dut import OvsForwarder
 
     env = MoonGenEnv(seed=args.seed, faults=_resolve_faults(args),
-                     metrics=bool(args.metrics))
+                     metrics=bool(args.metrics), batch=args.batch)
     tx = env.config_device(0, tx_queues=2)
     rx = env.config_device(1, rx_queues=1)
     dut = OvsForwarder(env.loop)
@@ -200,6 +203,8 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
         print(f"latency over {len(result.latency)} probes: "
               f"q1={q1 / 1e3:.1f} µs median={med / 1e3:.1f} µs "
               f"q3={q3 / 1e3:.1f} µs (lost {result.lost_probes}{confidence})")
+    if env.batch is not None:
+        print(env.batch.summary())
     if snapshotter is not None:
         _write_metrics(snapshotter, args.metrics,
                        "moongen-repro load-latency", args.seed)
@@ -422,14 +427,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         start = time.perf_counter()
         results = perf.run_suite(args.scenarios, smoke=args.smoke,
-                                 repeats=args.repeats, jobs=jobs)
+                                 repeats=args.repeats, jobs=jobs,
+                                 batch=args.batch)
         sweep_wall_s = time.perf_counter() - start
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
     doc = perf.write_bench(args.out, results, rebaseline=args.rebaseline,
                            smoke=args.smoke, jobs=jobs,
-                           sweep_wall_s=sweep_wall_s)
+                           sweep_wall_s=sweep_wall_s, batch=args.batch)
     print(perf.format_report(doc))
     print(f"\nsuite wall time {sweep_wall_s:.2f} s with jobs={jobs}")
     print(f"wrote {args.out} (+ manifest)")
@@ -491,6 +497,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("quickstart", help="saturate a simulated 10 GbE link")
     p.add_argument("--duration-ms", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--batch", action="store_true",
+                   help="execute homogeneous event trains through the "
+                        "vectorized batch tier (bit-identical output)")
     p.add_argument("--faults", metavar="PLAN",
                    help="fault plan: builtin name (see 'faults --list') or a plan.json path")
     p.add_argument("--metrics", metavar="OUT.JSONL",
@@ -506,6 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration-ms", type=float, default=20.0)
     p.add_argument("--probes", type=int, default=200)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--batch", action="store_true",
+                   help="execute homogeneous event trains through the "
+                        "vectorized batch tier (bit-identical output)")
     p.add_argument("--faults", metavar="PLAN",
                    help="fault plan: builtin name (see 'faults --list') or a plan.json path")
     p.add_argument("--metrics", metavar="OUT.JSONL",
@@ -578,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--smoke", action="store_true",
                    help="short runs (CI-sized workloads)")
+    p.add_argument("--batch", action="store_true",
+                   help="run scenarios under the vectorized batch tier; "
+                        "results land in the '-batch' modes and "
+                        "delta_vs_event records the speedup over the "
+                        "event-by-event baseline")
     p.add_argument("--scenario", action="append", dest="scenarios",
                    help="run only this scenario (repeatable)")
     p.add_argument("--repeats", type=int, default=3,

@@ -33,16 +33,31 @@ class MoonGenEnv:
         cost_noise: bool = True,
         trace=None,
         fast_forward: bool = False,
+        batch=None,
         faults=None,
         metrics=None,
     ) -> None:
         self.loop = EventLoop()
-        #: Opt-in steady-state accelerator: ports batch fixed-period CBR
-        #: segments arithmetically (``NicPort._fast_forward``) whenever no
-        #: tracer/observer/timestamp needs per-frame fidelity.  Off by
-        #: default; final counters match the event-driven path (validated
-        #: in ``benchmarks/bench_validation_event_vs_vectorized.py``).
-        self.fast_forward = fast_forward
+        #: Opt-in batch execution tier (``repro.batch``): ports execute
+        #: homogeneous event trains — FIFO drains, prefetch steady states,
+        #: hardware-paced ring trains — arithmetically whenever no tracer/
+        #: observer/fault/timestamp needs per-frame fidelity, falling back
+        #: to the event path at every interaction point.  ``batch`` may be
+        #: ``True`` (fresh tier), a pre-built :class:`~repro.batch.BatchTier`
+        #: (e.g. with a train-length horizon), or ``None``/``False`` —
+        #: in which case the legacy ``fast_forward`` flag decides, keeping
+        #: old callers on the same accelerator they opted into.  Off by
+        #: default; output is bit-identical to the event-driven path
+        #: (enforced by ``tests/test_batch_equivalence.py``).
+        if batch is None or batch is False:
+            batch = fast_forward
+        self.batch = None
+        if batch:
+            from repro.batch import BatchTier
+
+            self.batch = batch if isinstance(batch, BatchTier) else BatchTier()
+            self.loop.batch = self.batch
+        self.fast_forward = self.batch is not None
         self.seed = seed
         self.cost_model = CycleCostModel(seed=seed, noisy=cost_noise)
         self.core_freq_hz = core_freq_hz
@@ -175,7 +190,7 @@ class MoonGenEnv:
             clock_drift_ppm=clock_drift_ppm,
             clock_phase_steps=clock_phase_steps,
         )
-        port.fast_forward = self.fast_forward
+        port.fast_forward = self.batch is not None
         device = Device(self, port)
         self.devices[port_id] = device
         if self.injector is not None:

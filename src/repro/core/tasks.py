@@ -34,9 +34,10 @@ def materialize_frame(buf: PacketBuffer) -> SimFrame:
     descriptor bits are set.  The buffer itself is *not* modified — like
     hardware offloading, the checksum exists only on the wire.
     """
-    size = buf.pkt.size
+    pkt = buf.pkt
+    size = pkt._size
     if buf.offload_ip or buf.offload_l4:
-        data = bytearray(buf.pkt.data[:size])
+        data = bytearray(pkt.data[:size])
         shadow = PacketData.wrap(data, size)
         kind = shadow.classify()
         if kind in ("udp4", "tcp4", "icmp4", "ip4"):
@@ -54,12 +55,36 @@ def materialize_frame(buf: PacketBuffer) -> SimFrame:
         payload = bytes(data)
     else:
         # No offloads: snapshot straight to bytes (one copy, not three).
-        payload = bytes(memoryview(buf.pkt.data)[:size])
+        payload = bytes(memoryview(pkt.data)[:size])
     frame = default_frame_pool.acquire(payload, fcs_ok=not buf.corrupt_fcs)
     if buf.timestamp_flag:
         frame.meta["timestamp"] = True
-    frame.meta["recycle"] = buf.recycle
+    frame.meta["recycle"] = buf.recycle_hook
     return frame
+
+
+def materialize_frames(bufs: List[PacketBuffer]) -> List[SimFrame]:
+    """Materialize a whole batch; semantics of :func:`materialize_frame`.
+
+    The per-packet call and global-pool lookup are measurable at line
+    rate, so the plain no-offload path is unrolled here; offloaded
+    buffers take the full per-frame path.
+    """
+    acquire = default_frame_pool.acquire
+    out: List[SimFrame] = []
+    append = out.append
+    for buf in bufs:
+        if buf.offload_ip or buf.offload_l4:
+            append(materialize_frame(buf))
+            continue
+        pkt = buf.pkt
+        frame = acquire(bytes(memoryview(pkt.data)[:pkt._size]),
+                        not buf.corrupt_fcs)
+        if buf.timestamp_flag:
+            frame.meta["timestamp"] = True
+        frame.meta["recycle"] = buf.recycle_hook
+        append(frame)
+    return out
 
 
 class Task:
@@ -176,7 +201,7 @@ class Task:
         delay = self.core.charge(cycles)
         if delay:
             yield delay
-        frames = [materialize_frame(buf) for buf in bufs.release()]
+        frames = materialize_frames(bufs.release())
         sim = op.queue.sim
         total = len(frames)
         sent = sim.enqueue(frames)

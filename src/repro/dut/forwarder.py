@@ -91,7 +91,16 @@ class OvsForwarder:
     # -- ingress (wire sink) -------------------------------------------------
 
     def ingress(self, frame: SimFrame, arrival_ps: int) -> None:
-        """Receive a frame from the wire (use as ``wire.connect`` sink)."""
+        """Receive a frame from the wire (use as ``wire.connect`` sink).
+
+        Deliberately *unbatchable*: interrupt moderation and the NAPI poll
+        loop schedule events relative to the loop's **current** time, so
+        every arrival must be its own event for the ITR timing to come out
+        right.  The batch tier's run detector recognizes this sink is not
+        a plain ``NicPort.receive`` and falls back with reason
+        ``sink-unbatchable`` — topologies through the DuT run event-by-
+        event on the segment feeding it, bit-identical by construction.
+        """
         if self._start_ps is None:
             self._start_ps = arrival_ps
         self._last_activity_ps = arrival_ps
@@ -168,6 +177,22 @@ class OvsForwarder:
         self.loop.schedule(service_ps, done)
 
     # -- results ---------------------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Stable counter snapshot for differential comparisons.
+
+        ``tests/test_batch_equivalence.py`` diffs this dict between batch
+        and event runs of every DuT topology; anything order- or
+        timing-sensitive the forwarder observes belongs here.
+        """
+        return {
+            "rx_packets": self.rx_packets,
+            "rx_dropped": self.rx_dropped,
+            "rx_crc_errors": self.rx_crc_errors,
+            "forwarded": self.forwarded,
+            "ring_depth": len(self.ring),
+            "interrupts": self.moderator.interrupts,
+        }
 
     @property
     def interrupts(self) -> int:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.metrics.registry import MetricsRegistry
@@ -55,16 +55,33 @@ class TimeSeries:
         """All values of one metric, in time order."""
         return [row[name] for row in self.rows if name in row]
 
-    def to_jsonl(self) -> str:
-        """One canonical-JSON object per line (trailing newline included)."""
-        if not self.rows:
-            return ""
-        return "\n".join(canonical_json(row) for row in self.rows) + "\n"
+    def to_jsonl(self, exclude_prefixes: Tuple[str, ...] = ()) -> str:
+        """One canonical-JSON object per line (trailing newline included).
 
-    def fingerprint(self) -> str:
+        ``exclude_prefixes`` drops columns whose name starts with any of
+        the given prefixes.  The one established use is ``("loop.",)``:
+        the loop's self-accounting describes *scheduler* work, which the
+        batch execution tier legitimately changes while leaving the
+        simulated world bit-identical — equivalence comparisons must
+        exclude it (docs/ARCHITECTURE.md, "testing the equivalence
+        claim").
+        """
+        rows = self.rows
+        if not rows:
+            return ""
+        if exclude_prefixes:
+            rows = [
+                {key: value for key, value in row.items()
+                 if not key.startswith(exclude_prefixes)}
+                for row in rows
+            ]
+        return "\n".join(canonical_json(row) for row in rows) + "\n"
+
+    def fingerprint(self, exclude_prefixes: Tuple[str, ...] = ()) -> str:
         """Short BLAKE2b hash of the canonical JSONL serialization."""
-        return hashlib.blake2b(self.to_jsonl().encode("utf-8"),
-                               digest_size=8).hexdigest()
+        return hashlib.blake2b(
+            self.to_jsonl(exclude_prefixes).encode("utf-8"),
+            digest_size=8).hexdigest()
 
 
 class Snapshotter:

@@ -101,6 +101,13 @@ class EventLoop:
         #: Optional :class:`repro.trace.Tracer`; ``None`` keeps every
         #: instrumentation site on its zero-cost fast path.
         self.tracer = None
+        #: Batch dispatch hook (``repro.batch``): a :class:`BatchTier`
+        #: shared by every component on this loop, or ``None``.  Ports
+        #: whose ``fast_forward`` flag is set route homogeneous event
+        #: trains through ``batch.execute(port, start_ps)`` instead of
+        #: scheduling them one event at a time; the tier owns the
+        #: run-detection rules and the fallback accounting.
+        self.batch = None
 
     @property
     def now_ns(self) -> float:
@@ -184,16 +191,21 @@ class EventLoop:
             return time_ps
         return None
 
-    def fast_forward_bound_ps(self) -> Optional[int]:
-        """Latest instant a fast-forward may advance state to, exclusive.
+    def fast_forward_bound_ps(self, limit_ps: Optional[int] = None) -> Optional[int]:
+        """Latest instant a batch/fast-forward may advance state to, exclusive.
 
         ``None`` means unbounded (empty queue, no active horizon).  Inside
         ``run(until_ps=...)`` the horizon caps the bound so counters never
         reflect frames the event-driven path would not have sent yet.
+        ``limit_ps`` lets callers impose an extra cap (e.g. the batch
+        tier's configurable train horizon); the returned bound is the
+        minimum of all three.
         """
         bound = self.next_event_time_ps()
         if self._until_ps is not None:
             bound = self._until_ps if bound is None else min(bound, self._until_ps)
+        if limit_ps is not None:
+            bound = limit_ps if bound is None else min(bound, limit_ps)
         return bound
 
     # -- execution -------------------------------------------------------------

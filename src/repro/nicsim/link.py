@@ -353,6 +353,33 @@ class Wire:
                 and self.loss_model is None
                 and self.loop.tracer is None)
 
+    def batch_blockers(self) -> List[str]:
+        """Name every condition pinning this wire to the event path.
+
+        The batch tier (``repro.batch``) calls this only after
+        :meth:`can_fast_forward` returned False, to attribute the fallback
+        to a stable reason string in its statistics; the empty list means
+        the wire is batchable.
+        """
+        reasons = []
+        if self.sink is None:
+            reasons.append("wire-unconnected")
+        if not self._jitter_free:
+            reasons.append("wire-jitter")
+        if self.corrupt_rate:
+            reasons.append("wire-corruption")
+        if self.phy_frame_bits:
+            reasons.append("wire-phy-framing")
+        if self.faulted:
+            reasons.append("wire-faulted")
+        if not self.carrier_up:
+            reasons.append("wire-carrier-down")
+        if self.loss_model is not None:
+            reasons.append("wire-loss-model")
+        if self.loop.tracer is not None:
+            reasons.append("tracer")
+        return reasons
+
     def detach_pending(self) -> List[Tuple[object, int]]:
         """Pull the in-flight frames off the wire, cancelling their drain
         events; returns ``(frame, arrival_ps)`` pairs in arrival order.

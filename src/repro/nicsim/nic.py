@@ -825,113 +825,51 @@ class NicPort:
             else:
                 queue._advance_rate_limiter(now, frame)
         end_ps = now + mac_time
-        if self.fast_forward and self._fifo:
+        if self.fast_forward and (
+            self._fifo or (queue is not None and queue.ring)
+        ):
             end_ps = self._fast_forward(end_ps)
         loop.schedule_at(end_ps, self._mac_done)
 
     def _fast_forward(self, start_ps: int) -> int:
-        """Serialize queued FIFO frames arithmetically; returns the MAC-free time.
+        """Route the MAC's pending work through the batch execution tier.
 
-        The steady-state CBR accelerator (opt-in via :attr:`fast_forward`):
-        when the MAC's schedule is a pure function of the frames already in
-        the on-chip FIFO, the per-frame ``done`` + wire-delivery events are
-        skipped and the batch is advanced in one arithmetic loop, with the
-        receiving port's counters updated through the exact same
-        ``receive`` path (same arrival stamps the event path would use).
-
-        Falls back to event-by-event fidelity unless *all* of these hold:
-
-        * no tracer and no tx observers (both record per-frame events),
-        * a single tx queue (multi-queue interleaving is prefetch-order
-          dependent),
-        * the wire draws no per-frame randomness (no jitter/corruption/PHY
-          framing) and its sink is a plain ``NicPort.receive``,
-        * no receiver is parked on the sink's rx signals (they must wake
-          at per-frame times),
-        * the batch stays short of the next scheduled event and the active
-          ``run(until_ps=...)`` horizon, so no observer can run mid-batch,
-        * frames do not request tx timestamping.
-
-        Within those conditions the final counters match the event-driven
-        path exactly: each frame is delivered through the sink port's real
-        ``receive`` with the identical arrival stamp and order, so even
-        order-sensitive rx state (the PTP latch register) ends up
-        bit-identical; only the *instant* at which rx-side state appears
-        moves (to the start of the batch), which nothing can observe
-        because no event runs mid-batch.  Cross-validated in
+        Opt-in via :attr:`fast_forward`.  The tier (``repro.batch``)
+        detects homogeneous event trains — FIFO drains, single-queue
+        prefetch steady states, hardware-paced ring trains — and executes
+        them arithmetically, skipping the per-frame ``_mac_done`` + wire
+        delivery events while producing bit-identical state: each frame is
+        delivered through the sink port's real ``receive`` with the exact
+        arrival stamp the event path would have used.  Detection rules and
+        fallback reasons live in :mod:`repro.batch.detector`; the
+        equivalence claim is enforced by ``tests/test_batch_equivalence.py``
+        and cross-validated in
         ``benchmarks/bench_validation_event_vs_vectorized.py``.
+
+        The tier is shared per event loop (``loop.batch``); a port driven
+        outside :class:`~repro.core.MoonGenEnv` lazily installs one.
+        Returns the MAC-free time: advanced past every batched frame, or
+        ``start_ps`` unchanged when the tier fell back.
         """
         loop = self.loop
-        wire = self.wire
-        if (wire is None or self.tx_observers or loop.tracer is not None
-                or len(self.tx_queues) != 1 or self.dma_slowdown != 1.0
-                or not wire.can_fast_forward()):
-            return start_ps
-        sink = wire.sink
-        sink_port = getattr(sink, "__self__", None)
-        if (sink_port is None or sink.__func__ is not NicPort.receive
-                or not isinstance(sink_port, NicPort)):
-            return start_ps
-        for rxq in sink_port.rx_queues:
+        tier = loop.batch
+        if tier is None:
+            from repro.batch import BatchTier
+
+            tier = loop.batch = BatchTier()
+        return tier.execute(self, start_ps)
+
+    def batch_ready_rx(self) -> bool:
+        """True when a batch may deliver into this port synchronously.
+
+        Software parked on an rx ``packet_signal`` must wake at exact
+        per-frame instants, so any waiter pins the sender to the event
+        path (``repro.batch`` detection rule).
+        """
+        for rxq in self.rx_queues:
             if rxq.packet_signal.has_waiters:
-                return start_ps
-        queue = self.tx_queues[0]
-        if queue.rate_bps:
-            # A rate set after these frames were prefetched must still be
-            # honored per frame by the event-driven limiter.
-            return start_ps
-        # Frames already on the wire must land before this batch's
-        # synchronous deliveries to keep rx rings in order.  Their drain
-        # events are detached *before* computing the bound — otherwise
-        # those events clamp it to the very next arrival and no batch
-        # could ever form.
-        entries = wire.detach_pending()
-        bound = loop.fast_forward_bound_ps()
-        if bound is None or (entries and entries[-1][1] >= bound):
-            # No future event and no horizon (the event-driven path would
-            # interleave prefetch wakeups), or an in-flight frame arrives
-            # at/after an observable instant: keep per-frame fidelity.
-            wire.reattach_pending(entries)
-            return start_ps
-        sink_fn = wire.sink
-        for pending_frame, pending_arrival in entries:
-            sink_fn(pending_frame, pending_arrival)
-        fifo = self._fifo
-        card = self.card
-        speed = self.speed_bps
-        # Margin so every synchronous delivery lands strictly before the
-        # bound: arrival <= mac end + cable latency (wire serialization
-        # never exceeds the MAC's effective frame time).
-        latency_ps = wire._latency_ps
-        end_ps = start_ps
-        last_start = start_ps
-        sent = 0
-        sent_bytes = 0
-        while fifo:
-            frame = fifo[0][0]
-            if frame.meta.get("timestamp"):
-                break
-            mac_time = card.effective_frame_time_ps(frame, speed)
-            if end_ps + mac_time + latency_ps >= bound:
-                break
-            fifo.popleft()
-            size = frame.size
-            self._fifo_bytes -= size
-            last_start = end_ps
-            frame.meta["tx_start_ps"] = end_ps
-            wire.fast_transmit(frame, size, end_ps)
-            end_ps += mac_time
-            sent += 1
-            sent_bytes += size
-        if sent:
-            self.tx_packets += sent
-            self.tx_bytes += sent_bytes
-            queue.tx_packets += sent
-            queue.tx_bytes += sent_bytes
-            # Unpaced queue: the limiter just records the last start time.
-            queue.next_allowed_ps = last_start
-            self.fast_forwarded += sent
-        return end_ps
+                return False
+        return True
 
     # -- receive path --------------------------------------------------------------
 

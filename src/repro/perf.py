@@ -38,18 +38,25 @@ deltas stay interpretable.
     {
       "schema": 2,
       "baseline": {
-        "full":  {"recorded": ..., "host": ..., "scenarios": {...}},
-        "smoke": {"recorded": ..., "host": ..., "scenarios": {...}}
+        "full":        {"recorded": ..., "host": ..., "scenarios": {...}},
+        "smoke":       {"recorded": ..., "host": ..., "scenarios": {...}},
+        "full-batch":  {...},   # batch-tier runs (``--batch``)
+        "smoke-batch": {...}
       },
       "current": {"mode": "full", "recorded": ..., "scenarios": {...}},
-      "delta":   {"bench_table1": {"events_per_sec": 2.43, ...}, ...}
+      "delta":   {"bench_table1": {"events_per_sec": 2.43, ...}, ...},
+      "delta_vs_event": {"bench_table1": {"events_per_sec": 3.1, ...}}
     }
 
 ``delta`` values are ratios current/baseline (>1 is faster), always
 computed against the baseline of the *same mode* — smoke workloads are
-startup-dominated and must never be compared against full-length runs.
-Baselines are written once per mode (``--rebaseline``) and kept across
-runs; ``current`` is replaced on every run.  See ``docs/PERFORMANCE.md``.
+startup-dominated and must never be compared against full-length runs,
+and batch-tier runs are compared against batch-tier baselines.  The one
+deliberate cross-mode number is ``delta_vs_event``: a ``--batch`` run's
+ratio against the *event-by-event* baseline of the same length, i.e. the
+batch tier's speedup claim.  Baselines are written once per mode
+(``--rebaseline``) and kept across runs; ``current`` is replaced on
+every run.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -78,8 +85,12 @@ FINGERPRINT_METRICS = ("events", "sim_packets", "sim_pps")
 # scenarios
 
 
-def _scenario_eventloop(smoke: bool) -> Dict[str, float]:
-    """Raw scheduler throughput: timers, same-instant bursts, cancels."""
+def _scenario_eventloop(smoke: bool, batch: bool = False) -> Dict[str, float]:
+    """Raw scheduler throughput: timers, same-instant bursts, cancels.
+
+    ``batch`` is accepted for signature uniformity but is a no-op: the
+    scenario exercises the scheduler alone, with no NIC ports to batch.
+    """
     from repro.nicsim.eventloop import EventLoop
 
     n_timers = 20_000 if smoke else 80_000
@@ -120,12 +131,29 @@ def _scenario_eventloop(smoke: bool) -> Dict[str, float]:
     }
 
 
-def _scenario_bench_table1(smoke: bool) -> Dict[str, float]:
+def _effective_events(env) -> int:
+    """Events the run *accounts for*: processed plus batch-tier savings.
+
+    With the batch tier on, trains execute arithmetically and their
+    per-frame events never reach the scheduler; counting only
+    ``events_processed`` would make a faster run look slower.  The tier
+    tracks exactly how many events each train replaced, so
+    ``processed + saved`` is the event-path-equivalent workload and
+    ``events_per_sec`` stays an apples-to-apples throughput number
+    (docs/PERFORMANCE.md, "Measuring the batch tier").
+    """
+    events = env.loop.events_processed
+    if env.batch is not None:
+        events += env.batch.events_saved
+    return events
+
+
+def _scenario_bench_table1(smoke: bool, batch: bool = False) -> Dict[str, float]:
     """The Table 1 transmit loop: one core saturating one 10 GbE port."""
     from repro import MoonGenEnv
 
     duration_ns = 1_500_000 if smoke else 6_000_000
-    env = MoonGenEnv(seed=1, core_freq_hz=2.4e9)
+    env = MoonGenEnv(seed=1, core_freq_hz=2.4e9, batch=batch)
     tx = env.config_device(0, tx_queues=1)
     rx = env.config_device(1, rx_queues=1)
     env.connect(tx, rx)
@@ -142,7 +170,7 @@ def _scenario_bench_table1(smoke: bool) -> Dict[str, float]:
     t0 = time.perf_counter()
     env.wait_for_slaves(duration_ns=duration_ns)
     wall = time.perf_counter() - t0
-    events = env.loop.events_processed
+    events = _effective_events(env)
     packets = tx.tx_packets
     return {
         "events": events,
@@ -154,7 +182,7 @@ def _scenario_bench_table1(smoke: bool) -> Dict[str, float]:
     }
 
 
-def _scenario_bench_fig2(smoke: bool) -> Dict[str, float]:
+def _scenario_bench_fig2(smoke: bool, batch: bool = False) -> Dict[str, float]:
     """The Figure 2 heavy script on 4 cores and two shared ports."""
     from repro import MoonGenEnv
 
@@ -172,7 +200,7 @@ def _scenario_bench_fig2(smoke: bool) -> Dict[str, float]:
                 bufs.offload_ip_checksums()
                 yield queue.send(bufs)
 
-    env = MoonGenEnv(seed=3, core_freq_hz=1.2e9)
+    env = MoonGenEnv(seed=3, core_freq_hz=1.2e9, batch=batch)
     ports = [env.config_device(i, tx_queues=n_cores) for i in (0, 1)]
     sinks = [env.config_device(i + 2, rx_queues=1) for i in (0, 1)]
     for port, sink in zip(ports, sinks):
@@ -182,7 +210,7 @@ def _scenario_bench_fig2(smoke: bool) -> Dict[str, float]:
     t0 = time.perf_counter()
     env.wait_for_slaves(duration_ns=duration_ns)
     wall = time.perf_counter() - t0
-    events = env.loop.events_processed
+    events = _effective_events(env)
     packets = sum(p.tx_packets for p in ports)
     return {
         "events": events,
@@ -194,7 +222,7 @@ def _scenario_bench_fig2(smoke: bool) -> Dict[str, float]:
     }
 
 
-SCENARIOS: Dict[str, Callable[[bool], Dict[str, float]]] = {
+SCENARIOS: Dict[str, Callable[..., Dict[str, float]]] = {
     "eventloop": _scenario_eventloop,
     "bench_table1": _scenario_bench_table1,
     "bench_fig2": _scenario_bench_fig2,
@@ -237,22 +265,24 @@ def _collapse_rounds(name: str,
     return best
 
 
-def measure(name: str, smoke: bool = False, repeats: int = 3) -> Dict[str, float]:
+def measure(name: str, smoke: bool = False, repeats: int = 3,
+            batch: bool = False) -> Dict[str, float]:
     """Run one scenario ``repeats`` times; fastest round plus noise stats."""
     runner = SCENARIOS[name]
     return _collapse_rounds(
-        name, [runner(smoke) for _ in range(max(1, repeats))])
+        name, [runner(smoke, batch) for _ in range(max(1, repeats))])
 
 
-def _scenario_round(point: Tuple[str, bool, int], _seed: int) -> Dict[str, float]:
+def _scenario_round(point: Tuple[str, bool, bool, int],
+                    _seed: int) -> Dict[str, float]:
     """One (scenario, round) sweep point for the parallel engine.
 
     Scenario workloads carry their own pinned seeds (part of what the
     fingerprints pin down), so the engine-derived seed is unused — the
     round index in the point only differentiates sweep points.
     """
-    name, smoke, _round = point
-    return SCENARIOS[name](smoke)
+    name, smoke, batch, _round = point
+    return SCENARIOS[name](smoke, batch)
 
 
 def run_suite(
@@ -260,6 +290,7 @@ def run_suite(
     smoke: bool = False,
     repeats: int = 3,
     jobs: int = 1,
+    batch: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Run the pinned suite; returns ``{scenario: metrics}``.
 
@@ -268,6 +299,10 @@ def run_suite(
     are identical to a serial run, but wall-clock metrics contend for
     cores, so parallel runs are for fingerprint checks and wall-clock
     sweeps, not for precision baselines (docs/PERFORMANCE.md).
+
+    With ``batch`` the scenarios run under the batch execution tier
+    (``repro.batch``) and ``events`` counts processed plus tier-saved
+    events; results land in the ``-batch`` modes of BENCH_core.json.
     """
     from repro.parallel import run_parallel
 
@@ -277,7 +312,7 @@ def run_suite(
         raise KeyError(f"unknown perf scenarios: {unknown}; "
                        f"valid: {sorted(SCENARIOS)}")
     repeats = max(1, repeats)
-    points = [(name, bool(smoke), rnd)
+    points = [(name, bool(smoke), bool(batch), rnd)
               for name in selected for rnd in range(repeats)]
     rounds = run_parallel(points, _scenario_round, jobs=jobs)
     grouped: Dict[str, List[Dict[str, float]]] = {n: [] for n in selected}
@@ -362,12 +397,18 @@ def write_bench(
     smoke: bool = False,
     jobs: int = 1,
     sweep_wall_s: Optional[float] = None,
+    batch: bool = False,
 ) -> Dict[str, object]:
     """Merge a run into ``BENCH_core.json``; returns the written document.
 
-    Baselines are per mode (``full``/``smoke``) and kept verbatim unless
-    absent or ``rebaseline`` is set; ``current`` and ``delta`` are replaced
-    every run, with ``delta`` always computed same-mode.
+    Baselines are per mode (``full``/``smoke``/``full-batch``/
+    ``smoke-batch``) and kept verbatim unless absent or ``rebaseline`` is
+    set; ``current`` and ``delta`` are replaced every run, with ``delta``
+    always computed same-mode.  A batch-mode run additionally writes
+    ``delta_vs_event``: the cross-mode ratio against the event-by-event
+    baseline of the same length — the number that backs the batch tier's
+    speedup claim (events there count processed plus tier-saved, see
+    :func:`_effective_events`).
 
     Alongside the trajectory file, a provenance manifest
     (``<path minus .json>.manifest.json``, see ``repro.metrics.manifest``)
@@ -375,7 +416,8 @@ def write_bench(
     deterministic metrics — the receipt that makes any number in
     BENCH_core.json reproducible.
     """
-    mode = "smoke" if smoke else "full"
+    event_mode = "smoke" if smoke else "full"
+    mode = f"{event_mode}-batch" if batch else event_mode
     doc = load_bench(path)
     baselines = doc.get("baseline")
     if not isinstance(baselines, dict):
@@ -394,6 +436,13 @@ def write_bench(
             baselines[mode].get("scenarios", {}), current
         ),
     }
+    if batch and isinstance(baselines.get(event_mode), dict):
+        out["delta_vs_event"] = compute_delta(
+            baselines[event_mode].get("scenarios", {}), current
+        )
+    elif isinstance(doc.get("delta_vs_event"), dict) and not batch:
+        # Keep the last recorded cross-mode ratios visible on event runs.
+        out["delta_vs_event"] = doc["delta_vs_event"]
     tmp = f"{path}.tmp"
     with open(tmp, "w") as fh:
         json.dump(out, fh, indent=2, sort_keys=True)
@@ -406,7 +455,8 @@ def write_bench(
         for name, metrics in current.items()
     }
     RunManifest(
-        command=f"moongen-repro bench{' --smoke' if smoke else ''}",
+        command=("moongen-repro bench"
+                 f"{' --smoke' if smoke else ''}{' --batch' if batch else ''}"),
         jobs=jobs,
         config={"mode": mode, "scenarios": sorted(current),
                 "schema": SCHEMA_VERSION},
@@ -452,6 +502,15 @@ def format_report(doc: Dict[str, object]) -> str:
                 f"{(b.get('wall_pps') or 0.0) / 1e6:>10.3f} "
                 f"{(b.get('sim_pps') or 0.0) / 1e6:>9.2f}"
             )
+    vs_event = doc.get("delta_vs_event")
+    if isinstance(vs_event, dict) and vs_event:
+        pairs = ", ".join(
+            f"{name} {ratios['events_per_sec']:.2f}x"
+            for name, ratios in sorted(vs_event.items())
+            if "events_per_sec" in ratios
+        )
+        if pairs:
+            lines.append(f"batch tier vs event baseline: {pairs}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,8 @@
+"""Test package: registers the shared Hypothesis profiles on import.
+
+Importing :mod:`tests._hypothesis_profiles` here guarantees the ``dev``/
+``ci`` profiles exist (and the one named by ``HYPOTHESIS_PROFILE`` is
+loaded) before any test module builds its ``@settings`` decorators.
+"""
+
+import tests._hypothesis_profiles  # noqa: F401

@@ -1,0 +1,60 @@
+"""Shared Hypothesis settings profiles for the property-test suite.
+
+Every property-test module used to carry its own ``SETTINGS`` dict with
+the same two decisions (no deadline — whole-simulation examples are slow
+and machine-dependent — and a hand-picked example count).  This module
+centralizes those decisions as registered Hypothesis *profiles*:
+
+* ``dev`` (default): the full example budgets, randomized — what a
+  developer iterating locally wants.
+* ``ci``: half the examples and ``derandomize=True``, so CI runs are
+  faster and never flake on an unlucky draw; the nightly/dev runs keep
+  exploring fresh inputs.
+
+Select with ``HYPOTHESIS_PROFILE=ci`` (the CI workflow exports it; any
+unknown value falls back to ``dev``).  Test modules size their budgets
+relative to the dev default through :func:`property_settings`::
+
+    from tests._hypothesis_profiles import property_settings
+
+    SETTINGS = property_settings()        # standard: 40 dev / 20 ci
+    HEAVY = property_settings(12)         # whole-sim: 12 dev / 6 ci
+
+Importing this module (``tests/__init__.py`` does) registers and loads
+the profiles exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+from hypothesis import settings
+
+#: The example budget a "standard" property test gets under ``dev``;
+#: :func:`property_settings` scales every other budget off this anchor.
+DEV_EXAMPLES = 40
+
+settings.register_profile("dev", deadline=None, max_examples=DEV_EXAMPLES)
+settings.register_profile("ci", deadline=None,
+                          max_examples=DEV_EXAMPLES // 2,
+                          derandomize=True)
+
+PROFILE = os.environ.get("HYPOTHESIS_PROFILE", "dev")
+if PROFILE not in ("dev", "ci"):
+    PROFILE = "dev"
+settings.load_profile(PROFILE)
+
+
+def property_settings(dev_examples: int = DEV_EXAMPLES) -> Dict[str, Any]:
+    """Kwargs for ``@settings(**...)``, scaled to the active profile.
+
+    ``dev_examples`` is the budget the test deserves under the ``dev``
+    profile; the active profile scales it proportionally (``ci`` halves
+    it), never below one example.
+    """
+    scale = settings.default.max_examples / DEV_EXAMPLES
+    return {
+        "deadline": settings.default.deadline,
+        "max_examples": max(1, round(dev_examples * scale)),
+    }

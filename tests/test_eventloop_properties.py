@@ -13,9 +13,10 @@ These pin the scheduler invariants every simulation result rests on:
 from hypothesis import given, settings, strategies as st
 
 from repro.nicsim.eventloop import EventLoop, Signal, wait_any
+from tests._hypothesis_profiles import property_settings
 from repro.trace import Tracer
 
-SETTINGS = dict(max_examples=40, deadline=None)
+SETTINGS = property_settings()
 
 
 class TestSchedulerProperties:

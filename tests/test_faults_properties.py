@@ -25,8 +25,9 @@ from repro.faults import (
     RingFreeze,
 )
 from repro.faults.runner import run_plan
+from tests._hypothesis_profiles import property_settings
 
-SETTINGS = dict(max_examples=12, deadline=None)
+SETTINGS = property_settings(12)
 
 #: Every window fits inside the 2.5 ms simulated run.
 _START = st.integers(min_value=0, max_value=2_000_000)

@@ -23,8 +23,9 @@ from repro import MoonGenEnv
 from repro.nicsim.eventloop import EventLoop
 from repro.nicsim.nic import FramePool, SimFrame
 from repro.trace import Tracer
+from tests._hypothesis_profiles import property_settings
 
-SETTINGS = dict(max_examples=40, deadline=None)
+SETTINGS = property_settings()
 
 
 # ---------------------------------------------------------------------------
@@ -179,7 +180,7 @@ def _run_tx(fast_forward, batch, frame_size, duration_ns, trace=False):
 
 
 class TestFastForwardEquivalence:
-    @settings(max_examples=10, deadline=None)
+    @settings(**property_settings(10))
     @given(st.integers(min_value=1, max_value=64),
            st.sampled_from([60, 124, 508, 1514]),
            st.integers(min_value=50_000, max_value=400_000))
@@ -189,7 +190,7 @@ class TestFastForwardEquivalence:
         assert plain_ff == 0
         assert fast == plain
 
-    @settings(max_examples=5, deadline=None)
+    @settings(**property_settings(5))
     @given(st.integers(min_value=1, max_value=63))
     def test_traced_runs_ignore_fast_forward(self, batch):
         """The tracer gate wins: golden traces are byte-identical whether
