@@ -1,0 +1,30 @@
+"""Optional-dependency shims.
+
+numpy is an *optional* accelerator/analysis dependency: the simulator
+core, the batch tier (via its scalar plan path), the fault subsystem,
+and the CLI smoke scenarios all run without it.  Modules that genuinely
+need arrays (generator models, the DuT fastpath, analysis statistics,
+traffic patterns) import ``np`` from here and call :func:`require_numpy`
+at their public entry points so a missing install fails with a clear
+message instead of an ``AttributeError`` on ``None``.
+
+The batch kernels' numpy selection lives separately in
+``repro.batch._vec`` (it also honours the ``REPRO_NO_NUMPY``
+kill-switch); this module is only about *hard* array users.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
+
+def require_numpy(feature: str):
+    """Return numpy, or raise ``ImportError`` naming the feature."""
+    if np is None:
+        raise ImportError(
+            f"numpy is required for {feature} "
+            "(pip install numpy, or the repo's [test] extra)")
+    return np

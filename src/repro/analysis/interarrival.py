@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
+from repro._optional import np, require_numpy
 
 from repro import units
 from repro.core.histogram import Histogram
@@ -68,6 +68,7 @@ def measure_interarrival(
     of) the back-to-back wire spacing — 672 ns for 64 B at GbE, the black
     arrow in Figure 8.
     """
+    require_numpy("inter-arrival statistics")
     times = np.asarray(departures_ns, dtype=float)
     if times.size < 2:
         raise ValueError("need at least two departures")

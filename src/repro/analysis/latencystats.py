@@ -6,7 +6,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
-import numpy as np
+from repro._optional import np, require_numpy
 
 
 @dataclass
@@ -27,6 +27,7 @@ class LatencySummary:
 def summarize_latencies(latencies_ns: Sequence[float], offered_load_pps: float,
                         drop_rate: float = 0.0) -> LatencySummary:
     """Quartile summary of a latency sample set (NaNs = drops, excluded)."""
+    require_numpy("latency statistics")
     arr = np.asarray(latencies_ns, dtype=float)
     arr = arr[~np.isnan(arr)]
     if arr.size == 0:

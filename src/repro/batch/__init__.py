@@ -18,11 +18,14 @@ is the house invariant: ``tests/test_batch_equivalence.py`` runs every
 wired scenario twice (batch on/off) and diffs result dicts, device
 counters, metrics fingerprints, and golden traces.
 
-The tier keeps its own statistics *outside* any metrics registry: batch
-self-accounting describes the scheduler's work, not the simulated world,
-and registering it would (correctly) change metrics fingerprints between
-batch and event runs.  Read them with :meth:`BatchTier.stats` or
-:meth:`BatchTier.summary`.
+The tier's own statistics are scheduler self-accounting — they describe
+the batching machinery's work, not the simulated world.  With a metrics
+registry enabled they are published under the ``batch.`` prefix
+(``batch.trains``, ``batch.frames``, ``batch.events_saved``, and one
+``batch.fallback.<reason>`` counter per fallback reason); every
+fingerprint comparison between batch and event runs excludes ``batch.*``
+alongside ``loop.*`` for exactly that reason.  Read them directly with
+:meth:`BatchTier.stats` or :meth:`BatchTier.summary`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,54 @@
+"""Optional numpy fast path for the batch kernels.
+
+The kernels never *require* numpy: every vectorized plan has a scalar
+fallback producing bit-identical results (enforced by the differential
+harness in ``tests/test_batch_equivalence.py``, which runs the whole
+suite in both modes).  The selection happens once, at import:
+
+* numpy importable and not disabled -> :data:`_np` is the module, and
+  :func:`plan_limit` uses ``cumsum`` + ``searchsorted``;
+* numpy missing, or ``REPRO_NO_NUMPY`` set in the environment -> pure
+  python, same answers, linear scan.
+
+Tests monkeypatch :data:`_np` to ``None`` to exercise the fallback
+without uninstalling anything; CI additionally runs the equivalence gate
+with numpy genuinely absent.
+"""
+
+from __future__ import annotations
+
+import os
+
+if os.environ.get("REPRO_NO_NUMPY"):  # explicit kill-switch
+    _np = None
+else:
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+        _np = None
+
+
+def has_numpy() -> bool:
+    """True when the vectorized plan path is active."""
+    return _np is not None
+
+
+def plan_limit(macs, headroom: int) -> int:
+    """How many leading ``macs`` fit with cumulative sum <= ``headroom``.
+
+    ``macs`` is a list of per-frame MAC occupancy times (integer ps).
+    Vectorized via cumulative-sum + binary search when numpy is present;
+    the scalar scan is the semantics either way.
+    """
+    np = _np
+    if np is not None:
+        cum = np.cumsum(np.asarray(macs, dtype=np.int64))
+        return int(np.searchsorted(cum, headroom, side="right"))
+    count = 0
+    running = 0
+    for mac in macs:
+        running += mac
+        if running > headroom:
+            break
+        count += 1
+    return count

@@ -11,6 +11,20 @@ instant — the next live event, the active ``run(until_ps=...)`` horizon, or
 the tier's own train-length cap — is bit-identical to what the discrete
 loop would have produced.
 
+Since PR 7 a train spans the *whole pipeline*: TX queue → descriptor fetch
+→ wire propagation → sink-port RX ring, including frames whose arrival
+falls at or past the bound (they stay in flight: the kernel schedules
+their real delivery events instead of delivering early), and including the
+producer's park/wake backpressure sawtooth.  The latter rides on
+:class:`repro.nicsim.nic.PendingSend`: a producer that declares its
+blocking send lets the kernel compute, in closed form, the exact instants
+its ring-space waits resolve — each descriptor fetch that crosses the
+``space_wake_threshold`` refill line tops the ring up by the freed slots,
+exactly the chunk the woken producer would have pushed synchronously from
+inside ``_fetch_from_ring`` — without materializing the intermediate
+events.  The wake that would *complete* the send still replays event-wise
+(the producer's continuation is arbitrary user code).
+
 ``detect_train`` returns either a :class:`Train` or a stable reason string
 (one of :data:`FALLBACK_REASONS`), in which case the caller must execute
 event-by-event.  The rules mirror, check for check, the conditions the
@@ -24,22 +38,36 @@ event path consults per frame:
   must see every arrival as its own event);
 * software parked on signals must wake at exact per-frame instants: rx
   ``packet_signal`` waiters fall back entirely, and tx ``space_signal``
-  waiters bound the train with a *fetch budget* — the number of descriptor
-  fetches that can run before the space signal would fire, so the wakeup
-  itself always replays event-wise at its precise instant;
+  waiters either resolve to the declared :class:`PendingSend` (modeled in
+  closed form) or bound the train with a *fetch budget* — the number of
+  descriptor fetches that can run before the space signal would fire, so
+  an unmodelable wakeup always replays event-wise at its precise instant;
 * interleavings that depend on prefetch order fall back: descriptor
   fetches are only emulated for a single-queue port, and a FIFO train on a
   multi-queue port requires every unpaced ring to be empty;
 * frames carrying a ``timestamp`` request end the train (the latch
-  registers are order- and instant-sensitive), as does an in-flight wire
-  entry arriving at or after the bound.
+  registers are order- and instant-sensitive);
+* a kick running synchronously inside an *undeclared* producer's partial
+  ``enqueue`` falls back (``producer-mid-call``): the caller still holds
+  unsent frames and reacts to the post-kick ring state at this instant,
+  which a train would have drained further than the event path;
+* with an empty heap (no bound), only a kick *outside* any producer's
+  enqueue — a pure drain — or one whose producer declared a
+  :class:`PendingSend` is intrinsically bounded by the staged work; an
+  undeclared mid-enqueue kick stays ``unbounded`` and refuses.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple, Union
 
+from repro.nicsim.link import Wire
 from repro.nicsim.nic import NicPort
+
+#: Heaps larger than this are not scanned for independent foreign chains
+#: (the scan is O(heap) per detection; past this size the plain bound is
+#: almost certainly dominated by near-term events anyway).
+_SCAN_MAX = 2048
 
 #: Stable fallback-reason vocabulary (docs/PERFORMANCE.md documents each).
 #: ``Wire.batch_blockers`` contributes the ``wire-*`` and ``tracer``
@@ -61,10 +89,12 @@ FALLBACK_REASONS: Tuple[str, ...] = (
     "multi-queue-ring",     # prefetch/round-robin order depends on >1 ring
     "queue-stalled",        # fault: the only active queue is stalled
     "space-signal",         # the very next descriptor fetch would wake a
-                            # parked producer — no frame fits before it
-    "inflight-past-bound",  # an in-flight frame lands at/after the bound
-    "unbounded",            # no live event bounds the train and no producer
-                            # is parked to bound it intrinsically
+                            # parked producer that no PendingSend models
+    "producer-mid-call",    # kick inside an undeclared producer's partial
+                            # enqueue: its continuation reads the ring now
+    "unbounded",            # empty heap and the kick runs inside an
+                            # undeclared producer's enqueue — nothing
+                            # bounds the train, intrinsically or otherwise
     "horizon",              # train detected, but no frame fits before the
                             # bound (accounted by the tier, not here)
 )
@@ -74,19 +104,24 @@ class Train:
     """A detected batchable train, ready for ``kernels.run_train``.
 
     ``entries`` are the wire's detached in-flight ``(frame, arrival_ps)``
-    pairs; the kernel delivers them synchronously before transmitting (the
-    detector has already checked they all land strictly before ``bound_ps``).
+    pairs that land strictly before ``bound_ps``; the kernel delivers them
+    at their original stamps (in-flight frames at or past the bound keep
+    their real delivery events — the detector never detaches those).
     ``fetch_budget`` is ``None`` for unlimited descriptor fetches, or the
-    exact number of fetches that may run before a tx space signal would
-    fire.  ``queue`` is the single source queue for fetch emulation and
-    rate-limiter bookkeeping (``None`` for a multi-queue FIFO-only drain).
+    exact number of fetches that may run before an *unmodeled* tx space
+    signal would fire.  ``pend`` is the declared producer send the kernel
+    models as a closed-form sawtooth (``None`` when there is none); budget
+    and pend are mutually exclusive.  ``queue`` is the single source queue
+    for fetch emulation and rate-limiter bookkeeping (``None`` for a
+    multi-queue FIFO-only drain).  ``bound_ps`` is ``None`` for a pure
+    drain bounded only by the staged work.
     """
 
     __slots__ = ("port", "wire", "queue", "paced", "bound_ps", "latency_ps",
-                 "entries", "fetch_budget")
+                 "entries", "fetch_budget", "pend")
 
     def __init__(self, port, wire, queue, paced, bound_ps, latency_ps,
-                 entries, fetch_budget) -> None:
+                 entries, fetch_budget, pend=None) -> None:
         self.port = port
         self.wire = wire
         self.queue = queue
@@ -95,6 +130,7 @@ class Train:
         self.latency_ps = latency_ps
         self.entries = entries
         self.fetch_budget = fetch_budget
+        self.pend = pend
 
 
 def _space_signal_budget(queue) -> Optional[int]:
@@ -116,15 +152,193 @@ def _space_signal_budget(queue) -> Optional[int]:
     return first_trigger - 1
 
 
+def _resolve_pending(port, queue):
+    """The queue's declared producer send, iff the kernel can model it.
+
+    Two modelable shapes:
+
+    * the producer is parked on ``space_signal`` and is its *sole* waiter
+      — every trigger during the train resumes exactly that producer,
+      whose behavior is pinned by the ``Task._send`` protocol: push
+      ``min(free, remaining)`` descriptors, park again unless done;
+    * this kick runs synchronously inside the producer's own ``enqueue``
+      (it is about to observe the ring and either top it up or park) and
+      nothing else is parked on the signal — the kernel replays the
+      producer's deterministic top-up/park sequence at the kick instant.
+
+    Anything else (a second waiter, an already-completed send) returns
+    ``None`` and the caller falls back to the fetch-budget rule.
+    """
+    pend = queue.pending_send
+    if pend is None or pend.sent >= pend.total:
+        return None
+    waiters = queue.space_signal._waiters
+    if pend.parked:
+        return pend if len(waiters) == 1 else None
+    if port._in_enqueue == 1 and not waiters:
+        # Exactly one enqueue on the stack: it must be the pend owner's
+        # (an unparked declared producer is always inside its enqueue).
+        # With two nested enqueues the inner one could belong to another
+        # producer resumed mid-call — unattributable, so unmodelable.
+        return pend
+    return None
+
+
+def _model_enqueue_spin(port, queue, pend) -> None:
+    """Replay, at the detection instant, the declared producer's post-kick
+    top-up spin — the deterministic tail of its in-flight ``enqueue``.
+
+    The event path after this kick returns: the producer's ``Task._send``
+    loop pushes ``min(free, remaining)`` descriptors, whose kick (MAC
+    busy) only prefetches ring → FIFO, freeing ring slots, and repeats
+    until the ring is full with the FIFO at capacity — or the send
+    completes.  Every iteration is a pure state mutation at *this*
+    instant, so performing it up front is exactly the event path; the
+    caller then latches :attr:`PendingSend.defer` so the unwinding
+    producer observes "no progress" and parks, and refuses the train
+    outright if the spin *completed* (the continuation would be
+    arbitrary user code at this instant).
+
+    ``_prefetch`` is safe to call for real: the tracer is disabled and
+    the space signal has no waiters (both preconditions of resolving
+    this pend shape), so no side channel fires.
+    """
+    ring = queue.ring
+    ring_size = queue.ring_size
+    frames = pend.frames
+    while pend.sent < pend.total:
+        free = ring_size - len(ring)
+        if free <= 0:
+            break
+        rem = pend.total - pend.sent
+        take = rem if rem < free else free
+        ring.extend(frames[pend.sent:pend.sent + take])
+        pend.sent += take
+        port._prefetch()
+
+
+def _delivery_independent(w, port, sink_port) -> bool:
+    """A foreign wire's pending deliveries cannot touch our train's state.
+
+    True iff ``w`` delivers into a plain, filter-free ``NicPort.receive``
+    on a port that is neither our TX port nor our sink, with no software
+    parked on its rx signals — then each ``_deliver_due`` is a pure
+    mutation of that foreign port's rx ring and counters.
+    """
+    if w is port.wire:
+        return False
+    sink = w.sink
+    target = getattr(sink, "__self__", None)
+    if (target is None
+            or getattr(sink, "__func__", None) is not NicPort.receive
+            or not isinstance(target, NicPort)):
+        return False
+    if target is port or target is sink_port:
+        return False
+    if target.rx_filter is not None:
+        return False
+    return target.batch_ready_rx()
+
+
+def _tx_chain_independent(p, port, sink_port) -> bool:
+    """A foreign port's MAC events cannot interact with our train.
+
+    True iff ``p``'s ``_mac_done``/``_mac_kick`` chain only mutates its
+    own pipeline: ``p`` is neither endpoint of our train, no enqueue of
+    its is on the stack (a mid-call producer reacts to post-kick state),
+    it has no per-frame observers, it shares no *capped* card with our
+    port (a capped card's per-frame MAC time reads the card's live
+    active-port set, coupling the two chains' arithmetic), none of its
+    queues has a producer parked on ``space_signal`` (a wake would run
+    arbitrary user code mid-span), and its wire delivers independently.
+    """
+    if p is port or p is sink_port:
+        return False
+    if p._in_enqueue or p.tx_observers:
+        return False
+    if p.card is port.card and port.card._card_capped:
+        return False
+    for q in p.tx_queues:
+        if q.space_signal._waiters:
+            return False
+    w = p.wire
+    if w is not None and not _delivery_independent(w, port, sink_port):
+        return False
+    return True
+
+
+def _chain_bound(loop, port, sink_port, plain_bound: int) -> Optional[int]:
+    """Extend ``plain_bound`` past provably independent foreign chains.
+
+    The plain bound is the very next live event — but on a multi-pipeline
+    topology that event is usually another port's per-frame ``_mac_done``,
+    strangling every train to a frame or two even though the two chains
+    never touch.  This scans the heap once for the earliest event that is
+    *not* a skippable foreign-chain event (``_mac_done``/``_mac_kick`` of
+    an independent port, ``_deliver_due`` of an independent wire) and
+    bounds there instead, folded with the active run horizon.
+
+    Skipped events are skipped from *bounding only* — they still execute
+    at their real instants, in time order, after the kernel returns; the
+    independence predicates guarantee their mutations are disjoint from
+    everything the kernel reads or writes, so the world at the extended
+    bound is the same either way.  Task resumes, ``wait_any`` timeouts,
+    and any unclassified callback are never skipped, which also pins the
+    no-new-waiters invariant: a waiter can only appear when a task runs,
+    and tasks only run at non-skipped events.
+
+    Returns the extended bound, ``None`` for "no intrinsic event bound at
+    all" (every live event skippable, no horizon), or ``plain_bound``
+    unchanged when the scan bails (live same-instant lane work, or an
+    oversized heap).
+    """
+    for ev in loop._lane:
+        if not ev.cancelled:
+            return plain_bound
+    heap = loop._queue
+    if len(heap) > _SCAN_MAX:
+        return plain_bound
+    best: Optional[int] = None
+    verdicts = {}
+    for time_ps, _seq, event in heap:
+        if event.cancelled:
+            continue
+        if best is not None and time_ps >= best:
+            continue
+        cb = event.callback
+        func = getattr(cb, "__func__", None)
+        if func is NicPort._mac_done or func is NicPort._mac_kick:
+            owner = cb.__self__
+            verdict = verdicts.get(id(owner))
+            if verdict is None:
+                verdict = _tx_chain_independent(owner, port, sink_port)
+                verdicts[id(owner)] = verdict
+        elif func is Wire._deliver_due:
+            owner = cb.__self__
+            verdict = verdicts.get(id(owner))
+            if verdict is None:
+                verdict = _delivery_independent(owner, port, sink_port)
+                verdicts[id(owner)] = verdict
+        else:
+            verdict = False
+        if not verdict:
+            best = time_ps
+    until = loop._until_ps
+    if until is not None and (best is None or until < best):
+        best = until
+    return best
+
+
 def detect_train(port: NicPort, start_ps: int,
                  horizon_ps: Optional[int] = None) -> Union[Train, str]:
     """Inspect ``port`` mid-kick; return a :class:`Train` or a reason string.
 
     Called by :meth:`repro.batch.BatchTier.execute` from inside
     ``NicPort._mac_kick`` right after a frame entered the MAC (its
-    occupancy ends at ``start_ps``).  On success the wire's in-flight
-    entries are already detached and owned by the returned train; on
-    fallback the wire is left exactly as found.
+    occupancy ends at ``start_ps``).  On success the wire's pre-bound
+    in-flight entries are already detached and owned by the returned
+    train (later arrivals keep their delivery events); on fallback the
+    wire is left exactly as found.
     """
     loop = port.loop
     if loop.tracer is not None:
@@ -140,11 +354,16 @@ def detect_train(port: NicPort, start_ps: int,
         blockers = wire.batch_blockers()
         return blockers[0] if blockers else "wire-unconnected"
     sink = wire.sink
-    sink_port = getattr(sink, "__self__", None)
-    if (sink_port is None
-            or getattr(sink, "__func__", None) is not NicPort.receive
-            or not isinstance(sink_port, NicPort)):
-        return "sink-unbatchable"
+    memo = port._batch_sink
+    if memo is not None and memo[0] is wire and memo[1] is sink:
+        sink_port = memo[2]
+    else:
+        sink_port = getattr(sink, "__self__", None)
+        if (sink_port is None
+                or getattr(sink, "__func__", None) is not NicPort.receive
+                or not isinstance(sink_port, NicPort)):
+            return "sink-unbatchable"
+        port._batch_sink = (wire, sink, sink_port)
     if not sink_port.batch_ready_rx():
         return "rx-waiters"
 
@@ -161,7 +380,6 @@ def detect_train(port: NicPort, start_ps: int,
                 return "multi-queue-ring"
             queue = None
         paced = False
-        budget = _space_signal_budget(queue) if queue is not None else None
     else:
         # Paced ring train: the MAC is idle between pacing ticks and frames
         # come straight off exactly one eligible ring on the limiter's
@@ -176,37 +394,94 @@ def detect_train(port: NicPort, start_ps: int,
         if not queue.rate_bps:
             return "multi-queue-ring"
         paced = True
-        budget = _space_signal_budget(queue)
-        if budget == 0:
-            # The very next fetch — which a paced train needs for its very
-            # next frame — would wake a parked producer: nothing to batch.
-            return "space-signal"
 
-    # In-flight frames must land strictly before the bound, or an
-    # observer scheduled at the bound could see them early.  Detach their
-    # drain events *before* computing the bound — otherwise those events
-    # clamp it to the very next arrival and no train could ever form.
+    # Backpressure modeling.  Fetches happen off an unpaced single ring
+    # (FIFO prefetch) or the paced ring itself; a declared producer send
+    # is modeled as a sawtooth, an undeclared parked producer bounds the
+    # train with a fetch budget, and an undeclared producer caught
+    # mid-``enqueue`` with frames still in hand refuses outright.
+    pend = None
+    budget = None
+    fetches_possible = queue is not None and (paced or not queue.rate_bps)
+    if fetches_possible:
+        pend = _resolve_pending(port, queue)
+    if port._in_enqueue and port._enqueue_short and (
+            pend is None or pend.parked):
+        # The producer whose partial ``enqueue`` this kick runs inside is
+        # not the one ``pend`` models (a parked pend owner cannot be
+        # mid-call): its continuation reads the ring at this instant.
+        return "producer-mid-call"
+    if pend is not None and not pend.parked:
+        # Shape (b): this kick runs inside the declared producer's own
+        # ``enqueue``.  Its continuation is the deterministic top-up spin
+        # of ``Task._send`` — perform it now (pure mutations at this
+        # instant), then latch ``defer`` so the unwinding producer parks
+        # instead of re-reading a ring the kernel has advanced past this
+        # instant.  A spin that *completes* the send hands control to
+        # arbitrary user code right here: refuse.
+        _model_enqueue_spin(port, queue, pend)
+        if pend.sent >= pend.total:
+            return "producer-mid-call"
+        pend.defer = True
+    if pend is None:
+        if fetches_possible:
+            budget = _space_signal_budget(queue)
+            if paced and budget == 0:
+                # The very next fetch — which a paced train needs for its
+                # very next frame — would wake a parked producer: nothing
+                # to batch.
+                return "space-signal"
+
+    # Detach the wire's in-flight entries *before* computing the bound —
+    # their drain events would otherwise clamp it to the very next
+    # arrival.  Entries landing at/after the bound are put straight back
+    # (their delivery events stay real); the kernel owns only the prefix.
     entries = wire.detach_pending()
     bound = loop.fast_forward_bound_ps()
-    if bound is None and budget is None:
-        # Empty heap and nobody parked on the space signal.  This kick may
-        # be running synchronously inside a producer's own ``enqueue`` —
-        # the producer is mid-call, its continuation event not yet
-        # scheduled — so an "unbounded" train would drain the ring before
-        # the producer ever feels queue-full backpressure, changing its
-        # park/resume instants.  A parked producer (``budget`` set) bounds
-        # the train intrinsically: the budget stops it one fetch short of
-        # the wakeup, which then replays event-wise at its exact instant.
-        # The tier's horizon cap below deliberately cannot rescue this
-        # case: it caps a train, it does not create a legitimate bound.
+    if bound is None and port._in_enqueue and (pend is None or pend.parked):
+        # Empty heap, and this kick is running synchronously inside an
+        # undeclared producer's ``enqueue`` — the producer is mid-call,
+        # its continuation event not yet scheduled — so an "unbounded"
+        # train would drain the ring before the producer ever feels
+        # queue-full backpressure, changing its park/resume instants.  A
+        # declared send (``pend``) or a kick outside any enqueue (a pure
+        # drain: link-up, fault-clear, ``_mac_done``) is intrinsically
+        # bounded by the staged work.  The tier's horizon cap below
+        # deliberately cannot rescue this case: it caps a train, it does
+        # not create a legitimate bound.
         wire.reattach_pending(entries)
         return "unbounded"
+    if bound is not None:
+        # Cross-chain extension: push the bound past provably independent
+        # foreign TX chains' per-frame events (the multi-pipeline case
+        # where two disjoint port->sink flows otherwise strangle each
+        # other's trains to single frames).  The unbounded refusal above
+        # was applied against the *plain* bound on purpose: an extension
+        # to "no bound at all" must not resurrect a refused kick, so an
+        # undeclared mid-enqueue producer keeps the plain bound instead.
+        extended = _chain_bound(loop, port, sink_port, bound)
+        if extended is not None or not (
+                port._in_enqueue and (pend is None or pend.parked)):
+            bound = extended
     if horizon_ps is not None:
         limit = start_ps + horizon_ps
         if bound is None or limit < bound:
             bound = limit
-    if bound is not None and entries and entries[-1][1] >= bound:
+    if bound is not None and bound <= start_ps:
+        # The next live event lands before the in-flight frame's MAC even
+        # ends: no frame can serialize before the bound, so skip the
+        # kernel dispatch outright (the common shape right after a train
+        # ran up against a producer timer).  In-flight deliveries keep
+        # their real events.
         wire.reattach_pending(entries)
-        return "inflight-past-bound"
+        return "horizon"
+    if bound is not None and entries and entries[-1][1] >= bound:
+        # Split at the bound: the suffix stays in flight with real
+        # delivery events; the kernel delivers the prefix synchronously.
+        split = len(entries) - 1
+        while split > 0 and entries[split - 1][1] >= bound:
+            split -= 1
+        wire.reattach_pending(entries[split:])
+        entries = entries[:split]
     return Train(port, wire, queue, paced, bound, wire._latency_ps,
-                 entries, budget)
+                 entries, budget, pend)

@@ -27,13 +27,17 @@ Two kernels:
 
 A train stops at the first of: the bound (next live event / run horizon /
 tier train cap), a timestamp-marked frame, the space-signal fetch budget,
-or ring + FIFO exhaustion.  The caller schedules the port's ``_mac_done``
-at the returned MAC-free time, so whatever stopped the train replays
-event-wise at its exact instant.
+or ring + FIFO exhaustion.  Unbounded trains (``bound_ps is None`` —
+nothing else live in the heap) drain to exhaustion and additionally
+schedule the wire's final delivery instant, so the loop clock ends where
+the event path's last arrival would have left it.  The caller schedules
+the port's ``_mac_done`` at the returned MAC-free time, so whatever
+stopped the train replays event-wise at its exact instant.
 """
 
 from __future__ import annotations
 
+from itertools import islice as _islice
 from types import MethodType as _MethodType
 from typing import Tuple
 
@@ -43,15 +47,14 @@ from repro.errors import QueueError
 
 _PB_RECYCLE = _PacketBuffer.recycle
 
-try:
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy ships with the toolchain
-    _np = None
+from repro.batch import _vec
 
 #: Below this many frames, scalar arithmetic beats array set-up costs.
 _VECTOR_MIN = 64
 #: Minimum drain length worth a planning pass at all.
 _PLAN_MIN = 16
+#: Minimum planned span worth the bulk drop path's prefix scan.
+_BULK_MIN = 8
 
 
 def run_train(train, start_ps: int) -> Tuple[int, int]:
@@ -68,8 +71,22 @@ def run_train(train, start_ps: int) -> Tuple[int, int]:
         for frame, arrival in entries:
             sink(frame, arrival)
     if train.paced:
-        return _paced_ring_train(train, start_ps)
-    return _fifo_train(train, start_ps)
+        end_ps, sent = _paced_ring_train(train, start_ps)
+    else:
+        end_ps, sent = _fifo_train(train, start_ps)
+    if train.bound_ps is None and (sent or entries):
+        # Unbounded (pure-drain) train: a bounded plan only sends frames
+        # arriving strictly before the bound event, but here the last
+        # arrivals land *after* the ``_mac_done`` the caller schedules —
+        # with cable latency, after every remaining event.  The event path
+        # would have ended the lull on the wire's own drain event at the
+        # final delivery stamp; schedule that exact (now no-op) event so
+        # the loop clock advances identically.
+        wire = train.wire
+        last = wire._last_delivery_ps
+        if last > end_ps:
+            wire.loop.schedule_at(last, wire._deliver_due)
+    return end_ps, sent
 
 
 def _plan_drain(fifo, card, speed, end_ps, bound, latency) -> int:
@@ -116,9 +133,8 @@ def _plan_drain(fifo, card, speed, end_ps, bound, latency) -> int:
         total += mac
         if total > headroom:
             break
-    if _np is not None and len(macs) >= _VECTOR_MIN:
-        cum = _np.cumsum(_np.asarray(macs, dtype=_np.int64))
-        return int(_np.searchsorted(cum, headroom, side="right"))
+    if len(macs) >= _VECTOR_MIN:
+        return _vec.plan_limit(macs, headroom)
     count = 0
     running = 0
     for mac in macs:
@@ -141,6 +157,23 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
     source = train.queue
     budget = train.fetch_budget
     fifo_cap = port.chip.tx_fifo_bytes
+    # Declared producer send: modeled as a closed-form sawtooth.  Each
+    # descriptor fetch that crosses the wake line (ring drained, or
+    # ``space_wake_threshold`` slots free) tops the ring up by exactly
+    # the freed slots — the ``min(free, remaining)`` chunk the woken
+    # ``Task._send`` would push synchronously from inside the fetch's
+    # signal trigger, with no cycle charge — and the producer re-parks.
+    # The wake that would *complete* the send stops the train before its
+    # fetch: the scheduled ``_mac_done`` replays it event-wise, and the
+    # producer's continuation (arbitrary user code) runs at its exact
+    # event-path instant.
+    pend = train.pend
+    if pend is not None:
+        pframes = pend.frames
+        psent = pend.sent
+        ptotal = pend.total
+        ring_size = source.ring_size
+        wake_thresh = source.space_wake_threshold
     # The prefetcher only pulls from an unpaced single-queue ring; a rate
     # set after frames were staged still advances the limiter per frame.
     can_fetch = source is not None and not source.rate_bps
@@ -203,8 +236,16 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
     sent = 0
     sent_bytes = 0
     while True:
-        if can_fetch:
-            # Descriptor DMA the event path would run at this kick.  A
+        if can_fetch and (bound is None or end_ps < bound):
+            # Descriptor DMA the event path would run at this kick — the
+            # kick at ``end_ps``.  When that kick lies at/past the bound
+            # (possible only on the first iteration: ``start_ps`` is the
+            # in-flight frame's MAC end, which the bound does not clamp),
+            # the event path runs its prefetch *after* the bound, so
+            # modeling it here would leak future fetches into state an
+            # observer at the bound can see.  Skip it: the scheduled
+            # ``_mac_done`` performs it for real.
+            # A
             # fetch past the budget would fire the space signal, and the
             # woken producer must run at this exact instant: stop the
             # train *before* the kick — the scheduled ``_mac_done``
@@ -218,9 +259,23 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
                 if budget is not None and fetches >= budget:
                     hit_budget = True
                     break
+                wake = 0
+                if pend is not None:
+                    # Post-pop ring occupancy decides the wake, exactly
+                    # the check ``_fetch_from_ring`` performs after
+                    # popping.
+                    ring_len = len(ring) - 1
+                    free_after = ring_size - ring_len
+                    if ring_len == 0 or free_after >= wake_thresh:
+                        if ptotal - psent <= free_after:
+                            # Completing wake: stop before this fetch.
+                            hit_budget = True
+                            break
+                        wake = free_after
                 frame = ring.popleft()
-                recycle = frame.meta.pop("recycle", None)
+                recycle = frame.recycle
                 if recycle is not None:
+                    frame.recycle = None
                     if (type(recycle) is _MethodType
                             and recycle.__func__ is _PB_RECYCLE):
                         # PacketBuffer.recycle -> MemPool.give_back, inlined.
@@ -236,19 +291,228 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
                             fsig.trigger()
                     else:
                         recycle()
+                else:
+                    recycle = frame.meta.pop("recycle", None)
+                    if recycle is not None:
+                        recycle()
                 fifo.append((frame, source))
                 fifo_bytes += frame.size
                 fetches += 1
+                if wake:
+                    ring.extend(pframes[psent:psent + wake])
+                    psent += wake
             if hit_budget:
                 break
         if not fifo:
             break
+        if (can_fetch and ring and hoist_q and inline_rx
+                and len(rx_ring) >= rx_cap):
+            # Fused steady-state cycles.  With the FIFO topped up and the
+            # ring still holding descriptors, the event path strictly
+            # alternates one head drain with one same-size fetch (each
+            # drained byte re-opens exactly one fetched byte of FIFO
+            # room), the rx ring is full (every drain overflows back into
+            # its frame pool), and — as in the bulk drop path — an
+            # unclamped first frame makes the wire stamps a pure
+            # arithmetic progression.  Process ``n`` whole cycles at
+            # once, where ``n`` stops short of the first wake line,
+            # budget exhaustion, bound crossing, pool-capacity edge, or
+            # non-uniform frame; the outer loop replays whichever of
+            # those comes next through the exact scalar arithmetic.
+            frame0 = fifo[0][0]
+            size0 = frame0.size
+            if size0 != mt_size:
+                mt_val = eff_time(frame0, speed)
+                mt_ser = ser_cache.get(size0)
+                if mt_ser is None:
+                    mt_ser = units.frame_time_ps(size0, wire_speed)
+                    ser_cache[size0] = mt_ser
+                mt_size = size0
+            mac_time = mt_val
+            pool0 = frame0.pool
+            # Rx-side PTP latch precheck, per segment: frames under 80
+            # bytes can only be PTP-over-Ethernet (EtherType 0x88F7), so
+            # a per-frame byte-12 test below suffices; larger frames
+            # would need the full ``is_ptp`` parse — leave those to the
+            # scalar path, which performs it.
+            hw12 = hw_ts and size0 > 16
+            n = 0 if (hw_ts and size0 >= 80) else len(ring)
+            if pend is not None:
+                # First wake fires at the fetch whose post-pop occupancy
+                # drains the ring or frees ``wake_thresh`` slots; stay
+                # strictly before it.
+                p_wake = n - (ring_size - wake_thresh)
+                n = (p_wake if p_wake < n else n) - 1
+            if budget is not None:
+                rem = budget - fetches
+                if rem < n:
+                    n = rem
+            if bound is not None:
+                n_b = (bound - latency - end_ps - 1) // mac_time
+                if n_b < n:
+                    n = n_b
+            room = lp_max - len(lp_free) if pool0 is lp_pool else 0
+            if pool0 is not None and pool0 is not lp_pool:
+                lp_pool = pool0
+                lp_free = pool0._free
+                lp_max = pool0.max_free
+                room = lp_max - len(lp_free)
+            if room < n:
+                n = room
+            if (n >= _BULK_MIN and pool0 is not None
+                    and wire_busy <= end_ps
+                    and wire_last < end_ps + mt_ser + latency):
+                m = 0
+                for rf in _islice(ring, n):
+                    if rf.size != size0:
+                        break
+                    m += 1
+                if m < n:
+                    n = m
+                k = 0
+                if n >= _BULK_MIN:
+                    # Drain-and-release in one pass: a frame that fails a
+                    # check simply ends the segment at ``k`` whole cycles
+                    # (any smaller ``n`` is an equally valid segment).
+                    pop_fifo = fifo.popleft
+                    lp_append = lp_free.append
+                    while k < n:
+                        f = fifo[0][0]
+                        if (f.size != size0 or not f.fcs_ok
+                                or f.pool is not pool0
+                                or f.meta.get("timestamp")
+                                or (hw12 and f.data[12] == 0x88)):
+                            break
+                        pop_fifo()
+                        f.pool = None
+                        f.data = b""
+                        if f.meta:
+                            f.meta = {}
+                        lp_append(f)
+                        k += 1
+                if k:
+                    rpop = ring.popleft
+                    fappend = fifo.append
+                    seg_pool = None
+                    for _ in range(k):
+                        frame = rpop()
+                        rec = frame.recycle
+                        if rec is not None:
+                            frame.recycle = None
+                            if (type(rec) is _MethodType
+                                    and rec.__func__ is _PB_RECYCLE):
+                                buf = rec.__self__
+                                if buf.in_pool:
+                                    raise QueueError(
+                                        "double free of a packet buffer")
+                                buf.in_pool = True
+                                bpool = buf.pool
+                                if bpool is not seg_pool:
+                                    seg_pool = bpool
+                                    seg_append = bpool._free.append
+                                    seg_sig = bpool.free_signal
+                                seg_append(buf)
+                                if seg_sig._waiters:
+                                    seg_sig.trigger()
+                            else:
+                                rec()
+                        else:
+                            rec = frame.meta.pop("recycle", None)
+                            if rec is not None:
+                                rec()
+                        fappend((frame, source))
+                    fetches += k
+                    kb = k * size0
+                    rx_seen += k
+                    rx_seen_bytes += kb
+                    rx_missed += k
+                    sent += k
+                    sent_bytes += kb
+                    end_ps += k * mac_time
+                    wire_busy = end_ps - mac_time + mt_ser
+                    wire_last = wire_busy + latency
+                    last_mac = mac_time
+                    continue
         plan = 0
         if (not can_fetch or not ring) and len(fifo) >= _PLAN_MIN:
             # Pure drain from here on: no fetch can interleave, so the
             # whole remaining span is plannable in one pass and the
             # per-frame timestamp/bound checks are skipped for it.
             plan = _plan_drain(fifo, card, speed, end_ps, bound, latency)
+            if (plan >= _BULK_MIN and hoist_q and inline_rx
+                    and len(rx_ring) >= rx_cap):
+                # Bulk drop path: the rx ring is full (it cannot drain
+                # mid-train — that would take an event), so every planned
+                # frame overflows straight back into its buffer pool.
+                # For a uniform-size, clean-FCS, single-pool prefix the
+                # per-frame work collapses to the shell release, and the
+                # wire stamps close over the span: MAC occupancy >= wire
+                # serialization means no frame after an unclamped one can
+                # hit the busy/arrival clamps, so requiring frame 0
+                # unclamped (the two preconditions below) makes every
+                # start/arrival a pure arithmetic progression.
+                frame0 = fifo[0][0]
+                size0 = frame0.size
+                if size0 != mt_size:
+                    mt_val = eff_time(frame0, speed)
+                    mt_ser = ser_cache.get(size0)
+                    if mt_ser is None:
+                        mt_ser = units.frame_time_ps(size0, wire_speed)
+                        ser_cache[size0] = mt_ser
+                    mt_size = size0
+                pool0 = frame0.pool
+                # Same per-segment PTP precheck as the fused path.
+                hw12 = hw_ts and size0 > 16
+                if (pool0 is not None and not (hw_ts and size0 >= 80)
+                        and wire_busy <= end_ps
+                        and wire_last < end_ps + mt_ser + latency):
+                    if pool0 is not lp_pool:
+                        lp_pool = pool0
+                        lp_free = pool0._free
+                        lp_max = pool0.max_free
+                    room = lp_max - len(lp_free)
+                    cap = plan if plan < room else room
+                    bulk = []
+                    bappend = bulk.append
+                    for entry in _islice(fifo, cap):
+                        f = entry[0]
+                        if (f.size != size0 or not f.fcs_ok
+                                or f.pool is not pool0
+                                or (hw12 and f.data[12] == 0x88)):
+                            break
+                        bappend(f)
+                    k = len(bulk)
+                    if k:
+                        if k == len(fifo):
+                            fifo.clear()
+                        else:
+                            pop = fifo.popleft
+                            for _ in range(k):
+                                pop()
+                        # Released-and-cleared, as in the scalar drop
+                        # path: ``receive`` replaces meta wholesale, so
+                        # the tx stamp is unobservable — skip it.
+                        for f in bulk:
+                            f.pool = None
+                            f.data = b""
+                            if f.meta:
+                                f.meta = {}
+                        lp_free.extend(bulk)
+                        kb = k * size0
+                        mac_time = mt_val
+                        fifo_bytes -= kb
+                        rx_seen += k
+                        rx_seen_bytes += kb
+                        rx_missed += k
+                        sent += k
+                        sent_bytes += kb
+                        end_ps += k * mac_time
+                        wire_busy = end_ps - mac_time + mt_ser
+                        wire_last = wire_busy + latency
+                        last_mac = mac_time
+                        plan -= k
+                        if not fifo:
+                            break
         while True:
             frame = fifo[0][0]
             meta = frame.meta
@@ -320,7 +584,8 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
                         # path wrote first is unobservable — skip it.
                         frame.pool = None
                         frame.data = b""
-                        frame.meta = {}
+                        if frame.meta:
+                            frame.meta = {}
                         lp_free.append(frame)
                     else:
                         meta["tx_start_ps"] = end_ps
@@ -355,6 +620,10 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
                 break
         if fifo_stop:
             break
+    if pend is not None:
+        # The woken producer (or its deferred in-flight enqueue) resumes
+        # from exactly this offset.
+        pend.sent = psent
     port._fifo_bytes = fifo_bytes
     wire.busy_until_ps = wire_busy
     wire._last_delivery_ps = wire_last
@@ -389,13 +658,21 @@ def _paced_ring_train(train, start_ps: int) -> Tuple[int, int]:
     bound = train.bound_ps
     latency = train.latency_ps
     budget = train.fetch_budget
+    pend = train.pend
+    if pend is not None:
+        pframes = pend.frames
+        psent = pend.sent
+        ptotal = pend.total
+        ring_size = queue.ring_size
+        wake_thresh = queue.space_wake_threshold
     mac_free = start_ps
     sent = 0
     sent_bytes = 0
     while ring:
         if budget is not None and sent >= budget:
-            # The next fetch would wake a parked producer; its wakeup
-            # replays event-wise at the next transmit instant.
+            # The next fetch would wake a parked producer no PendingSend
+            # models; its wakeup replays event-wise at the next transmit
+            # instant.
             break
         frame = ring[0]
         if frame.meta.get("timestamp"):
@@ -406,7 +683,32 @@ def _paced_ring_train(train, start_ps: int) -> Tuple[int, int]:
         mac_time = card.effective_frame_time_ps(frame, speed)
         if bound is not None and start + mac_time + latency >= bound:
             break
-        port._fetch_from_ring(queue, None)
+        wake = 0
+        if pend is not None:
+            # Same closed-form sawtooth as the FIFO kernel: the fetch's
+            # post-pop occupancy decides the wake; a completing wake
+            # replays event-wise (stop before the fetch).
+            ring_len = len(ring) - 1
+            free_after = ring_size - ring_len
+            if ring_len == 0 or free_after >= wake_thresh:
+                if ptotal - psent <= free_after:
+                    break
+                wake = free_after
+        # ``_fetch_from_ring`` inlined minus tracer (disabled) and the
+        # space-signal trigger (modeled above for a declared pend; the
+        # fetch budget proves it cannot fire otherwise).
+        ring.popleft()
+        recycle = frame.recycle
+        if recycle is not None:
+            frame.recycle = None
+            recycle()
+        else:
+            recycle = frame.meta.pop("recycle", None)
+            if recycle is not None:
+                recycle()
+        if wake:
+            ring.extend(pframes[psent:psent + wake])
+            psent += wake
         size = frame.size
         frame.meta["tx_start_ps"] = start
         wire.fast_transmit(frame, size, start)
@@ -416,6 +718,8 @@ def _paced_ring_train(train, start_ps: int) -> Tuple[int, int]:
         mac_free = start + mac_time
         sent += 1
         sent_bytes += size
+    if pend is not None:
+        pend.sent = psent
     if sent:
         port.tx_packets += sent
         port.tx_bytes += sent_bytes

@@ -437,6 +437,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                            smoke=args.smoke, jobs=jobs,
                            sweep_wall_s=sweep_wall_s, batch=args.batch)
     print(perf.format_report(doc))
+    if args.batch and args.verbose:
+        for name in sorted(results):
+            stats = results[name].get("batch_stats")
+            if not isinstance(stats, dict):
+                continue
+            print(f"\n{name}: batch tier — {stats['frames']} frames in "
+                  f"{stats['trains']} trains, "
+                  f"~{stats['events_saved']} events saved")
+            fallbacks = stats.get("fallbacks") or {}
+            if fallbacks:
+                print(f"  {'fallback reason':<24} {'kicks':>8}")
+                for reason, count in sorted(fallbacks.items(),
+                                            key=lambda kv: -kv[1]):
+                    print(f"  {reason:<24} {count:>8}")
+            else:
+                print("  no event-path fallbacks")
     print(f"\nsuite wall time {sweep_wall_s:.2f} s with jobs={jobs}")
     print(f"wrote {args.out} (+ manifest)")
     if args.metrics:
@@ -595,6 +611,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "results land in the '-batch' modes and "
                         "delta_vs_event records the speedup over the "
                         "event-by-event baseline")
+    p.add_argument("--verbose", action="store_true",
+                   help="with --batch: per-scenario batch-tier table "
+                        "(trains, frames, events saved, and a fallback-"
+                        "reason breakdown)")
     p.add_argument("--scenario", action="append", dest="scenarios",
                    help="run only this scenario (repeatable)")
     p.add_argument("--repeats", type=int, default=3,

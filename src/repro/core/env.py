@@ -134,6 +134,33 @@ class MoonGenEnv:
                      "fast lane")
             if self.injector is not None:
                 self.injector.register_metrics(registry)
+            if self.batch is not None:
+                # Batch-tier self-accounting.  These describe the
+                # *scheduler's* work, not the simulated world, so every
+                # fingerprint comparison between batch and event runs
+                # excludes the ``batch.`` prefix (alongside ``loop.``).
+                from repro.batch import FALLBACK_REASONS
+
+                tier = self.batch
+                registry.counter(
+                    "batch.trains", lambda: tier.trains,
+                    help="event trains executed arithmetically")
+                registry.counter(
+                    "batch.frames", lambda: tier.frames,
+                    help="frames sent through batch kernels")
+                registry.counter(
+                    "batch.events_saved", lambda: tier.events_saved,
+                    help="events the discrete loop would have scheduled "
+                         "for the batched frames")
+                reasons = tuple(FALLBACK_REASONS)
+                if "horizon" not in reasons:
+                    reasons += ("horizon",)
+                for reason in reasons:
+                    registry.counter(
+                        f"batch.fallback.{reason}",
+                        lambda r=reason: tier.fallbacks.get(r, 0),
+                        help=f"kicks that fell back to event execution "
+                             f"({reason})")
 
     # -- time -----------------------------------------------------------------
 

@@ -140,9 +140,11 @@ class MemPool:
             )
         out = []
         free = self._free
+        pop = free.popleft
         append = out.append
-        while free and len(out) < n:
-            buf = free.popleft()
+        k = 0
+        while free and k < n:
+            buf = pop()
             buf.in_pool = False
             # Inlined reset_flags() + the pkt.size setter (bounds already
             # checked once above): this loop runs once per packet sent.
@@ -152,6 +154,7 @@ class MemPool:
             buf.corrupt_fcs = False
             buf.pkt._size = size
             append(buf)
+            k += 1
         return out
 
     def give_back(self, buf: PacketBuffer) -> None:

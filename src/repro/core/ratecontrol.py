@@ -27,11 +27,24 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from repro import units
 from repro.errors import ConfigurationError, GapError
 from repro.core.memory import MemPool
+
+
+def _require_numpy() -> None:
+    """Traffic patterns draw/shape gap arrays with numpy; the batch tier
+    and the plain event-driven paths do not.  Fail loudly, not with an
+    ``AttributeError`` on ``None``."""
+    if np is None:
+        raise ConfigurationError(
+            "numpy is required for traffic patterns / gap planning "
+            "(pip install numpy, or the repo's [test] extra)")
 
 #: Wire length below which the NICs refuse to send at all (Section 8.1).
 HARD_MIN_WIRE = units.MIN_WIRE_LENGTH  # 33 bytes
@@ -72,6 +85,7 @@ class CbrPattern(TrafficPattern):
     pps: float
 
     def __post_init__(self) -> None:
+        _require_numpy()
         if self.pps <= 0:
             raise ConfigurationError(f"packet rate must be positive: {self.pps}")
 
@@ -91,6 +105,7 @@ class PoissonPattern(TrafficPattern):
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        _require_numpy()
         if self.pps <= 0:
             raise ConfigurationError(f"packet rate must be positive: {self.pps}")
         self._rng = np.random.default_rng(self.seed)
@@ -116,6 +131,7 @@ class UniformBurstPattern(TrafficPattern):
     speed_bps: int = units.SPEED_10G
 
     def __post_init__(self) -> None:
+        _require_numpy()
         if self.burst_size < 1:
             raise ConfigurationError(f"burst size must be >= 1: {self.burst_size}")
         if self.pps <= 0:
@@ -146,6 +162,7 @@ class CustomGapPattern(TrafficPattern):
     gaps: Sequence[float]
 
     def __post_init__(self) -> None:
+        _require_numpy()
         if len(self.gaps) == 0:
             raise ConfigurationError("empty gap sequence")
         if any(g < 0 for g in self.gaps):
@@ -285,6 +302,7 @@ class GapFiller:
         are physically impossible (the packet itself occupies the wire) and
         raise :class:`GapError` unless within rounding distance.
         """
+        _require_numpy()
         desired = np.asarray(list(desired_gaps_ns), dtype=float)
         if desired.size == 0:
             raise GapError("no gaps to plan")

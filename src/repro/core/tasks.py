@@ -19,7 +19,13 @@ from repro.core.queues import RxPacket
 from repro.errors import TaskError
 from repro.nicsim.cpu import CpuCore
 from repro.nicsim.eventloop import Signal, wait_any
-from repro.nicsim.nic import SimFrame, default_frame_pool
+from repro.nicsim.nic import (
+    _FCS_SIZE,
+    _WIRE_OVERHEAD,
+    _frame_seq,
+    SimFrame,
+    default_frame_pool,
+)
 from repro.packet.packet import PacketData
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -59,7 +65,7 @@ def materialize_frame(buf: PacketBuffer) -> SimFrame:
     frame = default_frame_pool.acquire(payload, fcs_ok=not buf.corrupt_fcs)
     if buf.timestamp_flag:
         frame.meta["timestamp"] = True
-    frame.meta["recycle"] = buf.recycle_hook
+    frame.recycle = buf.recycle_hook
     return frame
 
 
@@ -67,23 +73,47 @@ def materialize_frames(bufs: List[PacketBuffer]) -> List[SimFrame]:
     """Materialize a whole batch; semantics of :func:`materialize_frame`.
 
     The per-packet call and global-pool lookup are measurable at line
-    rate, so the plain no-offload path is unrolled here; offloaded
-    buffers take the full per-frame path.
+    rate, so the plain no-offload path is unrolled here — including
+    ``FramePool.acquire`` itself, whose shell reset is rewritten inline
+    (the ``recycle`` slot is reassigned per frame, never left stale);
+    offloaded buffers take the full per-frame path.
     """
-    acquire = default_frame_pool.acquire
+    pool = default_frame_pool
+    free = pool._free
+    fpop = free.pop
+    seq_next = _frame_seq.__next__
     out: List[SimFrame] = []
     append = out.append
+    recycled = 0
     for buf in bufs:
         if buf.offload_ip or buf.offload_l4:
             append(materialize_frame(buf))
             continue
         pkt = buf.pkt
-        frame = acquire(bytes(memoryview(pkt.data)[:pkt._size]),
-                        not buf.corrupt_fcs)
-        if buf.timestamp_flag:
-            frame.meta["timestamp"] = True
-        frame.meta["recycle"] = buf.recycle_hook
+        psize = pkt._size
+        data = bytes(memoryview(pkt.data)[:psize])
+        if free:
+            frame = fpop()
+            frame.data = data
+            frame.fcs_ok = not buf.corrupt_fcs
+            frame.seq = seq_next()
+            size = psize + _FCS_SIZE
+            frame.size = size
+            frame.wire_size = size + _WIRE_OVERHEAD
+            frame.pool = pool
+            frame.recycle = buf.recycle_hook
+            recycled += 1
+            if buf.timestamp_flag:
+                frame.meta["timestamp"] = True
+        else:
+            frame = SimFrame(data, not buf.corrupt_fcs)
+            frame.pool = pool
+            frame.recycle = buf.recycle_hook
+            if buf.timestamp_flag:
+                frame.meta["timestamp"] = True
         append(frame)
+    if recycled:
+        pool.recycled += recycled
     return out
 
 
@@ -204,15 +234,33 @@ class Task:
         frames = materialize_frames(bufs.release())
         sim = op.queue.sim
         total = len(frames)
-        sent = sim.enqueue(frames)
-        while sent < total:
-            sent += sim.enqueue(frames, start=sent)
-            # Park only while the ring is genuinely full: the enqueue's own
-            # kick may have drained descriptors into the NIC FIFO already,
-            # in which case the next enqueue attempt succeeds immediately
-            # (the busy-wait loop of a real DPDK app).
-            if sent < total and sim.free_slots == 0:
-                yield sim.space_signal
+        pend = sim.open_send(frames)
+        if pend is None:
+            # A second concurrent send on this queue: undeclared busy-wait
+            # protocol (the batch tier cannot model its park/wake instants).
+            sent = sim.enqueue(frames)
+            while sent < total:
+                sent += sim.enqueue(frames, start=sent)
+                if sent < total and sim.free_slots == 0:
+                    yield sim.space_signal
+            return total
+        try:
+            # Drive progress off the declared handle, not a local counter:
+            # a batch kernel may have pushed the remainder arithmetically
+            # while this task was parked, advancing ``pend.sent`` for us.
+            sim.enqueue(frames)
+            while pend.sent < total:
+                sim.enqueue(frames, start=pend.sent)
+                # Park only while the ring is genuinely full: the enqueue's
+                # own kick may have drained descriptors into the NIC FIFO
+                # already, in which case the next enqueue attempt succeeds
+                # immediately (the busy-wait loop of a real DPDK app).
+                if pend.sent < total and (sim.free_slots == 0 or pend.defer):
+                    pend.parked = True
+                    yield sim.space_signal
+                    pend.parked = False
+        finally:
+            sim.close_send(pend)
         return total
 
     def _pipe_recv(self, op: PipeRecvOp):

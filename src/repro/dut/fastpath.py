@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
+from repro._optional import np, require_numpy
 
 from repro.dut.interrupts import InterruptModerator, ItrConfig
 
@@ -82,6 +82,7 @@ def simulate_forwarder(
     pipeline_ns: float = DEFAULT_PIPELINE_NS,
 ) -> FastForwarderResult:
     """Run the forwarder over sorted packet arrival times (ns)."""
+    require_numpy("the vectorized DuT fastpath")
     arrivals = np.asarray(arrivals_ns, dtype=float)
     if arrivals.size == 0:
         raise ValueError("no arrivals")

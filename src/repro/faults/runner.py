@@ -151,11 +151,12 @@ def run_plan(
         result["dut_rx_dropped"] = dut.rx_dropped
     if snapshotter is not None:
         snapshotter.finalize()
-        # ``loop.*`` is scheduler self-accounting: the batch tier changes
-        # it while leaving the simulated world bit-identical, and the
-        # fingerprint must hold across serial/sharded *and* batch/event.
+        # ``loop.*`` and ``batch.*`` are scheduler self-accounting: the
+        # batch tier changes them while leaving the simulated world
+        # bit-identical, and the fingerprint must hold across
+        # serial/sharded *and* batch/event.
         result["metrics_fingerprint"] = snapshotter.series.fingerprint(
-            exclude_prefixes=("loop.",))
+            exclude_prefixes=("loop.", "batch."))
     result["fingerprint"] = fingerprint_of(result)
     return result
 

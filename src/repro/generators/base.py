@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
+from repro._optional import np, require_numpy
 
 from repro import units
 
@@ -36,6 +36,7 @@ def enforce_wire_spacing(gaps_ns: np.ndarray, frame_size: int = 64,
     the average rate stays intact.
     """
     floor = wire_gap_ns(frame_size, speed_bps)
+    require_numpy("generator departure models")
     gaps = np.asarray(gaps_ns, dtype=float).copy()
     deficit = float(np.sum(np.maximum(floor - gaps, 0.0)))
     np.maximum(gaps, floor, out=gaps)
@@ -136,6 +137,7 @@ class DepartureModel:
     def departures_ns(self, pps: float, n: int, seed: int = 0,
                       start_ns: float = 0.0) -> np.ndarray:
         """Departure (start) times of ``n`` packets."""
+        require_numpy("generator departure models")
         gaps = self.gaps_ns(pps, n - 1, seed) if n > 1 else np.empty(0)
         times = np.empty(n)
         times[0] = start_ns

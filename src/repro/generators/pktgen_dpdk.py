@@ -10,7 +10,7 @@ at 1000 kpps).
 
 from __future__ import annotations
 
-import numpy as np
+from repro._optional import np, require_numpy
 
 from repro import units
 from repro.generators.base import (
@@ -59,5 +59,6 @@ class PktgenDpdkModel(DepartureModel):
         self.speed_bps = speed_bps
 
     def gaps_ns(self, pps: float, n: int, seed: int = 0) -> np.ndarray:
+        require_numpy("generator departure models")
         rng = np.random.default_rng(seed + 1)
         return self._apply_profile(_PROFILE_500K, _PROFILE_1000K, pps, n, rng)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-import numpy as np
+from repro._optional import np, require_numpy
 
 from repro import units
 from repro.generators.base import DepartureModel, wire_gap_ns
@@ -93,6 +93,7 @@ class ZsendModel(DepartureModel):
         self.speed_bps = speed_bps
 
     def gaps_ns(self, pps: float, n: int, seed: int = 0) -> np.ndarray:
+        require_numpy("generator departure models")
         rng = np.random.default_rng(seed + 2)
         profile = _blend(pps)
         base = units.NS_PER_S / pps

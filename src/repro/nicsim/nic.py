@@ -59,7 +59,8 @@ class SimFrame:
     wire, and DUT models read them several times per frame.
     """
 
-    __slots__ = ("data", "fcs_ok", "seq", "meta", "size", "wire_size", "pool")
+    __slots__ = ("data", "fcs_ok", "seq", "meta", "size", "wire_size", "pool",
+                 "recycle")
 
     def __init__(self, data: bytes, fcs_ok: bool = True) -> None:
         self.data = data
@@ -73,6 +74,12 @@ class SimFrame:
         self.wire_size = size + _WIRE_OVERHEAD
         #: Owning :class:`FramePool`, or ``None`` for unpooled frames.
         self.pool: Optional["FramePool"] = None
+        #: Descriptor-fetch hook: called (and cleared) when the NIC DMAs
+        #: this frame out of a tx ring — the mempool recycle of Section
+        #: 4.2.  A dedicated slot because it exists on every transmitted
+        #: frame; ``meta["recycle"]`` is still honoured as a fallback for
+        #: hand-built frames.
+        self.recycle = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"SimFrame(seq={self.seq}, size={self.size}, "
@@ -179,7 +186,12 @@ class FramePool:
         frame.pool = None
         if len(self._free) < self.max_free:
             frame.data = b""
-            frame.meta = {}
+            # An unfetched frame can reach end-of-life (transmit into an
+            # unwired port) with its hook still set; a stale hook on a
+            # reused shell would recycle the wrong buffer.
+            frame.recycle = None
+            if frame.meta:
+                frame.meta = {}
             self._free.append(frame)
 
 
@@ -262,12 +274,44 @@ CHIP_XL710 = ChipModel(
 DEFAULT_RING_SIZE = 512
 
 
+class PendingSend:
+    """A producer's in-progress blocking send, visible to the NIC.
+
+    Producers that push a frame batch and park on ``space_signal`` until
+    the whole batch is ringed (``Task._send``) open one of these around
+    the operation.  ``enqueue`` advances :attr:`sent` as descriptors are
+    accepted, and :attr:`parked` marks the spans spent waiting on the
+    space signal.  The batch tier reads the handle to model the producer's
+    park/wake sawtooth in closed form — and *writes* :attr:`sent` when a
+    kernel performs the producer's pushes arithmetically, so the woken
+    producer resumes from the right offset either way.
+
+    :attr:`defer` is the tier's hand-off latch for a producer caught
+    *mid-call* (inside its own ``enqueue``): the detector performs the
+    producer's post-kick pushes up front, then sets ``defer`` so the
+    producer's in-flight ``enqueue`` returns 0 and the task parks on the
+    space signal even though slots may be free.  ``_fetch_from_ring``
+    clears the latch at the instant it would genuinely wake the producer,
+    restoring the ordinary sawtooth.
+    """
+
+    __slots__ = ("frames", "total", "sent", "parked", "defer")
+
+    def __init__(self, frames: List["SimFrame"]) -> None:
+        self.frames = frames
+        self.total = len(frames)
+        self.sent = 0
+        self.parked = False
+        self.defer = False
+
+
 class TxQueueSim:
     """A transmit queue: descriptor ring + optional hardware rate limiter."""
 
     __slots__ = ("port", "index", "ring_size", "ring", "space_signal",
                  "space_wake_threshold", "rate_bps", "next_allowed_ps",
-                 "_rate_error_ps", "tx_packets", "tx_bytes", "stalled")
+                 "_rate_error_ps", "tx_packets", "tx_bytes", "stalled",
+                 "pending_send")
 
     def __init__(self, port: "NicPort", index: int,
                  ring_size: int = DEFAULT_RING_SIZE) -> None:
@@ -292,10 +336,30 @@ class TxQueueSim:
         #: accumulate in the ring and producers back-pressure on the space
         #: signal.  Cleared by the injector, which then kicks the MAC.
         self.stalled = False
+        #: The one blocking send in progress on this queue (or ``None``);
+        #: see :class:`PendingSend`.
+        self.pending_send: Optional[PendingSend] = None
 
     @property
     def free_slots(self) -> int:
         return self.ring_size - len(self.ring)
+
+    def open_send(self, frames: List["SimFrame"]) -> Optional["PendingSend"]:
+        """Declare a blocking batch send; ``None`` if one is already open.
+
+        A second concurrent producer on the same queue falls back to the
+        undeclared busy-wait protocol (the batch tier then refuses to model
+        its park/wake instants — correct, just slower).
+        """
+        if self.pending_send is not None:
+            return None
+        pend = PendingSend(frames)
+        self.pending_send = pend
+        return pend
+
+    def close_send(self, pend: "PendingSend") -> None:
+        if self.pending_send is pend:
+            self.pending_send = None
 
     def set_rate(self, mbps: float) -> None:
         """Configure hardware CBR rate control (MoonGen's ``setRate``).
@@ -324,6 +388,12 @@ class TxQueueSim:
         descriptor at a time when the ring is full).
         """
         ring = self.ring
+        pend = self.pending_send
+        if pend is not None and pend.defer and frames is pend.frames:
+            # The batch tier already ringed this span arithmetically; the
+            # producer's own in-flight enqueue must observe "no progress"
+            # and park until the fetch path clears the latch.
+            return 0
         free = self.ring_size - len(ring)
         if free <= 0:
             return 0
@@ -338,12 +408,30 @@ class TxQueueSim:
             accepted = free
             ring.extend(frames[start:start + free])
         if accepted > 0:
+            pend = self.pending_send
+            if pend is not None and frames is pend.frames:
+                # Keep the declared send's progress current *before* the
+                # kick: the batch tier may continue the producer's pushes
+                # arithmetically from exactly this offset.
+                pend.sent = start + accepted
             port = self.port
             # A producer resumed from inside _prefetch (its space signal)
             # needs no kick: the prefetch loop re-reads the ring, and the
             # outer kick transmits once the FIFO is filled.
             if not port._prefetching:
+                # Mark the kick as running synchronously inside a
+                # producer's enqueue (the batch tier must preserve the
+                # ring state its continuation observes).  ``_enqueue_short``
+                # flags a partial accept: the caller still holds unsent
+                # frames and reacts to the post-kick ring at this instant.
+                port._in_enqueue += 1
+                short = accepted < avail
+                prev_short = port._enqueue_short
+                if short:
+                    port._enqueue_short = True
                 port._mac_kick()
+                port._in_enqueue -= 1
+                port._enqueue_short = prev_short
         return accepted
 
     def _advance_rate_limiter(self, start_ps: int, frame: SimFrame) -> None:
@@ -478,8 +566,9 @@ class NicPort:
         "timestamp_missed", "rx_filter", "tx_packets", "tx_bytes",
         "rx_packets", "rx_bytes", "rx_crc_errors", "rx_missed", "_mac_busy",
         "_mac_wakeup", "_rr_next", "_fifo", "_fifo_bytes", "_prefetching",
-        "tx_observers", "fast_forward", "fast_forwarded",
-        "link_up", "link_changes", "link_signal", "dma_slowdown",
+        "_in_enqueue", "_enqueue_short", "tx_observers", "fast_forward",
+        "fast_forwarded", "link_up", "link_changes", "link_signal",
+        "dma_slowdown", "_batch_sink",
     )
 
     def __init__(
@@ -545,6 +634,11 @@ class NicPort:
         self._fifo: Deque[Tuple[SimFrame, TxQueueSim]] = deque()
         self._fifo_bytes = 0
         self._prefetching = False
+        # Depth of synchronous ``enqueue -> _mac_kick`` frames on the call
+        # stack, and whether the innermost one accepted fewer descriptors
+        # than offered (``repro.batch`` detection inputs).
+        self._in_enqueue = 0
+        self._enqueue_short = False
         #: Observers called with (frame, tx_start_ps) for every sent frame;
         #: benches use this to record exact departure times.
         self.tx_observers: List[Callable[[SimFrame, int], None]] = []
@@ -559,6 +653,9 @@ class NicPort:
         self.link_changes = 0
         self.link_signal = Signal()
         self.dma_slowdown = 1.0
+        # ``repro.batch`` sink-validation memo: ``(wire, sink)`` pairs the
+        # detector has already proven to end in ``NicPort.receive``.
+        self._batch_sink: Optional[Tuple[object, object, "NicPort"]] = None
 
     # -- wiring ----------------------------------------------------------------
 
@@ -683,17 +780,27 @@ class NicPort:
             tracer.emit("desc", "desc_fetch", port=self.port_id,
                         queue=queue.index, frame=tracer.frame_id(frame),
                         size=frame.size)
-        recycle = frame.meta.pop("recycle", None)
+        recycle = frame.recycle
         if recycle is not None:
             # The NIC has fetched the packet: DPDK's transmit function can
             # recycle the buffer into its mempool (Section 4.2).
+            frame.recycle = None
             recycle()
+        else:
+            recycle = frame.meta.pop("recycle", None)
+            if recycle is not None:
+                recycle()
         signal = queue.space_signal
         if signal._waiters:
             ring_len = len(queue.ring)
             if ring_len == 0 or (
                 queue.ring_size - ring_len >= queue.space_wake_threshold
             ):
+                pend = queue.pending_send
+                if pend is not None:
+                    # Release a tier-deferred producer exactly at the
+                    # instant the ordinary sawtooth would wake it.
+                    pend.defer = False
                 signal.trigger()
         return frame
 
@@ -749,7 +856,7 @@ class NicPort:
         guard prevents re-entrant prefetching when a space signal resumes
         a task that immediately enqueues more frames.
         """
-        if not self._prefetching:
+        if not self._prefetching and self._fifo_bytes < self.chip.tx_fifo_bytes:
             self._prefetching = True
             try:
                 self._prefetch()

@@ -169,6 +169,56 @@ class PacketData:
         return "eth"
 
 
+#: Cache of override-free fill write-sets, keyed by ``(stack class, frame
+#: length)``.  Value is ``(runs, max_end)`` where ``runs`` is a list of
+#: ``(offset, bytes)`` slices, or ``None`` when the class's defaults are
+#: not replayable (read-modify-write fields).
+_FILL_RUNS: Dict[tuple, Optional[tuple]] = {}
+_RUNS_UNSET = object()
+
+
+def _default_fill_runs(cls, size: int) -> Optional[tuple]:
+    """The exact byte runs ``cls(...).fill(pkt_length=size)`` writes.
+
+    Runs the default fill twice on scratch buffers with opposite sentinel
+    backgrounds (0x00 and 0xFF) and diffs the results: a byte equal in
+    both runs was written (to that constant), a byte still matching both
+    sentinels was untouched, and anything else means the defaults read
+    existing buffer state — not replayable, return ``None``.  Replaying
+    the runs on a live buffer therefore writes exactly the bytes a real
+    fill writes and leaves untouched bytes untouched.
+    """
+    cap = max(size, cls.MIN_SIZE, 64)
+    images = []
+    for sentinel in (0x00, 0xFF):
+        data = bytearray(bytes((sentinel,)) * cap)
+        try:
+            view = cls(PacketData.wrap(data, size))
+            view._set_defaults()
+            view._finalize_lengths()
+        except Exception:
+            return None
+        images.append(data)
+    b0, b1 = images
+    runs = []
+    run_start = -1
+    for i in range(cap):
+        x0 = b0[i]
+        if x0 == b1[i]:
+            if run_start < 0:
+                run_start = i
+            continue
+        if x0 != 0x00 or b1[i] != 0xFF:
+            return None
+        if run_start >= 0:
+            runs.append((run_start, bytes(b0[run_start:i])))
+            run_start = -1
+    if run_start >= 0:
+        runs.append((run_start, bytes(b0[run_start:cap])))
+    max_end = max((off + len(chunk) for off, chunk in runs), default=0)
+    return runs, max_end
+
+
 class _StackView:
     """Base class for protocol stack views over a :class:`PacketData`."""
 
@@ -199,10 +249,30 @@ class _StackView:
         The keyword names mirror MoonGen's Lua fill API in snake_case:
         ``pkt_length``, ``eth_src``, ``eth_dst``, ``ip_src``, ``ip_dst``,
         ``udp_src``, ``udp_dst``, and so on.
+
+        An override-free fill (the mempool-init shape: thousands of
+        identical calls per pool) replays a cached write-set instead of
+        running the per-field setters — see :func:`_default_fill_runs`.
         """
         pkt_length = kwargs.pop("pkt_length", None)
         if pkt_length is not None:
             self._set_length(int(pkt_length))
+        if not kwargs:
+            key = (type(self), self.pkt._size)
+            cached = _FILL_RUNS.get(key, _RUNS_UNSET)
+            if cached is _RUNS_UNSET:
+                cached = _default_fill_runs(type(self), self.pkt._size)
+                _FILL_RUNS[key] = cached
+            if cached is not None:
+                runs, max_end = cached
+                data = self.pkt.data
+                if max_end <= len(data):
+                    for off, chunk in runs:
+                        data[off:off + len(chunk)] = chunk
+                    return
+            self._set_defaults()
+            self._finalize_lengths()
+            return
         self._set_defaults()
         setters = self._fill_setters()
         for key, value in kwargs.items():

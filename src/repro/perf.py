@@ -172,7 +172,7 @@ def _scenario_bench_table1(smoke: bool, batch: bool = False) -> Dict[str, float]
     wall = time.perf_counter() - t0
     events = _effective_events(env)
     packets = tx.tx_packets
-    return {
+    out: Dict[str, float] = {
         "events": events,
         "wall_s": wall,
         "events_per_sec": events / wall,
@@ -180,6 +180,9 @@ def _scenario_bench_table1(smoke: bool, batch: bool = False) -> Dict[str, float]
         "wall_pps": packets / wall,
         "sim_pps": packets / (env.now_ns / 1e9),
     }
+    if env.batch is not None:
+        out["batch_stats"] = _batch_stats(env)
+    return out
 
 
 def _scenario_bench_fig2(smoke: bool, batch: bool = False) -> Dict[str, float]:
@@ -212,7 +215,7 @@ def _scenario_bench_fig2(smoke: bool, batch: bool = False) -> Dict[str, float]:
     wall = time.perf_counter() - t0
     events = _effective_events(env)
     packets = sum(p.tx_packets for p in ports)
-    return {
+    out: Dict[str, float] = {
         "events": events,
         "wall_s": wall,
         "events_per_sec": events / wall,
@@ -220,6 +223,9 @@ def _scenario_bench_fig2(smoke: bool, batch: bool = False) -> Dict[str, float]:
         "wall_pps": packets / wall,
         "sim_pps": packets / (env.now_ns / 1e9),
     }
+    if env.batch is not None:
+        out["batch_stats"] = _batch_stats(env)
+    return out
 
 
 SCENARIOS: Dict[str, Callable[..., Dict[str, float]]] = {
@@ -231,6 +237,21 @@ SCENARIOS: Dict[str, Callable[..., Dict[str, float]]] = {
 
 # ---------------------------------------------------------------------------
 # measurement
+
+
+def _batch_stats(env) -> Dict[str, object]:
+    """Batch-tier sidecar for a scenario result (``--verbose`` table).
+
+    Attached under ``batch_stats`` when the tier is on; stripped from the
+    rounds recorded in BENCH_core.json (self-accounting, not a metric).
+    """
+    tier = env.batch
+    return {
+        "trains": tier.trains,
+        "frames": tier.frames,
+        "events_saved": tier.events_saved,
+        "fallbacks": dict(sorted(tier.fallbacks.items())),
+    }
 
 
 def _collapse_rounds(name: str,
@@ -418,6 +439,10 @@ def write_bench(
     """
     event_mode = "smoke" if smoke else "full"
     mode = f"{event_mode}-batch" if batch else event_mode
+    # Batch-tier self-accounting rides on results for the CLI's --verbose
+    # table but is not a perf metric; keep it out of the trajectory file.
+    current = {name: {k: v for k, v in metrics.items() if k != "batch_stats"}
+               for name, metrics in current.items()}
     doc = load_bench(path)
     baselines = doc.get("baseline")
     if not isinstance(baselines, dict):
@@ -530,4 +555,19 @@ def check_regression(
                     f"perf regression: {name} events/sec at {ratio:.2f}x "
                     f"baseline (threshold {threshold:.2f}x)"
                 )
+    current = doc.get("current", {})
+    mode = current.get("mode", "") if isinstance(current, dict) else ""
+    if mode.endswith("-batch"):
+        # A batch run slower than the event-by-event baseline means the
+        # tier is pure overhead on this workload: scenarios where it
+        # cannot batch should at worst break even.
+        vs_event = doc.get("delta_vs_event")
+        if isinstance(vs_event, dict):
+            for name, ratios in sorted(vs_event.items()):
+                ratio = ratios.get("events_per_sec")
+                if ratio is not None and ratio < 1.0:
+                    warnings.append(
+                        f"batch tier slower than event baseline: {name} "
+                        f"at {ratio:.2f}x (expected >= 1.0x)"
+                    )
     return warnings

@@ -17,12 +17,16 @@ Scenarios cover every kernel and every fallback family:
 * Poisson and uniform-burst patterns through CRC-gap rate control,
 * load-latency through the OvS DuT (``sink-unbatchable`` fallback),
 * an RFC 2544 throughput search with an event-driven loss probe,
-* every builtin fault plan, with fingerprints, via ``run_plan``.
+* every builtin fault plan, with fingerprints, via ``run_plan``,
+* two independent port->sink pipelines (the cross-chain bound
+  extension: trains must stay long despite a foreign chain's events),
+* the scalar (no-numpy) plan path, via a monkeypatched ``_vec._np``.
 
 The Hypothesis section generalizes the fixed scenarios: randomized frame
-sizes, rates, send batches, tier horizons, and fault plans must never
-diverge, and a fault window overlapping the traffic must both force
-fallbacks and still match.
+sizes, rates, send batches, tier horizons, per-hop cable latencies,
+descriptor ring sizes (including batches larger than the whole ring),
+and fault plans must never diverge, and a fault window overlapping the
+traffic must both force fallbacks and still match.
 """
 
 from __future__ import annotations
@@ -35,7 +39,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import MoonGenEnv, PoissonPattern, UniformBurstPattern
-from repro.batch import FALLBACK_REASONS, BatchTier
+from repro._optional import np as _installed_np
+from repro.batch import FALLBACK_REASONS, BatchTier, _vec
+from repro.nicsim.link import Cable, Medium
 from repro.core.latency import LoadLatencyExperiment
 from repro.core.ratecontrol import GapFiller
 from repro.dut import OvsForwarder
@@ -138,7 +144,7 @@ def _quickstart_scenario(batch: bool):
         "rx": _device_counters(rx),
         "now_ps": env.loop.now_ps,
         "metrics_fingerprint": snap.series.fingerprint(
-            exclude_prefixes=("loop.",)),
+            exclude_prefixes=("loop.", "batch.")),
     }
     return obs, env
 
@@ -224,6 +230,84 @@ def _load_latency_scenario(batch: bool):
     return obs, env
 
 
+def _cross_wire_scenario(batch: bool):
+    """Two independent port->sink pipelines (the Figure 2 shape).
+
+    Each pipeline's per-frame events (``_mac_done``, wire delivery) sit in
+    the shared heap; without the cross-chain bound extension every train
+    on one pipeline would be strangled to a frame or two by the *other*
+    pipeline's next event.  The scenario therefore both proves
+    equivalence under chain-skip and (via the train-length assertion in
+    the test) that the extension actually engaged.
+    """
+    env = MoonGenEnv(seed=11, batch=batch)
+    pairs = []
+    for base in (0, 2):
+        tx = env.config_device(base, tx_queues=1)
+        rx = env.config_device(base + 1, rx_queues=1)
+        env.connect(tx, rx)
+        pairs.append((tx, rx))
+
+    def slave(env, queue):
+        mem = env.create_mempool(
+            fill=lambda b: b.udp_packet.fill(pkt_length=60))
+        bufs = mem.buf_array(32)
+        while env.running():
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+    for tx, _ in pairs:
+        env.launch(slave, env, tx.get_tx_queue(0))
+    env.wait_for_slaves(duration_ns=1_500_000)
+    obs: Dict[str, Any] = {"now_ps": env.loop.now_ps}
+    for i, (tx, rx) in enumerate(pairs):
+        obs[f"tx{i}"] = _device_counters(tx)
+        obs[f"rx{i}"] = _device_counters(rx)
+    return obs, env
+
+
+class TestCrossWireEquivalence:
+    def test_two_pipelines_identical_and_chain_skipped(self):
+        """Two disjoint saturating pipelines stay bit-identical, and the
+        cross-chain extension keeps trains long: frames per train must
+        stay well above the 1-2 frames a strangled bound would allow."""
+        stats = assert_batch_equivalent(_cross_wire_scenario)
+        assert stats["frames"] / stats["trains"] > 4, stats
+
+    def test_mixed_paced_and_unpaced_pipelines(self):
+        """One hardware-paced pipeline next to a saturating one: both
+        kernels run in the same heap and neither diverges."""
+        def scenario(batch: bool):
+            env = MoonGenEnv(seed=12, batch=batch)
+            tx0 = env.config_device(0, tx_queues=1)
+            rx0 = env.config_device(1, rx_queues=1)
+            tx1 = env.config_device(2, tx_queues=1)
+            rx1 = env.config_device(3, rx_queues=1)
+            env.connect(tx0, rx0)
+            env.connect(tx1, rx1)
+            tx1.get_tx_queue(0).set_rate_pps(2e6, 64)
+
+            def slave(env, queue):
+                mem = env.create_mempool(
+                    fill=lambda b: b.udp_packet.fill(pkt_length=60))
+                bufs = mem.buf_array(32)
+                while env.running():
+                    bufs.alloc(60)
+                    yield queue.send(bufs)
+
+            env.launch(slave, env, tx0.get_tx_queue(0))
+            env.launch(slave, env, tx1.get_tx_queue(0))
+            env.wait_for_slaves(duration_ns=1_500_000)
+            obs = {
+                "tx0": _device_counters(tx0), "rx0": _device_counters(rx0),
+                "tx1": _device_counters(tx1), "rx1": _device_counters(rx1),
+                "now_ps": env.loop.now_ps,
+            }
+            return obs, env
+
+        assert_batch_equivalent(scenario)
+
+
 # ---------------------------------------------------------------------------
 # golden pin: one canonical batch-mode run, committed
 
@@ -266,20 +350,27 @@ class TestFixedScenarios:
     def test_hardware_cbr_paced(self):
         assert_batch_equivalent(_paced_scenario)
 
+    @pytest.mark.skipif(_installed_np is None,
+                        reason="traffic patterns draw gaps with numpy")
     def test_poisson_pattern(self):
-        """CRC-gap software rate control drains the FIFO without ever
-        building backpressure, so no finite train bound exists; the
-        detector must refuse (``unbounded``) rather than guess — and the
-        run must still be identical."""
-        assert_batch_equivalent(
+        """CRC-gap software rate control paces itself with per-gap sleep
+        events, so during the active span every detected train is bounded
+        by the producer's next wakeup and nothing fits (``horizon``
+        fallbacks); the end-of-run drain still executes as a real train —
+        and the run must be identical throughout."""
+        stats = assert_batch_equivalent(
             _pattern_scenario(lambda: PoissonPattern(2e6, seed=4), seed=4),
-            expect_batched=False, expect_fallback="unbounded")
+            expect_fallback="horizon")
+        assert "unbounded" not in stats["fallbacks"], stats
 
+    @pytest.mark.skipif(_installed_np is None,
+                        reason="traffic patterns draw gaps with numpy")
     def test_uniform_burst_pattern(self):
-        assert_batch_equivalent(
+        stats = assert_batch_equivalent(
             _pattern_scenario(
                 lambda: UniformBurstPattern(1e6, burst_size=16), seed=8),
-            expect_batched=False, expect_fallback="unbounded")
+            expect_fallback="horizon")
+        assert "unbounded" not in stats["fallbacks"], stats
 
     def test_load_latency_through_dut(self):
         """The DuT sink is deliberately unbatchable: the tier must refuse
@@ -465,6 +556,50 @@ class TestRandomizedEquivalence:
         diff = _dict_diff(plain, batched)
         assert not diff, "\n  ".join(diff)
 
+    @settings(**SETTINGS)
+    @given(lat_ns=st.sampled_from([0.0, 49.3, 310.7, 2147.2]),
+           ring=st.sampled_from([4, 8, 16, 33, 64]),
+           send_batch=st.integers(min_value=1, max_value=96),
+           paced=st.booleans())
+    def test_latency_ring_and_overflow_batches_never_diverge(
+            self, lat_ns, ring, send_batch, paced):
+        """Per-hop cable latency, tiny-to-default descriptor rings, send
+        batches larger than the whole ring (the sawtooth refill shape),
+        paced and unpaced: no combination may diverge."""
+        cable = Cable(Medium("prop", 1.0, lat_ns), 0.0)
+
+        def scenario(batch: bool):
+            env = MoonGenEnv(seed=21, batch=batch)
+            tx = env.config_device(0, tx_queues=1)
+            rx = env.config_device(1, rx_queues=1)
+            queue = tx.get_tx_queue(0)
+            # Resize the descriptor ring exactly as the constructor would
+            # have (the wake threshold derives from the ring size).
+            queue.ring_size = ring
+            queue.space_wake_threshold = min(32, max(1, ring // 4))
+            env.connect(tx, rx, cable=cable)
+            if paced:
+                queue.set_rate_pps(1.5e6, 64)
+
+            def slave(env, queue):
+                mem = env.create_mempool(
+                    fill=lambda b: b.udp_packet.fill(pkt_length=60))
+                bufs = mem.buf_array(send_batch)
+                while env.running():
+                    bufs.alloc(60)
+                    yield queue.send(bufs)
+
+            env.launch(slave, env, queue)
+            env.wait_for_slaves(duration_ns=300_000)
+            obs = {
+                "tx": _device_counters(tx),
+                "rx": _device_counters(rx),
+                "now_ps": env.loop.now_ps,
+            }
+            return obs, env
+
+        assert_batch_equivalent(scenario, expect_batched=False)
+
     @settings(**property_settings(8))
     @given(st.data())
     def test_random_fault_plans_never_diverge(self, data):
@@ -476,6 +611,50 @@ class TestRandomizedEquivalence:
                            batch=True)
         diff = _dict_diff(plain, batched)
         assert not diff, "\n  ".join(diff)
+
+
+class TestPurePythonMode:
+    """The numpy-free leg, without uninstalling numpy.
+
+    ``repro.batch._vec`` binds ``_np`` once at import; setting it to
+    ``None`` is exactly the state the no-numpy CI job (and a machine
+    without numpy) runs in — every kernel must fall back to the scalar
+    plan path with bit-identical results.
+    """
+
+    def test_equivalence_holds_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(_vec, "_np", None)
+        assert not _vec.has_numpy()
+        stats = assert_batch_equivalent(_quickstart_scenario)
+        assert stats["trains"] > 0
+
+    def test_golden_run_matches_without_numpy(self, monkeypatch):
+        """The committed golden batch run must not depend on which plan
+        path computed it."""
+        monkeypatch.setattr(_vec, "_np", None)
+        golden = json.loads(GOLDEN_BATCH.read_text())
+        current = json.loads(json.dumps(_golden_batch_observations()))
+        diff = _dict_diff(golden, current)
+        assert not diff, (
+            "pure-python batch run drifted from the committed golden:\n  "
+            + "\n  ".join(diff))
+
+    @pytest.mark.skipif(not _vec.has_numpy(), reason="numpy unavailable")
+    @settings(**SETTINGS)
+    @given(macs=st.lists(st.integers(min_value=1, max_value=100_000),
+                         max_size=300),
+           headroom=st.integers(min_value=0, max_value=2_000_000))
+    def test_plan_limit_modes_agree(self, macs, headroom):
+        """``plan_limit`` gives the same answer through cumsum+bisect and
+        the scalar scan for arbitrary inputs."""
+        vectorized = _vec.plan_limit(macs, headroom)
+        saved = _vec._np
+        _vec._np = None
+        try:
+            scalar = _vec.plan_limit(macs, headroom)
+        finally:
+            _vec._np = saved
+        assert vectorized == scalar
 
 
 if __name__ == "__main__":

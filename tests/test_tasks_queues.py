@@ -81,7 +81,7 @@ class TestMaterializeFrame:
         bufs.alloc(60)
         frame = materialize_frame(bufs.release()[0])
         assert pool.available == 1
-        frame.meta["recycle"]()
+        frame.recycle()
         assert pool.available == 2
 
 
