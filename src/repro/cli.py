@@ -80,11 +80,13 @@ def _write_metrics(snapshotter, out: str, command: str, seed: int,
           f"manifest {manifest_path})")
 
 
-def _build_quickstart(seed: int, faults=None, metrics=False, batch=False):
+def _build_quickstart(seed: int, faults=None, metrics=False, batch=False,
+                      scheduler=None):
     """The quickstart topology: one CBR slave saturating a 10 GbE link."""
     from repro import MoonGenEnv
 
-    env = MoonGenEnv(seed=seed, faults=faults, metrics=metrics, batch=batch)
+    env = MoonGenEnv(seed=seed, faults=faults, metrics=metrics, batch=batch,
+                     scheduler=scheduler)
     tx = env.config_device(0, tx_queues=1)
     rx = env.config_device(1, rx_queues=1)
     env.connect(tx, rx)
@@ -103,13 +105,14 @@ def _build_quickstart(seed: int, faults=None, metrics=False, batch=False):
 
 
 def _build_dut_forward(seed: int, faults=None, metrics=False,
-                       rate_pps: float = 1.5e6, frame_size: int = 64):
+                       rate_pps: float = 1.5e6, frame_size: int = 64,
+                       scheduler=None):
     """CBR traffic through the simulated OvS DuT (load-latency shape)."""
     from repro import MoonGenEnv
     from repro.dut import OvsForwarder
 
     env = MoonGenEnv(seed=seed, cost_noise=False, faults=faults,
-                     metrics=metrics)
+                     metrics=metrics, scheduler=scheduler)
     tx = env.config_device(0, tx_queues=2)
     rx = env.config_device(1, rx_queues=1)
     dut = OvsForwarder(env.loop)
@@ -147,7 +150,8 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     env, tx, rx = _build_quickstart(args.seed,
                                     faults=_resolve_faults(args),
                                     metrics=bool(args.metrics),
-                                    batch=args.batch)
+                                    batch=args.batch,
+                                    scheduler=args.scheduler)
     _warn_unmatched_faults(env)
     snapshotter = None
     if args.metrics:
@@ -171,7 +175,8 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
     from repro.dut import OvsForwarder
 
     env = MoonGenEnv(seed=args.seed, faults=_resolve_faults(args),
-                     metrics=bool(args.metrics), batch=args.batch)
+                     metrics=bool(args.metrics), batch=args.batch,
+                     scheduler=args.scheduler)
     tx = env.config_device(0, tx_queues=2)
     rx = env.config_device(1, rx_queues=1)
     dut = OvsForwarder(env.loop)
@@ -428,14 +433,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         start = time.perf_counter()
         results = perf.run_suite(args.scenarios, smoke=args.smoke,
                                  repeats=args.repeats, jobs=jobs,
-                                 batch=args.batch)
+                                 batch=args.batch, scheduler=args.scheduler)
         sweep_wall_s = time.perf_counter() - start
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
     doc = perf.write_bench(args.out, results, rebaseline=args.rebaseline,
                            smoke=args.smoke, jobs=jobs,
-                           sweep_wall_s=sweep_wall_s, batch=args.batch)
+                           sweep_wall_s=sweep_wall_s, batch=args.batch,
+                           scheduler=args.scheduler)
     print(perf.format_report(doc))
     if args.batch and args.verbose:
         for name in sorted(results):
@@ -510,12 +516,18 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    scheduler_help = ("event-loop scheduler backend: binary heap (default) "
+                      "or the O(1) calendar queue; results are bit-identical "
+                      "(default: $REPRO_SCHEDULER, else heap)")
+
     p = sub.add_parser("quickstart", help="saturate a simulated 10 GbE link")
     p.add_argument("--duration-ms", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--batch", action="store_true",
                    help="execute homogeneous event trains through the "
                         "vectorized batch tier (bit-identical output)")
+    p.add_argument("--scheduler", choices=("heap", "calendar"), default=None,
+                   help=scheduler_help)
     p.add_argument("--faults", metavar="PLAN",
                    help="fault plan: builtin name (see 'faults --list') or a plan.json path")
     p.add_argument("--metrics", metavar="OUT.JSONL",
@@ -534,6 +546,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", action="store_true",
                    help="execute homogeneous event trains through the "
                         "vectorized batch tier (bit-identical output)")
+    p.add_argument("--scheduler", choices=("heap", "calendar"), default=None,
+                   help=scheduler_help)
     p.add_argument("--faults", metavar="PLAN",
                    help="fault plan: builtin name (see 'faults --list') or a plan.json path")
     p.add_argument("--metrics", metavar="OUT.JSONL",
@@ -611,6 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "results land in the '-batch' modes and "
                         "delta_vs_event records the speedup over the "
                         "event-by-event baseline")
+    p.add_argument("--scheduler", choices=("heap", "calendar"),
+                   default="heap",
+                   help="event-loop scheduler backend; 'calendar' runs "
+                        "land in the '-calendar' modes and delta_vs_heap "
+                        "records the speedup over the heap baseline")
     p.add_argument("--verbose", action="store_true",
                    help="with --batch: per-scenario batch-tier table "
                         "(trains, frames, events saved, and a fallback-"

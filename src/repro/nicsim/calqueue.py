@@ -1,0 +1,339 @@
+"""Calendar-queue scheduler: amortized O(1) insert/extract for many timers.
+
+A classic calendar queue (Brown 1988) adapted to the loop's determinism
+rules.  Time is divided into *days* of ``width_ps`` picoseconds; day ``d``
+hashes to bucket ``d % nbuckets``, so the bucket array covers one *year*
+of ``nbuckets * width_ps`` and wraps.  Extraction walks the bucket ring
+from the current day forward, firing everything due in each bucket's
+current-year window; insertion drops an entry into its bucket directly.
+With the width matched to the observed inter-event spacing each bucket
+holds O(1) entries and both operations are amortized O(1) — versus
+O(log n) for the binary heap, whose extract touches ~log2(n) random
+cache lines per pop once the pending set outgrows the cache.
+
+Determinism contract (shared with :class:`repro.nicsim.eventloop.HeapScheduler`):
+
+* entries are the same ``(time_ps, seq, Event)`` tuples, drawn from one
+  ``itertools.count`` — same-instant events pop in insertion order, so a
+  simulation's event order is **bit-for-bit identical** on either backend;
+* each bucket is a small binary heap of those tuples (a sorted bucket is
+  a valid heap, which re-bucketing exploits);
+* no wall clock, no randomness: bucket geometry adapts only to the stored
+  entry times, so two runs of the same workload resize identically.
+
+Adaptivity — every geometry rebuild is a :meth:`_resize` call that drops
+lazily-cancelled entries, re-derives the day width from the median
+inter-event gap of a bounded entry sample, and re-buckets in place:
+
+* **grow** (double buckets) when live entries exceed ``4 x`` the bucket
+  count; **shrink** (halve) when they fall below ``1 x`` — the hysteresis
+  band prevents resize thrash at a boundary;
+* **compaction** reuses the same rebuild at the current size once
+  cancelled entries exceed half the structure (the heap's lazy-cancel
+  rule, ported);
+* a queue whose entries are much sparser than one year triggers the
+  *direct-search* escape: after one fruitless year walk the queue scans
+  all buckets for the earliest live entry and jumps the cursor straight
+  to its day.  Repeated escapes mean the width no longer matches the
+  spacing (e.g. the pending set's span drifted), so a handful of them
+  also forces a same-size rebuild to re-derive it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from heapq import heapify, heappop, heappush
+from typing import Iterator, List, Optional, Tuple
+
+from repro.nicsim.eventloop import _COMPACT_MIN, Event
+
+#: Initial/minimum bucket count (power of two so index masking works).
+_MIN_BUCKETS = 16
+#: Upper bound on the bucket array — doubling stops here.
+_MAX_BUCKETS = 1 << 20
+#: Starting day width before any spacing has been observed.
+_INITIAL_WIDTH_PS = 1024
+#: At most this many pending entries are sampled to re-derive the width.
+_WIDTH_SAMPLE = 256
+#: Direct-search escapes tolerated before a same-size rebuild re-derives
+#: the width (each escape is an O(nbuckets) scan — a stale width would
+#: otherwise pay it on every pop until an occupancy resize happens by
+#: chance).
+_SPARSE_JUMP_LIMIT = 4
+
+
+class CalendarScheduler:
+    """Drop-in ``EventLoop`` scheduler backend (see module docstring)."""
+
+    name = "calendar"
+
+    __slots__ = (
+        "_buckets", "_nbuckets", "_mask", "_width", "_seq", "_count",
+        "_cancelled_pending", "_cur", "_window_start", "_window_end",
+        "_grow_at", "_shrink_at", "_sparse_jumps", "live",
+        "resizes", "compactions", "max_occupancy",
+    )
+
+    def __init__(self, width_ps: int = _INITIAL_WIDTH_PS,
+                 buckets: int = _MIN_BUCKETS) -> None:
+        if buckets < 1 or buckets & (buckets - 1):
+            raise ValueError(f"bucket count must be a power of two: {buckets}")
+        self._buckets: List[List[Tuple[int, int, Event]]] = [
+            [] for _ in range(buckets)
+        ]
+        self._seq = itertools.count()
+        #: Entries currently stored, including lazily-cancelled ones.
+        self._count = 0
+        #: Cancelled events still stored (lazy deletion).
+        self._cancelled_pending = 0
+        #: Live (non-cancelled) events currently enqueued — maintained
+        #: exactly via the owner accounting on :class:`Event`.
+        self.live = 0
+        self.resizes = 0
+        self.compactions = 0
+        self.max_occupancy = 0
+        self._sparse_jumps = 0
+        self._set_geometry(buckets, max(1, int(width_ps)), 0)
+
+    def _set_geometry(self, nbuckets: int, width: int, day: int) -> None:
+        """Install bucket-count/width and anchor the cursor on ``day``."""
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        self._cur = day & (nbuckets - 1)
+        self._window_start = day * width
+        self._window_end = (day + 1) * width
+        self._grow_at = (nbuckets << 2) if nbuckets < _MAX_BUCKETS else (1 << 62)
+        self._shrink_at = nbuckets if nbuckets > _MIN_BUCKETS else -1
+        self._sparse_jumps = 0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def insert(self, time_ps: int, event: Event) -> None:
+        heappush(self._buckets[(time_ps // self._width) & self._mask],
+                 (time_ps, next(self._seq), event))
+        self._count += 1
+        live = self.live + 1
+        self.live = live
+        if time_ps < self._window_start:
+            # Landed before the current search window (the cursor had
+            # advanced past this day): rewind so the walk cannot skip it.
+            day = time_ps // self._width
+            self._cur = day & self._mask
+            self._window_start = day * self._width
+            self._window_end = self._window_start + self._width
+        if live > self._grow_at:
+            self._resize(self._nbuckets << 1)
+
+    def pop_due(self, bound_ps: Optional[int]) -> Optional[Event]:
+        """Pop the earliest live event iff its time is <= ``bound_ps``.
+
+        ``None`` bound means unbounded.  Returns ``None`` — without
+        popping — when the structure is empty or the earliest live event
+        lies beyond the bound.
+        """
+        if self.live == 0:
+            return None
+        # Fast path: the cursor bucket's head is live and due in the
+        # current window — the common case once the width matches the
+        # event spacing (the next event is in the same or next day).
+        bucket = self._buckets[self._cur]
+        if bucket:
+            head = bucket[0]
+            if head[0] >= self._window_end or head[2].cancelled:
+                head = None
+        else:
+            head = None
+        if head is None:
+            if self._locate() is None:
+                return None
+            bucket = self._buckets[self._cur]
+            head = bucket[0]
+        if bound_ps is not None and head[0] > bound_ps:
+            return None
+        heappop(bucket)
+        event = head[2]
+        event._in_sched = False
+        self._count -= 1
+        live = self.live - 1
+        self.live = live
+        if live < self._shrink_at:
+            self._resize(self._nbuckets >> 1)
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest live entry, or ``None`` when empty."""
+        if self.live == 0:
+            return None
+        bucket = self._buckets[self._cur]
+        if bucket:
+            head = bucket[0]
+            if head[0] < self._window_end and not head[2].cancelled:
+                return head[0]
+        return self._locate()
+
+    def _locate(self) -> Optional[int]:
+        """Advance the cursor to the bucket holding the earliest live entry.
+
+        Returns that entry's time (it is then the head of bucket ``_cur``)
+        or ``None`` when no live entries remain.  Cancelled bucket heads
+        met along the way are discarded.  One fruitless year walk falls
+        back to a direct search over all buckets, jumping the cursor to
+        the earliest entry's day (the sparse-queue escape).
+        """
+        if self.live == 0:
+            return None
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        cur = self._cur
+        top = self._window_end
+        for _ in range(self._nbuckets):
+            bucket = buckets[cur]
+            while bucket:
+                head = bucket[0]
+                if head[2].cancelled:
+                    heappop(bucket)
+                    self._count -= 1
+                    self._cancelled_pending -= 1
+                    continue
+                if head[0] < top:
+                    self._cur = cur
+                    self._window_start = top - width
+                    self._window_end = top
+                    return head[0]
+                # Live head, but due in a later year: keep walking.
+                break
+            cur = (cur + 1) & mask
+            top += width
+        # Nothing due within one year of the cursor: the queue is sparse.
+        # Find the globally earliest live entry and jump to its day.
+        best: Optional[Tuple[int, int, Event]] = None
+        for bucket in buckets:
+            while bucket and bucket[0][2].cancelled:
+                heappop(bucket)
+                self._count -= 1
+                self._cancelled_pending -= 1
+            # Tuple comparison never reaches the Event: seq is unique.
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        if best is None:
+            return None
+        day = best[0] // width
+        self._cur = day & mask
+        self._window_start = day * width
+        self._window_end = self._window_start + width
+        self._sparse_jumps += 1
+        if self._sparse_jumps > _SPARSE_JUMP_LIMIT and self._count > _COMPACT_MIN:
+            # The width no longer matches the spacing — rebuild in place
+            # to re-derive it (the cursor still points at ``best``'s day
+            # afterwards: _resize anchors on the earliest live entry).
+            self._resize(self._nbuckets)
+            return best[0]
+        return best[0]
+
+    # -- lazy deletion ---------------------------------------------------------
+
+    def note_cancelled(self) -> None:
+        self.live -= 1
+        cancelled = self._cancelled_pending + 1
+        self._cancelled_pending = cancelled
+        count = self._count
+        if count > _COMPACT_MIN and (cancelled << 1) > count:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries bucket-by-bucket (O(n)).
+
+        Cheaper than a :meth:`_resize`: geometry is untouched, each
+        bucket is filtered and re-heapified at C speed, and the cursor
+        stays put.  Occupancy-driven width changes still happen through
+        :meth:`_resize` — a compaction only removes dead weight.
+        """
+        count = 0
+        for bucket in self._buckets:
+            bucket[:] = [entry for entry in bucket if not entry[2].cancelled]
+            heapify(bucket)
+            count += len(bucket)
+        self._count = count
+        self._cancelled_pending = 0
+        self.compactions += 1
+
+    # -- adaptive geometry -----------------------------------------------------
+
+    def _pick_width(self, times: List[int]) -> int:
+        """Day width from the median inter-event gap of a sample.
+
+        The median (not the mean) keeps one far-future outlier — e.g. a
+        single long timeout among thousands of short timers — from
+        stretching every day.  Twice the median gap targets ~2 entries
+        per bucket-day, the classic calendar-queue sweet spot.
+        """
+        times = sorted(set(times))
+        if len(times) < 2:
+            return self._width
+        gaps = sorted(b - a for a, b in zip(times, times[1:]))
+        return max(1, 2 * gaps[len(gaps) // 2])
+
+    def _resize(self, nbuckets: int) -> None:
+        """Re-bucket every live entry into ``nbuckets`` buckets (O(n)).
+
+        Cancelled entries are dropped for free, the day width is
+        re-derived from a bounded sample of the survivors, and the cursor
+        re-anchors on the earliest one (an empty queue keeps its window
+        position — inserts rewind the cursor if they land earlier).
+        Doubling/halving amortizes the rebuild to O(1) per operation.
+        """
+        entries = [
+            entry
+            for bucket in self._buckets
+            for entry in bucket
+            if not entry[2].cancelled
+        ]
+        width = self._pick_width([entry[0] for entry in entries[:_WIDTH_SAMPLE]])
+        first = min(entries)[0] if entries else self._window_start
+        self._set_geometry(nbuckets, width, first // width)
+        mask = self._mask
+        buckets: List[List[Tuple[int, int, Event]]] = [
+            [] for _ in range(nbuckets)
+        ]
+        for entry in entries:
+            buckets[(entry[0] // width) & mask].append(entry)
+        occupancy = self.max_occupancy
+        for bucket in buckets:
+            bucket.sort()  # sorted == heap-ordered for a list
+            if len(bucket) > occupancy:
+                occupancy = len(bucket)
+        self._buckets = buckets
+        self._count = len(entries)
+        self._cancelled_pending = 0
+        self.max_occupancy = occupancy
+        self.resizes += 1
+
+    # -- introspection (batch detector, metrics) -------------------------------
+
+    def entry_count(self) -> int:
+        """Entries currently stored, including lazily-cancelled ones."""
+        return self._count
+
+    def iter_entries(self) -> Iterator[Tuple[int, Event]]:
+        """Yield ``(time_ps, event)`` for every stored entry."""
+        for bucket in self._buckets:
+            for time_ps, _seq, event in bucket:
+                yield time_ps, event
+
+    def metrics(self) -> dict:
+        """Gauge callables published as ``loop.sched.*`` by the env.
+
+        ``max_occupancy`` is a high-water mark sampled at every geometry
+        rebuild (tracking it per insert would tax the hot path).
+        """
+        return {
+            "entries": self.entry_count,
+            "live": lambda: self.live,
+            "compactions": lambda: self.compactions,
+            "buckets": lambda: self._nbuckets,
+            "day_width_ps": lambda: self._width,
+            "resizes": lambda: self.resizes,
+            "max_occupancy": lambda: self.max_occupancy,
+        }

@@ -14,74 +14,233 @@ Two execution styles coexist:
 
 Hot-path structure (docs/PERFORMANCE.md):
 
+* **pluggable scheduler** — the time-ordered structure behind
+  ``schedule_at`` lives in a scheduler object: :class:`HeapScheduler`
+  (binary heap, the default) or
+  :class:`repro.nicsim.calqueue.CalendarScheduler` (amortized O(1)
+  calendar queue for many-timer workloads).  Select with
+  ``EventLoop(scheduler=...)``, ``MoonGenEnv(scheduler=...)``, or the
+  ``REPRO_SCHEDULER`` environment variable.  Both backends share the
+  ``(time_ps, seq, Event)`` entry format and one sequence counter, so
+  same-instant ordering — and therefore every simulation result — is
+  bit-for-bit identical across them.
 * **same-instant fast lane** — events scheduled for the *current* instant
   (``schedule(0, ...)``, the process-resume pattern) go into a plain FIFO
-  deque instead of the heap: O(1) instead of O(log n), no sequence number.
-  Ordering is preserved exactly: every heap entry at the current instant
-  was scheduled before ``now`` reached it and therefore precedes every
+  deque instead of the scheduler: O(1), no sequence number.  Ordering is
+  preserved exactly: every scheduler entry at the current instant was
+  scheduled before ``now`` reached it and therefore precedes every
   fast-lane entry, which are kept in insertion order by the deque.
 * **lazy-deletion compaction** — ``Event.cancel`` only sets a flag; the
-  heap entry stays until popped.  Long runs that cancel many timers (e.g.
-  ``wait_any`` timeouts) would otherwise grow the heap without bound, so
-  the loop counts lingering cancelled entries and rebuilds the heap once
-  they exceed half the queue.
-* ``run()`` keeps the queue, deque, and ``heappop`` in locals and inlines
-  the step logic; the tracer hook costs one local ``is not None`` test per
-  event when disabled.  Attach tracers before calling ``run()``.
+  scheduler entry stays until popped.  Long runs that cancel many timers
+  (e.g. ``wait_any`` timeouts) would otherwise grow the structure without
+  bound, so each scheduler counts lingering cancelled entries and rebuilds
+  once they exceed half its size.
+* **exact O(1) live counts** — every event knows its accounting owner
+  (the scheduler, or the loop for lane events) and whether it is still
+  enqueued, so cancels decrement the right live counter exactly once and
+  cancelling an already-fired handle (the MAC-wakeup and
+  ``wait_any``-timeout patterns) is a no-op.  ``pending_events`` is a
+  counter read, not a scan.
+* ``run()`` keeps the hot structures in locals and inlines the step
+  logic; the tracer hook costs one local ``is not None`` test per event
+  when disabled.  Attach tracers before calling ``run()``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from collections import deque
-from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Generator, Iterator, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 
-#: Compact the heap when cancelled entries exceed this fraction of it.
+#: Compact the scheduler when cancelled entries exceed this fraction of it.
 _COMPACT_FRACTION = 0.5
-#: ...but never bother compacting queues smaller than this.
+#: ...but never bother compacting structures smaller than this.
 _COMPACT_MIN = 64
 
 
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time_ps", "callback", "cancelled", "_loop")
+    __slots__ = ("time_ps", "callback", "cancelled", "_owner", "_in_sched")
 
     def __init__(self, time_ps: int, callback: Callable[[], None],
-                 loop: Optional["EventLoop"] = None) -> None:
+                 owner: Optional[Any] = None) -> None:
         self.time_ps = time_ps
         self.callback = callback
         self.cancelled = False
-        # Back-reference for lazy-deletion accounting; ``None`` for
-        # fast-lane events (they drain within the current instant and
-        # never linger in the heap).
-        self._loop = loop
+        # Accounting owner for lazy deletion: the scheduler holding this
+        # event, or the loop itself for fast-lane events.  ``_in_sched``
+        # is cleared when the event is popped to fire, so cancelling a
+        # stale handle afterwards cannot decrement a live counter twice.
+        self._owner = owner
+        self._in_sched = owner is not None
 
     def cancel(self) -> None:
         if self.cancelled:
             return
         self.cancelled = True
-        loop = self._loop
-        if loop is not None:
-            loop._note_cancelled()
+        if self._in_sched:
+            self._in_sched = False
+            self._owner.note_cancelled()
+
+
+class HeapScheduler:
+    """The default binary-heap scheduler: O(log n) insert/extract.
+
+    Entries are ``(time_ps, seq, Event)`` tuples ordered by the tuple
+    itself; ``seq`` makes the order total, so the :class:`Event` is never
+    compared.  ``EventLoop.run()`` inlines directly against ``_queue``
+    for the hot path — any replacement scheduler instead goes through the
+    generic :meth:`pop_due` loop.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_queue", "_seq", "_cancelled_pending", "live", "compactions")
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._seq = itertools.count()
+        #: Cancelled events still sitting in the heap (lazy deletion).
+        self._cancelled_pending = 0
+        #: Live (non-cancelled) events currently enqueued — maintained
+        #: exactly via the owner accounting on :class:`Event`.
+        self.live = 0
+        self.compactions = 0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def insert(self, time_ps: int, event: Event) -> None:
+        heapq.heappush(self._queue, (time_ps, next(self._seq), event))
+        self.live += 1
+
+    def pop_due(self, bound_ps: Optional[int]) -> Optional[Event]:
+        """Pop the earliest live event iff its time is <= ``bound_ps``.
+
+        ``None`` bound means unbounded.  Returns ``None`` — without
+        popping — when the structure is empty or the earliest live event
+        lies beyond the bound.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            event = entry[2]
+            if event.cancelled:
+                heapq.heappop(queue)
+                self._cancelled_pending -= 1
+                continue
+            if bound_ps is not None and entry[0] > bound_ps:
+                return None
+            heapq.heappop(queue)
+            event._in_sched = False
+            self.live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest live entry, or ``None`` when empty."""
+        queue = self._queue
+        while queue:
+            time_ps, _, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                self._cancelled_pending -= 1
+                continue
+            return time_ps
+        return None
+
+    # -- lazy deletion ---------------------------------------------------------
+
+    def note_cancelled(self) -> None:
+        self.live -= 1
+        self._cancelled_pending += 1
+        queue = self._queue
+        if (len(queue) > _COMPACT_MIN
+                and self._cancelled_pending > len(queue) * _COMPACT_FRACTION):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap (O(n)).
+
+        Mutates the list in place: ``run()`` keeps the heap in a local,
+        so rebinding ``_queue`` would strand it on a stale list.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._cancelled_pending = 0
+        self.compactions += 1
+
+    # -- introspection (batch detector, metrics) -------------------------------
+
+    def entry_count(self) -> int:
+        """Entries currently stored, including lazily-cancelled ones."""
+        return len(self._queue)
+
+    def iter_entries(self) -> Iterator[Tuple[int, Event]]:
+        """Yield ``(time_ps, event)`` for every stored entry, heap order."""
+        for time_ps, _seq, event in self._queue:
+            yield time_ps, event
+
+    def metrics(self) -> dict:
+        """Gauge callables published as ``loop.sched.*`` by the env."""
+        return {
+            "entries": self.entry_count,
+            "live": lambda: self.live,
+            "compactions": lambda: self.compactions,
+        }
+
+
+def resolve_scheduler(spec: Any = None) -> Any:
+    """Turn a scheduler spec into a scheduler instance.
+
+    ``spec`` may be ``None`` (consult the ``REPRO_SCHEDULER`` environment
+    variable, default ``"heap"``), the name ``"heap"`` or ``"calendar"``,
+    or an already-constructed scheduler object (returned as-is).
+    """
+    if spec is None:
+        spec = os.environ.get("REPRO_SCHEDULER", "").strip() or "heap"
+    if isinstance(spec, str):
+        name = spec.strip().lower()
+        if name == "heap":
+            return HeapScheduler()
+        if name == "calendar":
+            from repro.nicsim.calqueue import CalendarScheduler
+            return CalendarScheduler()
+        raise ConfigurationError(
+            f"unknown scheduler {spec!r}; expected 'heap' or 'calendar'"
+        )
+    return spec
 
 
 class EventLoop:
     """The simulation scheduler."""
 
-    def __init__(self) -> None:
-        self._queue: List[Tuple[int, int, Event]] = []
+    def __init__(self, scheduler: Any = None) -> None:
+        #: The pluggable time-ordered backend (:func:`resolve_scheduler`).
+        self.scheduler = resolve_scheduler(scheduler)
+        # Heap fast path for schedule_at: push straight onto the heap list
+        # (compaction mutates it in place, so the cached reference stays
+        # valid).  Other backends go through scheduler.insert().
+        if type(self.scheduler) is HeapScheduler:
+            self._heap_queue: Optional[List[Tuple[int, int, Event]]] = (
+                self.scheduler._queue
+            )
+            self._heap_seq = self.scheduler._seq
+        else:
+            self._heap_queue = None
+            self._heap_seq = None
         #: Same-instant FIFO fast lane: events for the current ``now_ps``.
         self._lane: Deque[Event] = deque()
-        self._seq = itertools.count()
+        #: Live (non-cancelled) events in the lane — exact, see Event.
+        self._lane_live = 0
         self.now_ps = 0
         self._running = False
         self._processes: List["Process"] = []
-        #: Cancelled events still sitting in the heap (lazy deletion).
-        self._cancelled_pending = 0
         #: Horizon of the innermost active ``run(until_ps=...)`` call, used
         #: by fast-forward helpers to bound arithmetic time skips.
         self._until_ps: Optional[int] = None
@@ -124,52 +283,43 @@ class EventLoop:
         """Run ``callback`` at absolute time ``time_ps``."""
         time_ps = int(time_ps)
         if time_ps == self.now_ps:
-            # Same-instant fast lane: plain FIFO append.  Every heap entry
-            # at this instant predates it, so heap-first keeps seq order.
-            event = Event(time_ps, callback)
+            # Same-instant fast lane: plain FIFO append.  Every scheduler
+            # entry at this instant predates it, so scheduler-first keeps
+            # seq order.
+            event = Event(time_ps, callback, self)
             self._lane.append(event)
+            self._lane_live += 1
             return event
         if time_ps < self.now_ps:
             raise SimulationError(
                 f"cannot schedule at {time_ps} ps, now is {self.now_ps} ps"
             )
-        event = Event(time_ps, callback, self)
-        heapq.heappush(self._queue, (time_ps, next(self._seq), event))
+        scheduler = self.scheduler
+        event = Event(time_ps, callback, scheduler)
+        queue = self._heap_queue
+        if queue is not None:
+            heapq.heappush(queue, (time_ps, next(self._heap_seq), event))
+            scheduler.live += 1
+        else:
+            scheduler.insert(time_ps, event)
         return event
 
     # -- lazy deletion ---------------------------------------------------------
 
-    def _note_cancelled(self) -> None:
-        self._cancelled_pending += 1
-        queue = self._queue
-        if (len(queue) > _COMPACT_MIN
-                and self._cancelled_pending > len(queue) * _COMPACT_FRACTION):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and rebuild the heap (O(n)).
-
-        Mutates the list in place: ``run()`` keeps the heap in a local,
-        so rebinding ``self._queue`` would strand it on a stale list.
-        """
-        queue = self._queue
-        queue[:] = [entry for entry in queue if not entry[2].cancelled]
-        heapq.heapify(queue)
-        self._cancelled_pending = 0
+    def note_cancelled(self) -> None:
+        """A live fast-lane event was cancelled (owner-accounting hook)."""
+        self._lane_live -= 1
 
     @property
     def pending_events(self) -> int:
         """Live (non-cancelled) events currently scheduled.
 
-        Counted exactly (O(n)): ``_cancelled_pending`` only bounds the
-        cancelled entries from above — cancelling a handle whose event
-        already fired (the MAC-wakeup and ``wait_any``-timeout patterns)
-        increments it without a matching heap entry, which would read as
-        a negative count here.  This is a sampling-time read (the
-        ``loop.pending`` metric), never hot-path work.
+        An O(1) counter read: every event carries its accounting owner
+        and an enqueued flag, so cancels decrement exactly once and
+        cancelling an already-fired handle (the MAC-wakeup and
+        ``wait_any``-timeout patterns) changes nothing.
         """
-        return (sum(1 for entry in self._queue if not entry[2].cancelled)
-                + sum(1 for e in self._lane if not e.cancelled))
+        return self.scheduler.live + self._lane_live
 
     def next_event_time_ps(self) -> Optional[int]:
         """Time of the next live event, or ``None`` if the loop is empty.
@@ -178,18 +328,9 @@ class EventLoop:
         see :meth:`fast_forward_bound_ps`) to know how far state may be
         advanced arithmetically without skipping an observer.
         """
-        for event in self._lane:
-            if not event.cancelled:
-                return self.now_ps
-        queue = self._queue
-        while queue:
-            time_ps, _, event = queue[0]
-            if event.cancelled:
-                heapq.heappop(queue)
-                self._cancelled_pending -= 1
-                continue
-            return time_ps
-        return None
+        if self._lane_live:
+            return self.now_ps
+        return self.scheduler.peek_time()
 
     def fast_forward_bound_ps(self, limit_ps: Optional[int] = None) -> Optional[int]:
         """Latest instant a batch/fast-forward may advance state to, exclusive.
@@ -213,27 +354,21 @@ class EventLoop:
     def _next_event(self) -> Optional[Event]:
         """Pop the next live event in deterministic order (or ``None``)."""
         lane = self._lane
-        queue = self._queue
+        scheduler = self.scheduler
         while True:
             if lane:
-                # Heap entries at the current instant predate lane entries.
-                if queue and queue[0][0] <= self.now_ps:
-                    _, _, event = heapq.heappop(queue)
-                    if event.cancelled:
-                        self._cancelled_pending -= 1
-                        continue
+                # Scheduler entries at the current instant predate lane
+                # entries, so they fire first.
+                event = scheduler.pop_due(self.now_ps)
+                if event is not None:
                     return event
                 event = lane.popleft()
                 if event.cancelled:
                     continue
+                event._in_sched = False
+                self._lane_live -= 1
                 return event
-            if not queue:
-                return None
-            _, _, event = heapq.heappop(queue)
-            if event.cancelled:
-                self._cancelled_pending -= 1
-                continue
-            return event
+            return scheduler.pop_due(None)
 
     def step(self) -> bool:
         """Run the next pending event; returns False if none are left."""
@@ -253,9 +388,21 @@ class EventLoop:
 
         ``max_events`` guards against runaway simulations; exceeding it is a
         bug in the caller, not a normal exit.
+
+        The default :class:`HeapScheduler` gets a fully inlined loop (the
+        hottest code in the simulator); other schedulers run through the
+        generic :meth:`~HeapScheduler.pop_due` protocol.  Both paths fire
+        the same events in the same order with the same clock updates.
         """
+        if type(self.scheduler) is HeapScheduler:
+            self._run_heap(until_ps, max_events)
+        else:
+            self._run_generic(until_ps, max_events)
+
+    def _run_heap(self, until_ps: Optional[int], max_events: int) -> None:
+        scheduler = self.scheduler
         lane = self._lane
-        queue = self._queue
+        queue = scheduler._queue
         pop = heapq.heappop
         push = heapq.heappush
         tracer = self.tracer
@@ -278,18 +425,22 @@ class EventLoop:
                         entry = pop(queue)
                         event = entry[2]
                         if event.cancelled:
-                            self._cancelled_pending -= 1
+                            scheduler._cancelled_pending -= 1
                             continue
+                        event._in_sched = False
+                        scheduler.live -= 1
                     else:
                         event = lane.popleft()
                         if event.cancelled:
                             continue
+                        event._in_sched = False
+                        self._lane_live -= 1
                         lane_count += 1
                 elif queue:
                     entry = pop(queue)
                     event = entry[2]
                     if event.cancelled:
-                        self._cancelled_pending -= 1
+                        scheduler._cancelled_pending -= 1
                         continue
                     time_ps = entry[0]
                     if until_ps is not None and time_ps > until_ps:
@@ -297,10 +448,66 @@ class EventLoop:
                         # event back — peeking every iteration costs more.
                         push(queue, entry)
                         break
+                    event._in_sched = False
+                    scheduler.live -= 1
                     now = time_ps
                     self.now_ps = time_ps
                 else:
                     break
+                if tracer is not None:
+                    tracer.emit("event", "event_fired",
+                                cb=_callback_name(event.callback))
+                event.callback()
+                count += 1
+                if live is not None:
+                    live[0] = count
+                    live[1] = lane_count
+                if count > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {max_events} events at "
+                        f"{self.now_ps} ps"
+                    )
+        finally:
+            self._until_ps = prev_until
+            self.events_processed += count
+            self.lane_events_processed += lane_count
+            if live is not None:
+                live[0] = 0
+                live[1] = 0
+        if until_ps is not None and until_ps > self.now_ps:
+            self.now_ps = until_ps
+
+    def _run_generic(self, until_ps: Optional[int], max_events: int) -> None:
+        """Scheduler-agnostic run loop — same order and clocks as above."""
+        lane = self._lane
+        pop_due = self.scheduler.pop_due
+        tracer = self.tracer
+        live = self.live_counts
+        now = self.now_ps
+        count = 0
+        lane_count = 0
+        prev_until = self._until_ps
+        self._until_ps = until_ps
+        try:
+            while until_ps is None or until_ps >= now:
+                if lane:
+                    # Scheduler entries at the current instant fire before
+                    # lane entries (seq order, see schedule_at).
+                    event = pop_due(now)
+                    if event is None:
+                        event = lane.popleft()
+                        if event.cancelled:
+                            continue
+                        event._in_sched = False
+                        self._lane_live -= 1
+                        lane_count += 1
+                else:
+                    event = pop_due(until_ps)
+                    if event is None:
+                        break
+                    time_ps = event.time_ps
+                    now = time_ps
+                    self.now_ps = time_ps
                 if tracer is not None:
                     tracer.emit("event", "event_fired",
                                 cb=_callback_name(event.callback))
@@ -391,7 +598,7 @@ class Process:
 
     The generator may yield:
 
-    * ``int``/``float`` — sleep that many picoseconds,
+    * ``int``/``float`` — sleep that many picoseconds (floats truncate),
     * :class:`Signal` — block until the signal triggers; the trigger value is
       sent back into the generator,
     * ``None`` — reschedule immediately (cooperative yield).
@@ -462,11 +669,14 @@ class Process:
             self.done_signal.trigger(None)
             return
         # Dispatch cheapest-common-first: integer delays dominate (every
-        # cycle charge), then None (cooperative yield), then signals.
+        # cycle charge), then None (cooperative yield), then signals.  All
+        # other numerics — floats from ns-scale math, bools, IntEnum
+        # members — funnel through one explicit truncation below, the
+        # single place float delays are accepted.
         if type(yielded) is int:
-            self.loop.schedule(yielded, self._resume)
+            delay_ps = yielded
         elif yielded is None:
-            self.loop.schedule(0, self._resume)
+            delay_ps = 0
         elif isinstance(yielded, Signal):
             callback = self._advance
             self._parked_signal = yielded
@@ -474,8 +684,9 @@ class Process:
             if tracer is not None:
                 tracer.emit("proc", "proc_block", pid=self.pid, name=self.name)
             yielded.wait(callback)
+            return
         elif isinstance(yielded, (int, float)):
-            self.loop.schedule(int(yielded), self._resume)
+            delay_ps = int(yielded)
         else:
             self.error = SimulationError(
                 f"process {self.name!r} yielded unsupported value "
@@ -483,6 +694,8 @@ class Process:
             )
             self._finish("error")
             self.done_signal.trigger(None)
+            return
+        self.loop.schedule(delay_ps, self._resume)
 
     def check(self) -> None:
         """Re-raise any exception the process died with."""
@@ -514,6 +727,39 @@ def _callback_name(callback: Callable) -> str:
     return name
 
 
+class _WaitAnyCombiner:
+    """The exactly-once waiter behind :func:`wait_any`.
+
+    One ``__slots__`` object per call instead of a state dict plus two
+    closures: the instance itself is the callable registered on every
+    source signal (and as the timeout callback), so winning — from any
+    source or the timeout — deregisters the same object everywhere.
+    """
+
+    # Trace/profile label: keep the historical ``wait_any`` prefix so the
+    # self-profiler still attributes these callbacks to the ``signal``
+    # category (repro.metrics.profiler.CATEGORY_BY_PREFIX).
+    __qualname__ = "wait_any.combiner"
+
+    __slots__ = ("signals", "combined", "timeout_event", "fired")
+
+    def __init__(self, signals: List[Signal], combined: Signal) -> None:
+        self.signals = signals
+        self.combined = combined
+        self.timeout_event: Optional[Event] = None
+        self.fired = False
+
+    def __call__(self, value: Any = None) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        for signal in self.signals:
+            signal.discard(self)
+        if self.timeout_event is not None:
+            self.timeout_event.cancel()
+        self.combined.trigger(value)
+
+
 def wait_any(loop: EventLoop, signals: List[Signal], timeout_ps: Optional[int] = None) -> Signal:
     """A signal that fires when any source signal fires or a timeout elapses.
 
@@ -521,23 +767,12 @@ def wait_any(loop: EventLoop, signals: List[Signal], timeout_ps: Optional[int] =
     wins, the combiner deregisters itself from every other source signal
     and cancels the pending timeout event.  Long-lived signals (rx packet
     signals, pipe data signals) therefore never accumulate dead combiner
-    closures across repeated ``wait_any`` calls.
+    objects across repeated ``wait_any`` calls.
     """
     combined = Signal()
-    state = {"fired": False, "event": None}
-
-    def fire(value: Any = None) -> None:
-        if state["fired"]:
-            return
-        state["fired"] = True
-        for signal in signals:
-            signal.discard(fire)
-        if state["event"] is not None:
-            state["event"].cancel()
-        combined.trigger(value)
-
-    for signal in signals:
-        signal.wait(fire)
+    combiner = _WaitAnyCombiner(list(signals), combined)
+    for signal in combiner.signals:
+        signal.wait(combiner)
     if timeout_ps is not None:
-        state["event"] = loop.schedule(max(0, int(timeout_ps)), fire)
+        combiner.timeout_event = loop.schedule(max(0, int(timeout_ps)), combiner)
     return combined

@@ -8,14 +8,24 @@ rate.  This module pins a small suite of hot-path scenarios, measures them
 reproducibly, and records the trajectory in ``BENCH_core.json`` so every
 future PR is held to the current numbers.
 
-Three pinned scenarios:
+Four pinned scenarios:
 
 * ``eventloop`` — the raw scheduler: timer wheels, same-instant bursts,
   cancellations.  Measures the event loop alone.
+* ``timer_churn`` — the many-timer cancel-heavy shape (hundreds of
+  thousands of concurrently armed timeouts, ~90 % cancelled before
+  firing): the workload the calendar-queue scheduler exists for.
 * ``bench_table1`` — the Table 1 transmit loop (one core, one 10 GbE
   port, 64 B frames): the canonical single-core hot path.
 * ``bench_fig2`` — the Figure 2 heavy multicore script (4 cores, 2 ports,
   8 random fields + IP offload per packet): the scaling hot path.
+
+Every scenario also takes a ``scheduler`` (``"heap"``/``"calendar"``,
+see ``repro.nicsim.calqueue``); per-scheduler baselines live in
+``-calendar``-suffixed modes and ``delta_vs_heap`` records the calendar
+backend's ratio against the heap baseline of the same mode — the
+scheduler seam's speedup claim, analogous to ``delta_vs_event`` for the
+batch tier.
 
 Metrics per scenario:
 
@@ -45,8 +55,12 @@ deltas stay interpretable.
       },
       "current": {"mode": "full", "recorded": ..., "scenarios": {...}},
       "delta":   {"bench_table1": {"events_per_sec": 2.43, ...}, ...},
-      "delta_vs_event": {"bench_table1": {"events_per_sec": 3.1, ...}}
+      "delta_vs_event": {"bench_table1": {"events_per_sec": 3.1, ...}},
+      "delta_vs_heap":  {"timer_churn": {"events_per_sec": 1.5, ...}}
     }
+
+Calendar-scheduler runs (``--scheduler calendar``) land in
+``full-calendar``/``smoke-calendar`` (and ``-batch-calendar``) modes.
 
 ``delta`` values are ratios current/baseline (>1 is faster), always
 computed against the baseline of the *same mode* — smoke workloads are
@@ -85,7 +99,8 @@ FINGERPRINT_METRICS = ("events", "sim_packets", "sim_pps")
 # scenarios
 
 
-def _scenario_eventloop(smoke: bool, batch: bool = False) -> Dict[str, float]:
+def _scenario_eventloop(smoke: bool, batch: bool = False,
+                        scheduler: str = "heap") -> Dict[str, float]:
     """Raw scheduler throughput: timers, same-instant bursts, cancels.
 
     ``batch`` is accepted for signature uniformity but is a no-op: the
@@ -94,7 +109,7 @@ def _scenario_eventloop(smoke: bool, batch: bool = False) -> Dict[str, float]:
     from repro.nicsim.eventloop import EventLoop
 
     n_timers = 20_000 if smoke else 80_000
-    loop = EventLoop()
+    loop = EventLoop(scheduler=scheduler)
     state = {"chains": 0}
 
     # Interleaved timer chains: each fired event reschedules itself a few
@@ -148,12 +163,98 @@ def _effective_events(env) -> int:
     return events
 
 
-def _scenario_bench_table1(smoke: bool, batch: bool = False) -> Dict[str, float]:
+class _ChurnFlow:
+    """One periodic timer with a guard timeout, rearmed on every fire.
+
+    The distilled ``wait_any``-timeout pattern: a flow arms a long guard
+    timeout, the expected event arrives first, the timeout is cancelled
+    and a new one armed.  Kept as a ``__slots__`` class (not closures) so
+    the measured cost is the scheduler's, not the workload's.
+    """
+
+    __slots__ = ("loop", "stride_ps", "timeout_ps", "hops", "pending")
+
+    def __init__(self, loop, stride_ps: int, timeout_ps: int, hops: int) -> None:
+        self.loop = loop
+        self.stride_ps = stride_ps
+        self.timeout_ps = timeout_ps
+        self.hops = hops
+        self.pending = None
+
+    def _expire(self) -> None:
+        self.pending = None
+
+    def fire(self) -> None:
+        pending = self.pending
+        if pending is not None:
+            pending.cancel()
+        self.hops -= 1
+        if self.hops <= 0:
+            return
+        loop = self.loop
+        now = loop.now_ps
+        self.pending = loop.schedule_at(now + self.timeout_ps, self._expire)
+        loop.schedule_at(now + self.stride_ps, self.fire)
+
+
+def _scenario_timer_churn(smoke: bool, batch: bool = False,
+                          scheduler: str = "heap") -> Dict[str, float]:
+    """Cancel-heavy many-timer churn: the calendar queue's home turf.
+
+    Hundreds of thousands of flows each keep one periodic event plus one
+    far-future guard timeout armed; ~90 % of the timeouts are cancelled
+    before firing (the ``wait_any``-timeout shape).  The pending set
+    stays huge, so the heap pays O(log n) per pop across random cache
+    lines while the calendar queue stays O(1) — this is the scenario
+    behind the ``delta_vs_heap`` claim.
+
+    The cyclic garbage collector is disabled around the measured region
+    (as ``timeit`` does): with ~1M live events a generational pass is
+    O(pending set) and lands on whichever allocation triggers it,
+    swamping the scheduler delta under test.  ``batch`` is a no-op here
+    (pure timers, nothing to batch).
+    """
+    import gc
+
+    from repro.nicsim.eventloop import EventLoop
+
+    n_flows = 8_000 if smoke else 480_000
+    hops = 10 if smoke else 4
+    loop = EventLoop(scheduler=scheduler)
+    flows = [_ChurnFlow(loop, 211 + (i * 37) % 797, 50_000_000, hops)
+             for i in range(n_flows)]
+    for i, flow in enumerate(flows):
+        loop.schedule_at(1 + (i * 7919) % 100_000, flow.fire)
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        loop.run()
+        wall = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    events = loop.events_processed
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall,
+        "sim_packets": 0,
+        "wall_pps": 0.0,
+        "sim_pps": 0.0,
+    }
+
+
+def _scenario_bench_table1(smoke: bool, batch: bool = False,
+                           scheduler: str = "heap") -> Dict[str, float]:
     """The Table 1 transmit loop: one core saturating one 10 GbE port."""
     from repro import MoonGenEnv
 
     duration_ns = 1_500_000 if smoke else 6_000_000
-    env = MoonGenEnv(seed=1, core_freq_hz=2.4e9, batch=batch)
+    env = MoonGenEnv(seed=1, core_freq_hz=2.4e9, batch=batch,
+                     scheduler=scheduler)
     tx = env.config_device(0, tx_queues=1)
     rx = env.config_device(1, rx_queues=1)
     env.connect(tx, rx)
@@ -185,7 +286,8 @@ def _scenario_bench_table1(smoke: bool, batch: bool = False) -> Dict[str, float]
     return out
 
 
-def _scenario_bench_fig2(smoke: bool, batch: bool = False) -> Dict[str, float]:
+def _scenario_bench_fig2(smoke: bool, batch: bool = False,
+                         scheduler: str = "heap") -> Dict[str, float]:
     """The Figure 2 heavy script on 4 cores and two shared ports."""
     from repro import MoonGenEnv
 
@@ -203,7 +305,8 @@ def _scenario_bench_fig2(smoke: bool, batch: bool = False) -> Dict[str, float]:
                 bufs.offload_ip_checksums()
                 yield queue.send(bufs)
 
-    env = MoonGenEnv(seed=3, core_freq_hz=1.2e9, batch=batch)
+    env = MoonGenEnv(seed=3, core_freq_hz=1.2e9, batch=batch,
+                     scheduler=scheduler)
     ports = [env.config_device(i, tx_queues=n_cores) for i in (0, 1)]
     sinks = [env.config_device(i + 2, rx_queues=1) for i in (0, 1)]
     for port, sink in zip(ports, sinks):
@@ -230,9 +333,13 @@ def _scenario_bench_fig2(smoke: bool, batch: bool = False) -> Dict[str, float]:
 
 SCENARIOS: Dict[str, Callable[..., Dict[str, float]]] = {
     "eventloop": _scenario_eventloop,
+    "timer_churn": _scenario_timer_churn,
     "bench_table1": _scenario_bench_table1,
     "bench_fig2": _scenario_bench_fig2,
 }
+
+#: Valid values for the ``scheduler`` scenario/suite parameter.
+SCHEDULERS = ("heap", "calendar")
 
 
 # ---------------------------------------------------------------------------
@@ -287,14 +394,15 @@ def _collapse_rounds(name: str,
 
 
 def measure(name: str, smoke: bool = False, repeats: int = 3,
-            batch: bool = False) -> Dict[str, float]:
+            batch: bool = False, scheduler: str = "heap") -> Dict[str, float]:
     """Run one scenario ``repeats`` times; fastest round plus noise stats."""
     runner = SCENARIOS[name]
     return _collapse_rounds(
-        name, [runner(smoke, batch) for _ in range(max(1, repeats))])
+        name,
+        [runner(smoke, batch, scheduler) for _ in range(max(1, repeats))])
 
 
-def _scenario_round(point: Tuple[str, bool, bool, int],
+def _scenario_round(point: Tuple[str, bool, bool, str, int],
                     _seed: int) -> Dict[str, float]:
     """One (scenario, round) sweep point for the parallel engine.
 
@@ -302,8 +410,8 @@ def _scenario_round(point: Tuple[str, bool, bool, int],
     fingerprints pin down), so the engine-derived seed is unused — the
     round index in the point only differentiates sweep points.
     """
-    name, smoke, batch, _round = point
-    return SCENARIOS[name](smoke, batch)
+    name, smoke, batch, scheduler, _round = point
+    return SCENARIOS[name](smoke, batch, scheduler)
 
 
 def run_suite(
@@ -312,6 +420,7 @@ def run_suite(
     repeats: int = 3,
     jobs: int = 1,
     batch: bool = False,
+    scheduler: str = "heap",
 ) -> Dict[str, Dict[str, float]]:
     """Run the pinned suite; returns ``{scenario: metrics}``.
 
@@ -324,6 +433,9 @@ def run_suite(
     With ``batch`` the scenarios run under the batch execution tier
     (``repro.batch``) and ``events`` counts processed plus tier-saved
     events; results land in the ``-batch`` modes of BENCH_core.json.
+
+    ``scheduler`` selects the event-loop backend for every scenario;
+    results of a ``"calendar"`` run land in the ``-calendar`` modes.
     """
     from repro.parallel import run_parallel
 
@@ -332,8 +444,11 @@ def run_suite(
     if unknown:
         raise KeyError(f"unknown perf scenarios: {unknown}; "
                        f"valid: {sorted(SCENARIOS)}")
+    if scheduler not in SCHEDULERS:
+        raise KeyError(f"unknown scheduler {scheduler!r}; "
+                       f"valid: {list(SCHEDULERS)}")
     repeats = max(1, repeats)
-    points = [(name, bool(smoke), bool(batch), rnd)
+    points = [(name, bool(smoke), bool(batch), scheduler, rnd)
               for name in selected for rnd in range(repeats)]
     rounds = run_parallel(points, _scenario_round, jobs=jobs)
     grouped: Dict[str, List[Dict[str, float]]] = {n: [] for n in selected}
@@ -419,17 +534,21 @@ def write_bench(
     jobs: int = 1,
     sweep_wall_s: Optional[float] = None,
     batch: bool = False,
+    scheduler: str = "heap",
 ) -> Dict[str, object]:
     """Merge a run into ``BENCH_core.json``; returns the written document.
 
     Baselines are per mode (``full``/``smoke``/``full-batch``/
-    ``smoke-batch``) and kept verbatim unless absent or ``rebaseline`` is
-    set; ``current`` and ``delta`` are replaced every run, with ``delta``
-    always computed same-mode.  A batch-mode run additionally writes
-    ``delta_vs_event``: the cross-mode ratio against the event-by-event
-    baseline of the same length — the number that backs the batch tier's
-    speedup claim (events there count processed plus tier-saved, see
-    :func:`_effective_events`).
+    ``smoke-batch``, each with a ``-calendar`` variant) and kept verbatim
+    unless absent or ``rebaseline`` is set; ``current`` and ``delta`` are
+    replaced every run, with ``delta`` always computed same-mode.  A
+    batch-mode run additionally writes ``delta_vs_event``: the cross-mode
+    ratio against the event-by-event baseline of the same length — the
+    number that backs the batch tier's speedup claim (events there count
+    processed plus tier-saved, see :func:`_effective_events`).  A
+    calendar-scheduler run likewise writes ``delta_vs_heap``: its ratio
+    against the heap baseline of the same mode, the scheduler seam's
+    speedup claim (``timer_churn`` is the scenario it exists for).
 
     Alongside the trajectory file, a provenance manifest
     (``<path minus .json>.manifest.json``, see ``repro.metrics.manifest``)
@@ -438,7 +557,9 @@ def write_bench(
     BENCH_core.json reproducible.
     """
     event_mode = "smoke" if smoke else "full"
-    mode = f"{event_mode}-batch" if batch else event_mode
+    heap_mode = f"{event_mode}-batch" if batch else event_mode
+    calendar = scheduler == "calendar"
+    mode = f"{heap_mode}-calendar" if calendar else heap_mode
     # Batch-tier self-accounting rides on results for the CLI's --verbose
     # table but is not a perf metric; keep it out of the trajectory file.
     current = {name: {k: v for k, v in metrics.items() if k != "batch_stats"}
@@ -461,13 +582,21 @@ def write_bench(
             baselines[mode].get("scenarios", {}), current
         ),
     }
-    if batch and isinstance(baselines.get(event_mode), dict):
+    event_base_mode = f"{event_mode}-calendar" if calendar else event_mode
+    if batch and isinstance(baselines.get(event_base_mode), dict):
         out["delta_vs_event"] = compute_delta(
-            baselines[event_mode].get("scenarios", {}), current
+            baselines[event_base_mode].get("scenarios", {}), current
         )
     elif isinstance(doc.get("delta_vs_event"), dict) and not batch:
         # Keep the last recorded cross-mode ratios visible on event runs.
         out["delta_vs_event"] = doc["delta_vs_event"]
+    if calendar and isinstance(baselines.get(heap_mode), dict):
+        out["delta_vs_heap"] = compute_delta(
+            baselines[heap_mode].get("scenarios", {}), current
+        )
+    elif isinstance(doc.get("delta_vs_heap"), dict) and not calendar:
+        # Keep the last recorded cross-scheduler ratios visible on heap runs.
+        out["delta_vs_heap"] = doc["delta_vs_heap"]
     tmp = f"{path}.tmp"
     with open(tmp, "w") as fh:
         json.dump(out, fh, indent=2, sort_keys=True)
@@ -481,7 +610,8 @@ def write_bench(
     }
     RunManifest(
         command=("moongen-repro bench"
-                 f"{' --smoke' if smoke else ''}{' --batch' if batch else ''}"),
+                 f"{' --smoke' if smoke else ''}{' --batch' if batch else ''}"
+                 f"{' --scheduler calendar' if calendar else ''}"),
         jobs=jobs,
         config={"mode": mode, "scenarios": sorted(current),
                 "schema": SCHEMA_VERSION},
@@ -536,6 +666,15 @@ def format_report(doc: Dict[str, object]) -> str:
         )
         if pairs:
             lines.append(f"batch tier vs event baseline: {pairs}")
+    vs_heap = doc.get("delta_vs_heap")
+    if isinstance(vs_heap, dict) and vs_heap:
+        pairs = ", ".join(
+            f"{name} {ratios['events_per_sec']:.2f}x"
+            for name, ratios in sorted(vs_heap.items())
+            if "events_per_sec" in ratios
+        )
+        if pairs:
+            lines.append(f"calendar scheduler vs heap baseline: {pairs}")
     return "\n".join(lines)
 
 
@@ -570,4 +709,16 @@ def check_regression(
                         f"batch tier slower than event baseline: {name} "
                         f"at {ratio:.2f}x (expected >= 1.0x)"
                     )
+    if mode.endswith("-calendar"):
+        # The calendar queue's reason to exist is the many-timer shape:
+        # losing to the heap on timer_churn means its geometry adaptation
+        # broke (general scenarios are allowed to be a wash).
+        vs_heap = doc.get("delta_vs_heap")
+        if isinstance(vs_heap, dict):
+            ratio = vs_heap.get("timer_churn", {}).get("events_per_sec")
+            if ratio is not None and ratio < 1.0:
+                warnings.append(
+                    f"calendar scheduler slower than heap on timer_churn: "
+                    f"{ratio:.2f}x (expected >= 1.0x)"
+                )
     return warnings

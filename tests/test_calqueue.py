@@ -1,0 +1,157 @@
+"""Unit tests for the calendar-queue scheduler and the scheduler seam."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nicsim.calqueue import _MIN_BUCKETS, CalendarScheduler
+from repro.nicsim.eventloop import (
+    EventLoop,
+    HeapScheduler,
+    resolve_scheduler,
+)
+
+
+class TestResolveScheduler:
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert type(resolve_scheduler()) is HeapScheduler
+
+    def test_names(self):
+        assert type(resolve_scheduler("heap")) is HeapScheduler
+        assert type(resolve_scheduler("calendar")) is CalendarScheduler
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        assert type(EventLoop().scheduler) is CalendarScheduler
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        assert type(EventLoop(scheduler="heap").scheduler) is HeapScheduler
+
+    def test_instance_passthrough(self):
+        sched = CalendarScheduler()
+        assert EventLoop(scheduler=sched).scheduler is sched
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_scheduler("splay-tree")
+
+    def test_env_reaches_moongen_env(self, monkeypatch):
+        from repro import MoonGenEnv
+
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert type(MoonGenEnv(seed=1).loop.scheduler) is HeapScheduler
+        env = MoonGenEnv(seed=1, scheduler="calendar")
+        assert type(env.loop.scheduler) is CalendarScheduler
+
+
+class TestCalendarGeometry:
+    def test_bucket_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            CalendarScheduler(buckets=24)
+
+    def test_grows_and_shrinks_with_occupancy(self):
+        loop = EventLoop(scheduler="calendar")
+        sched = loop.scheduler
+        for i in range(4 * _MIN_BUCKETS * 8):
+            loop.schedule(1 + i * 13, lambda: None)
+        assert sched._nbuckets > _MIN_BUCKETS
+        grown = sched.resizes
+        assert grown > 0
+        loop.run()
+        # Draining shrinks the ring back down (hysteresis permitting).
+        assert sched.resizes > grown
+        assert sched.live == 0 and sched.entry_count() == 0
+
+    def test_insert_before_window_rewinds_cursor(self):
+        """An insert earlier than the cursor's current day must rewind the
+        search window, not wait a whole year for the ring to wrap."""
+        loop = EventLoop(scheduler="calendar")
+        fired = []
+        loop.schedule(500_000, lambda: fired.append("far"))
+        loop.run(until_ps=400_000)  # cursor walked well past the early days
+        loop.schedule_at(410_000, lambda: fired.append("early"))
+        loop.run()
+        assert fired == ["early", "far"]
+
+    def test_sparse_queue_direct_search(self):
+        """Entries much sparser than one bucket year are still found (the
+        direct-search escape), and repeated escapes re-derive the width."""
+        loop = EventLoop(scheduler="calendar")
+        fired = []
+        for i in range(8):
+            # Gaps of ~10^12 ps dwarf any initial year span.
+            loop.schedule(1 + i * 10**12, lambda i=i: fired.append(i))
+        loop.run()
+        assert fired == list(range(8))
+
+    def test_compaction_on_cancel_churn(self):
+        loop = EventLoop(scheduler="calendar")
+        sched = loop.scheduler
+        keep = [loop.schedule(1000 + i, lambda: None) for i in range(100)]
+        dead = [loop.schedule(2000 + i, lambda: None) for i in range(400)]
+        for event in dead:
+            event.cancel()
+        assert sched.compactions >= 1
+        # Compaction keeps lingering cancelled entries below half the
+        # structure; the live count stays exact throughout.
+        assert sched.entry_count() < 2 * len(keep)
+        assert loop.pending_events == len(keep)
+        loop.run()
+        assert loop.pending_events == 0
+
+    def test_pop_due_respects_bound_without_popping(self):
+        sched = CalendarScheduler()
+        loop = EventLoop(scheduler=sched)
+        loop.schedule(100, lambda: None)
+        assert sched.pop_due(50) is None
+        assert sched.live == 1  # nothing was popped
+        assert sched.peek_time() == 100
+        event = sched.pop_due(100)
+        assert event is not None and event.time_ps == 100
+        assert sched.live == 0
+
+    def test_metrics_gauges(self):
+        sched = CalendarScheduler()
+        gauges = sched.metrics()
+        for key in ("entries", "live", "compactions", "buckets",
+                    "day_width_ps", "resizes", "max_occupancy"):
+            assert key in gauges and callable(gauges[key])
+        assert gauges["buckets"]() == _MIN_BUCKETS
+        assert gauges["live"]() == 0
+
+
+class TestExactPendingCounts:
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_cancel_decrements_exactly_once(self, scheduler):
+        loop = EventLoop(scheduler=scheduler)
+        event = loop.schedule(100, lambda: None)
+        assert loop.pending_events == 1
+        event.cancel()
+        assert loop.pending_events == 0
+        event.cancel()  # double cancel: no double decrement
+        assert loop.pending_events == 0
+
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_cancel_after_fire_is_noop(self, scheduler):
+        loop = EventLoop(scheduler=scheduler)
+        event = loop.schedule(10, lambda: None)
+        pending = loop.schedule(100, lambda: None)
+        loop.run(until_ps=50)
+        event.cancel()  # stale handle: already fired
+        assert loop.pending_events == 1
+        assert pending is not None
+
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_lane_events_counted(self, scheduler):
+        loop = EventLoop(scheduler=scheduler)
+        fired = []
+        loop.schedule(0, lambda: fired.append(loop.now_ps))
+        lane_event = loop.schedule(0, lambda: fired.append(loop.now_ps))
+        loop.schedule(10, lambda: None)
+        assert loop.pending_events == 3
+        assert loop.next_event_time_ps() == 0
+        lane_event.cancel()
+        assert loop.pending_events == 2
+        loop.run()
+        assert fired == [0] and loop.pending_events == 0

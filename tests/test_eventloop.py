@@ -347,3 +347,75 @@ class TestWaitAny:
         a.trigger("a")  # late straggler: ignored, combiner already gone
         assert got == ["b"]
         assert not a.has_waiters and not b.has_waiters
+
+
+class TestNumericYields:
+    def test_float_yields_truncate(self):
+        """Float delays (ns-scale math) are accepted and truncate toward
+        zero — the regression pin for the once-dead float branch in
+        ``Process._advance`` (it was shadowed by the int check)."""
+        loop = EventLoop()
+        trace = []
+
+        def proc():
+            yield 100.9
+            trace.append(loop.now_ps)
+            yield 0.4
+            trace.append(loop.now_ps)
+
+        loop.spawn(proc())
+        loop.run()
+        assert trace == [100, 100]
+
+    def test_bool_yield_is_a_delay(self):
+        """bool subclasses int: True is a 1 ps sleep, not an error."""
+        loop = EventLoop()
+        trace = []
+
+        def proc():
+            yield True
+            trace.append(loop.now_ps)
+
+        loop.spawn(proc())
+        loop.run()
+        assert trace == [1]
+
+
+class TestWaitAnyCombiner:
+    def test_single_object_registered_everywhere(self):
+        """One combiner object (not per-signal closures) is the waiter on
+        every source signal, and it doubles as the timeout callback."""
+        loop = EventLoop()
+        a, b = Signal(), Signal()
+        wait_any(loop, [a, b], timeout_ps=500)
+        assert len(a._waiters) == 1 and len(b._waiters) == 1
+        assert a._waiters[0] is b._waiters[0]
+        combiner = a._waiters[0]
+        assert type(combiner).__qualname__.startswith("wait_any")
+
+    def test_win_deregisters_and_cancels_timeout(self):
+        """Deregistration contract: the winning trigger removes the
+        combiner from every source and cancels the timeout event."""
+        loop = EventLoop()
+        a, b = Signal(), Signal()
+        got = []
+        combined = wait_any(loop, [a, b], timeout_ps=500)
+        combined.wait(got.append)
+        combiner = a._waiters[0]
+        assert loop.pending_events == 1  # the armed timeout
+        a.trigger("win")
+        assert got == ["win"]
+        assert not a.has_waiters and not b.has_waiters
+        assert combiner.timeout_event.cancelled
+        assert loop.pending_events == 0  # cancel decremented exactly once
+
+    def test_straggler_trigger_is_noop(self):
+        loop = EventLoop()
+        a, b = Signal(), Signal()
+        got = []
+        combined = wait_any(loop, [a, b])
+        combined.wait(got.append)
+        combiner = a._waiters[0]
+        a.trigger("first")
+        combiner("late-direct-call")  # fired latch: must do nothing
+        assert got == ["first"]

@@ -181,3 +181,66 @@ class TestWaiterHygieneProperties:
         signals[winner % n_signals].trigger("win")
         assert got == ["win"]
         assert not any(s.has_waiters for s in signals)
+
+
+# One scheduler-parity "program": arbitrary interleavings of schedule /
+# cancel / run(until) / step, replayed on both backends.
+parity_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"),
+                  st.integers(min_value=0, max_value=20_000)),
+        st.tuples(st.just("cancel"),
+                  st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("run_until"),
+                  st.integers(min_value=0, max_value=30_000)),
+        st.tuples(st.just("step"), st.just(0)),
+    ),
+    min_size=1, max_size=60)
+
+
+def _drive_scheduler(scheduler, ops):
+    """Replay one op sequence; returns every observable the loop exposes."""
+    loop = EventLoop(scheduler=scheduler)
+    fired = []
+    handles = []
+    observed = []
+    for tag, (kind, arg) in enumerate(ops):
+        if kind == "schedule":
+            handles.append(
+                loop.schedule(arg, lambda t=tag: fired.append((t, loop.now_ps))))
+        elif kind == "cancel" and handles:
+            handles[arg % len(handles)].cancel()
+        elif kind == "run_until":
+            loop.run(until_ps=loop.now_ps + arg)
+        elif kind == "step":
+            loop.step()
+        observed.append(
+            (loop.now_ps, loop.pending_events, loop.next_event_time_ps()))
+    loop.run()
+    return fired, observed, loop.now_ps, loop.pending_events, \
+        loop.events_processed
+
+
+class TestSchedulerParity:
+    @settings(**SETTINGS)
+    @given(parity_ops)
+    def test_heap_and_calendar_bit_identical(self, ops):
+        """The house invariant of the scheduler seam: arbitrary
+        schedule/cancel/run(until)/step interleavings produce the same
+        fire order, clocks, live counts, and next-event times on the
+        binary heap and the calendar queue."""
+        assert _drive_scheduler("heap", ops) == \
+            _drive_scheduler("calendar", ops)
+
+    @settings(**SETTINGS)
+    @given(parity_ops)
+    def test_calendar_drains_exactly(self, ops):
+        """After a full drain the calendar's exact live count is zero and
+        nothing lingers but lazily-cancelled entries (none, post-run)."""
+        loop = EventLoop(scheduler="calendar")
+        for tag, (kind, arg) in enumerate(ops):
+            if kind == "schedule":
+                loop.schedule(arg, lambda: None)
+        loop.run()
+        assert loop.pending_events == 0
+        assert loop.scheduler.peek_time() is None
