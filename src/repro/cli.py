@@ -21,10 +21,37 @@ Custom userscripts use the library API directly (see examples/).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
 from repro import __version__, units
+
+
+@contextlib.contextmanager
+def _atomic_out(path: str, newline: str = "\n"):
+    """Write a result file atomically: tmp + flush + fsync + ``os.replace``.
+
+    A run killed mid-write leaves either the previous file or the
+    complete new one on disk — never a torn half-write that a later
+    resume or CI diff would misread (docs/RESILIENCE.md).
+    """
+    tmp = f"{path}.tmp"
+    fh = open(tmp, "w", newline=newline)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp, path)
+    except BaseException:
+        fh.close()
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _resolve_faults(args: argparse.Namespace):
@@ -63,7 +90,7 @@ def _write_metrics(snapshotter, out: str, command: str, seed: int,
     from repro.metrics import RunManifest, write_jsonl
 
     snapshotter.finalize()
-    with open(out, "w", newline="\n") as fh:
+    with _atomic_out(out) as fh:
         write_jsonl(snapshotter.series, fh)
     manifest_path = RunManifest(
         command=command,
@@ -216,33 +243,95 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
     return 0
 
 
-def _live_progress(label: str):
+def _live_progress(label: str, report=None):
     """A ``run_parallel`` progress hook: one overwritten stderr line.
 
     Shows points done / total, an ETA extrapolated from the mean
     per-point wall time so far, and the last completed point's
     fingerprint (``fingerprint`` key of a result dict, else a stable
-    hash of the value).
+    hash of the value).  With a ``report``
+    (:class:`~repro.supervise.DegradationReport`), supervision outcomes
+    — resumed-from-journal, retried, poisoned counts — ride along on
+    the same line.
     """
     import time as _time
 
     from repro.metrics.manifest import stable_hash
+    from repro.supervise import PoisonedPoint
 
     start = _time.monotonic()
 
     def progress(done: int, total: int, result) -> None:
         elapsed = _time.monotonic() - start
         eta = elapsed / done * (total - done)
-        if isinstance(result, dict) and "fingerprint" in result:
+        if isinstance(result, PoisonedPoint):
+            fp = "poisoned"
+        elif isinstance(result, dict) and "fingerprint" in result:
             fp = result["fingerprint"]
         else:
             fp = stable_hash(result)
+        extra = ""
+        if report is not None:
+            bits = []
+            if report.resumed:
+                bits.append(f"resumed {report.resumed}")
+            if report.retried:
+                bits.append(f"retried {report.retried}")
+            if report.poisoned:
+                bits.append(f"poisoned {len(report.poisoned)}")
+            if bits:
+                extra = " [" + ", ".join(bits) + "]"
         end = "\n" if done == total else ""
         print(f"\r{label}: {done}/{total} points, "
-              f"eta {eta:5.1f}s, last {fp}", end=end,
+              f"eta {eta:5.1f}s, last {fp}{extra}", end=end,
               file=sys.stderr, flush=True)
 
     return progress
+
+
+def _sweep_resilience(args):
+    """Build ``(journal, policy, report)`` from the supervision flags.
+
+    Returns ``None`` (after printing a usage error) when the flags are
+    inconsistent: ``--resume`` without ``--journal``, or a ``--journal``
+    path that already exists without ``--resume`` — an existing journal
+    is completed work and is never silently overwritten.
+    """
+    from repro.supervise import (
+        DegradationReport,
+        SupervisePolicy,
+        SweepJournal,
+    )
+
+    report = DegradationReport()
+    journal = None
+    quarantine = bool(getattr(args, "quarantine", False))
+    if getattr(args, "resume", False) and not getattr(args, "journal", None):
+        print("--resume requires --journal", file=sys.stderr)
+        return None
+    if getattr(args, "journal", None):
+        if os.path.exists(args.journal) and not args.resume:
+            print(f"journal {args.journal} already exists; pass --resume to "
+                  "continue it (or remove the file to start over)",
+                  file=sys.stderr)
+            return None
+        journal = SweepJournal(args.journal)
+    policy = None
+    if journal is not None or quarantine:
+        policy = SupervisePolicy(quarantine=quarantine)
+    return journal, policy, report
+
+
+def _report_outcome(report) -> int:
+    """Print the degradation report when anything degraded; exit code.
+
+    Exit code 3 marks a sweep that completed *degraded* (poisoned
+    points present): the artifacts are usable but partial, distinct
+    from success (0), usage errors (2), and cancellation (128+signum).
+    """
+    if report.resumed or report.retried or report.degraded:
+        print(report.format_table(), file=sys.stderr)
+    return 3 if report.degraded else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -266,11 +355,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         snapshotter.finalize()
         sys.stdout.write(snapshotter.series.to_jsonl())
     if args.csv:
-        with open(args.csv, "w", newline="\n") as fh:
+        with _atomic_out(args.csv) as fh:
             write_csv(snapshotter.series, fh)
         print(f"wrote CSV series to {args.csv}")
     if args.prom:
-        with open(args.prom, "w", newline="\n") as fh:
+        with _atomic_out(args.prom) as fh:
             fh.write(to_prometheus(env.metrics))
         print(f"wrote Prometheus scrape file to {args.prom}")
     final = snapshotter.series.final_values()
@@ -293,7 +382,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     report = profile_env(env, duration_ns=args.duration_ms * 1e6)
     print(report.format_table())
     if args.json:
-        with open(args.json, "w", newline="\n") as fh:
+        with _atomic_out(args.json) as fh:
             fh.write(report.to_json())
             fh.write("\n")
         print(f"wrote profile JSON to {args.json}")
@@ -312,23 +401,32 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             print(f"  {name:<12} {kinds}")
         return 0
     names = args.plans or sorted(plans)
-    progress = _live_progress("faults") if args.live else None
+    resilience = _sweep_resilience(args)
+    if resilience is None:
+        return 2
+    journal, policy, report = resilience
+    progress = _live_progress("faults", report=report) if args.live else None
     results = run_matrix(names, seed=args.seed, plan_seed=args.plan_seed,
-                         jobs=args.jobs or 1, progress=progress)
+                         jobs=args.jobs or 1, progress=progress,
+                         journal=journal, supervise=policy, report=report)
     if args.json:
         import json
 
         print(json.dumps(results, indent=2, sort_keys=True))
-        return 0
+        return _report_outcome(report)
     print(f"{'plan':<12} {'tx':>7} {'rx':>7} {'lost':>6} {'gaps':>5} "
           f"{'worst':>6} {'crc':>5} {'flaps':>5} {'fingerprint':>16}")
     for name in names:
         r = results[name]
+        if r.get("poisoned"):
+            print(f"{name:<12} poisoned after {r['attempts']} attempt(s): "
+                  f"{r['error']}")
+            continue
         print(f"{name:<12} {r['tx_packets']:>7} {r['rx_packets']:>7} "
               f"{r['seq_lost']:>6} {r['seq_gap_events']:>5} "
               f"{r['seq_longest_gap']:>6} {r['rx_crc_errors']:>5} "
               f"{r['rx_link_changes']:>5} {r['fingerprint']:>16}")
-    return 0
+    return _report_outcome(report)
 
 
 def _cmd_inter_arrival(args: argparse.Namespace) -> int:
@@ -405,7 +503,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             return 2
     text = run_scenario(args.scenario, seed=args.seed, categories=categories)
     if args.out:
-        with open(args.out, "w", newline="\n") as fh:
+        with _atomic_out(args.out) as fh:
             fh.write(text)
     else:
         sys.stdout.write(text)
@@ -429,11 +527,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import perf
 
     jobs = args.jobs or 1
+    resilience = _sweep_resilience(args)
+    if resilience is None:
+        return 2
+    journal, policy, report = resilience
     try:
         start = time.perf_counter()
         results = perf.run_suite(args.scenarios, smoke=args.smoke,
                                  repeats=args.repeats, jobs=jobs,
-                                 batch=args.batch, scheduler=args.scheduler)
+                                 batch=args.batch, scheduler=args.scheduler,
+                                 journal=journal, supervise=policy,
+                                 report=report)
         sweep_wall_s = time.perf_counter() - start
     except KeyError as exc:
         print(exc, file=sys.stderr)
@@ -472,7 +576,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                        args.seed)
     for warning in perf.check_regression(doc, threshold=args.warn_threshold):
         print(f"::warning::{warning}", file=sys.stderr)
-    return 0
+    return _report_outcome(report)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -499,12 +603,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if not points:
             print("--points selected no sweep points", file=sys.stderr)
             return 2
-    progress = _live_progress(f"sweep {spec.name}") if args.live else None
-    result = spec.build(points, root_seed=args.seed).run(jobs=args.jobs,
-                                                         progress=progress)
+    resilience = _sweep_resilience(args)
+    if resilience is None:
+        return 2
+    journal, policy, report = resilience
+    progress = (_live_progress(f"sweep {spec.name}", report=report)
+                if args.live else None)
+    result = spec.build(points, root_seed=args.seed).run(
+        jobs=args.jobs, progress=progress, journal=journal,
+        supervise=policy, report=report)
     print(f"sweep {spec.name}: {spec.description}")
     print(format_sweep_table(spec, result))
-    return 0
+    return _report_outcome(report)
+
+
+def _add_resilience_args(p: argparse.ArgumentParser,
+                         quarantine: bool = False) -> None:
+    """``--journal``/``--resume`` (and optionally ``--quarantine``) flags.
+
+    Shared by the sweep-shaped subcommands (bench/sweep/faults); see
+    docs/RESILIENCE.md for the journal format and resume semantics.
+    """
+    p.add_argument("--journal", metavar="PATH",
+                   help="crash-safe sweep journal (JSONL): every completed "
+                        "point is fsync'd to this file as it lands, and a "
+                        "--resume run skips the journaled points — results "
+                        "and the sealed journal are bit-identical to an "
+                        "uninterrupted run for any --jobs")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an existing --journal (without this flag "
+                        "an existing journal file is refused, never "
+                        "overwritten)")
+    if quarantine:
+        p.add_argument("--quarantine", action="store_true",
+                       help="when a point exhausts its attempt budget, "
+                            "record it as poisoned and finish the sweep "
+                            "with partial results and a degradation "
+                            "report (exit code 3) instead of aborting")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -654,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="OUT.JSONL",
                    help="also run one instrumented bench-shaped simulation "
                         "and write its metrics time series (+ manifest)")
+    _add_resilience_args(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -674,8 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="root seed for per-point seed derivation")
     p.add_argument("--live", action="store_true",
-                   help="one-line live progress on stderr "
-                        "(points done / ETA / last fingerprint)")
+                   help="one-line live progress on stderr (points done / "
+                        "ETA / last fingerprint / supervision counts)")
+    _add_resilience_args(p, quarantine=True)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -702,8 +839,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the full result dicts as JSON")
     p.add_argument("--live", action="store_true",
-                   help="one-line live progress on stderr "
-                        "(plans done / ETA / last fingerprint)")
+                   help="one-line live progress on stderr (plans done / "
+                        "ETA / last fingerprint / supervision counts)")
+    _add_resilience_args(p, quarantine=True)
     p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser(
@@ -756,9 +894,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import SweepCancelledError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SweepCancelledError as exc:
+        # Clean cancellation: children already terminated, journal
+        # already flushed and closed by the engine.
+        print(f"\n{exc}", file=sys.stderr)
+        return exc.exit_code
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ class MoonGenEnv:
         faults=None,
         metrics=None,
         scheduler=None,
+        watchdog=None,
     ) -> None:
         #: Pluggable event-loop scheduler backend: ``None`` (consult the
         #: ``REPRO_SCHEDULER`` environment variable, default ``"heap"``),
@@ -186,6 +187,16 @@ class MoonGenEnv:
                         lambda r=reason: tier.fallbacks.get(r, 0),
                         help=f"kicks that fell back to event execution "
                              f"({reason})")
+        #: Simulation watchdogs (``repro.supervise``).  ``watchdog`` may
+        #: be a pre-built :class:`~repro.nicsim.eventloop.Watchdog` or
+        #: ``None`` (default: the loop stays on its uninstrumented fast
+        #: paths).  With a metrics registry active, the watchdog's abort
+        #: diagnostics include a snapshot of every live metric.
+        self.watchdog = watchdog
+        if watchdog is not None:
+            self.loop.watchdog = watchdog
+            if self.metrics is not None and watchdog.registry is None:
+                watchdog.registry = self.metrics
 
     # -- time -----------------------------------------------------------------
 

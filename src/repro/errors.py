@@ -47,6 +47,20 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class SimAborted(SimulationError):
+    """A simulation watchdog tripped (wall-clock deadline or livelock).
+
+    Carries a ``diagnostics`` dict — simulated clock, pending-event
+    count, top pending-event owners, live metrics when a registry is
+    attached — so an unattended run that had to be killed still explains
+    *where* it was stuck (docs/RESILIENCE.md).
+    """
+
+    def __init__(self, message: str, diagnostics: dict = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}
+
+
 class TaskError(ReproError):
     """A master/slave task failed or was misused."""
 
@@ -65,3 +79,50 @@ class WorkerCrashError(ParallelError):
 
 class PointTimeoutError(ParallelError):
     """A sweep point exceeded its per-point timeout on every attempt."""
+
+
+class PoisonedPointError(ParallelError):
+    """A point exhausted its attempt budget and was quarantined.
+
+    Under a :class:`repro.supervise.SupervisePolicy` with quarantine
+    enabled the sweep does not abort: the point is recorded as poisoned
+    (in the journal, when one is armed) and the sweep completes with
+    partial results.  This error is raised only when a caller *insists*
+    on the poisoned value (``PoisonedPoint.raise_()``)."""
+
+
+class SweepCancelledError(ParallelError):
+    """The sweep coordinator received SIGINT/SIGTERM and shut down cleanly.
+
+    All in-flight workers were terminated (no orphans) and the journal —
+    when one was armed — was flushed, so ``--resume`` continues exactly
+    where the cancelled run stopped.  ``exit_code`` is the conventional
+    ``128 + signum`` shell code for the delivering signal."""
+
+    def __init__(self, signum: int) -> None:
+        import signal as _signal
+
+        try:
+            name = _signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        super().__init__(f"sweep cancelled by {name}; workers terminated, "
+                         "journal flushed")
+        self.signum = signum
+        self.signal_name = name
+
+    @property
+    def exit_code(self) -> int:
+        return 128 + self.signum
+
+
+class SuperviseError(ReproError):
+    """The crash-safe execution layer (``repro.supervise``) failed."""
+
+
+class JournalCorruptError(SuperviseError):
+    """A sweep journal is damaged beyond the recoverable final record.
+
+    A truncated *last* line is normal (the coordinator died mid-append)
+    and is dropped silently; damage anywhere else — unparseable interior
+    records, fingerprint mismatches, a foreign header — raises this."""

@@ -198,19 +198,36 @@ def run_matrix(
     plan_seed: Optional[int] = None,
     jobs: int = 1,
     progress=None,
+    journal=None,
+    supervise=None,
+    report=None,
 ) -> Dict[str, Dict[str, Any]]:
     """Run several builtin plans, optionally sharded over workers.
 
     Returns ``{plan_name: result_dict}``; bit-identical for any ``jobs``
     value (the determinism the CI fault-matrix job asserts).  Every
     result carries ``metrics_fingerprint`` (see :func:`run_plan`), which
-    the CI gate compares alongside the result fingerprint.  ``progress``
-    is forwarded to :func:`repro.parallel.run_parallel`.
+    the CI gate compares alongside the result fingerprint.  ``progress``,
+    ``journal``, ``supervise``, and ``report`` are forwarded to
+    :func:`repro.parallel.run_parallel` (docs/RESILIENCE.md); a plan
+    quarantined under ``supervise.quarantine`` comes back as
+    ``{"plan": name, "poisoned": True, ...}`` instead of a result dict.
+
+    Note these are *harness* faults (worker crashes, hangs, kills) —
+    orthogonal to the *modeled* faults the plans themselves inject into
+    the simulated NICs and links (docs/FAULTS.md).
     """
     from repro.parallel import run_parallel
 
     plan_seed = seed if plan_seed is None else plan_seed
     points = [(str(name), int(seed), int(plan_seed)) for name in plan_names]
     results = run_parallel(points, run_named_plan, jobs=jobs, root_seed=seed,
-                           progress=progress)
-    return {r["plan"]: r for r in results}
+                           progress=progress, journal=journal,
+                           supervise=supervise, report=report)
+    matrix: Dict[str, Dict[str, Any]] = {}
+    for point, result in zip(points, results):
+        if isinstance(result, dict):
+            matrix[result["plan"]] = result
+        else:  # PoisonedPoint placeholder under quarantine
+            matrix[point[0]] = {"plan": point[0], **result.to_dict()}
+    return matrix

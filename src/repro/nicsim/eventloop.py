@@ -51,10 +51,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import os
-from collections import deque
+import time
+from collections import Counter as _Counter, deque
 from typing import Any, Callable, Deque, Generator, Iterator, List, Optional, Tuple
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, SimAborted, SimulationError
 
 #: Compact the scheduler when cancelled entries exceed this fraction of it.
 _COMPACT_FRACTION = 0.5
@@ -195,6 +196,58 @@ class HeapScheduler:
         }
 
 
+class Watchdog:
+    """Opt-in simulation watchdogs for :meth:`EventLoop.run`.
+
+    Complements the existing ``max_events`` budget with two guards a
+    long unattended campaign actually needs (docs/RESILIENCE.md):
+
+    * ``wall_deadline_s`` — a *host wall-clock* ceiling for one ``run()``
+      call.  A simulation that is making sim-time progress but will
+      never finish within the operator's patience aborts with
+      :class:`~repro.errors.SimAborted` instead of holding a worker
+      forever.  Checked every ``check_every`` events to keep the per-
+      event cost at one integer test.
+    * ``max_zero_advance`` — a livelock detector: K *consecutive* events
+      fired without the simulated clock advancing means some component
+      is rescheduling itself at the current instant forever (the classic
+      ``yield None`` spin).  ``max_events`` would eventually catch it,
+      but only after minutes of useless work; this trips in micro-
+      seconds and names the culprits.
+
+    On a trip the loop raises :class:`~repro.errors.SimAborted` carrying
+    a diagnostics snapshot: the simulated clock, live pending-event
+    counts, the top pending-event owners (via the scheduler seam's
+    ``iter_entries``), and — when ``registry`` is attached
+    (``MoonGenEnv(metrics=..., watchdog=...)`` wires it) — the current
+    value of every live metric.
+
+    Both guards are opt-in and the watchdog object is reusable across
+    ``run()`` calls; ``None`` fields disable the corresponding guard.
+    """
+
+    __slots__ = ("wall_deadline_s", "max_zero_advance", "check_every",
+                 "registry")
+
+    def __init__(self, wall_deadline_s: Optional[float] = None,
+                 max_zero_advance: Optional[int] = None,
+                 check_every: int = 4096,
+                 registry: Any = None) -> None:
+        if wall_deadline_s is not None and wall_deadline_s <= 0:
+            raise ConfigurationError(
+                f"wall_deadline_s must be positive, got {wall_deadline_s}")
+        if max_zero_advance is not None and max_zero_advance < 1:
+            raise ConfigurationError(
+                f"max_zero_advance must be >= 1, got {max_zero_advance}")
+        if int(check_every) < 1:
+            raise ConfigurationError(
+                f"check_every must be >= 1, got {check_every}")
+        self.wall_deadline_s = wall_deadline_s
+        self.max_zero_advance = max_zero_advance
+        self.check_every = int(check_every)
+        self.registry = registry
+
+
 def resolve_scheduler(spec: Any = None) -> Any:
     """Turn a scheduler spec into a scheduler instance.
 
@@ -267,6 +320,12 @@ class EventLoop:
         #: scheduling them one event at a time; the tier owns the
         #: run-detection rules and the fallback accounting.
         self.batch = None
+        #: Optional :class:`Watchdog`; ``None`` (default) keeps ``run()``
+        #: on the uninstrumented fast paths.  With one armed, ``run()``
+        #: dispatches to :meth:`_run_watched`, which adds a wall-clock
+        #: deadline and a zero-advance livelock detector around the
+        #: generic scheduler protocol.
+        self.watchdog: Optional[Watchdog] = None
 
     @property
     def now_ns(self) -> float:
@@ -393,8 +452,14 @@ class EventLoop:
         hottest code in the simulator); other schedulers run through the
         generic :meth:`~HeapScheduler.pop_due` protocol.  Both paths fire
         the same events in the same order with the same clock updates.
+
+        With a :class:`Watchdog` armed the watched loop runs instead —
+        same events, same order, same clocks, plus the wall-clock
+        deadline and livelock guards.
         """
-        if type(self.scheduler) is HeapScheduler:
+        if self.watchdog is not None:
+            self._run_watched(until_ps, max_events)
+        elif type(self.scheduler) is HeapScheduler:
             self._run_heap(until_ps, max_events)
         else:
             self._run_generic(until_ps, max_events)
@@ -530,6 +595,123 @@ class EventLoop:
                 live[1] = 0
         if until_ps is not None and until_ps > self.now_ps:
             self.now_ps = until_ps
+
+    def _run_watched(self, until_ps: Optional[int], max_events: int) -> None:
+        """The generic run loop wrapped in watchdog guards.
+
+        Fires the same events in the same order with the same clock
+        updates as :meth:`_run_heap`/:meth:`_run_generic` — the guards
+        only *observe* (a wall-clock read every ``check_every`` events,
+        one comparison per event for the zero-advance counter) and abort
+        via :class:`~repro.errors.SimAborted` when tripped.
+        """
+        watchdog = self.watchdog
+        deadline = (time.monotonic() + watchdog.wall_deadline_s
+                    if watchdog.wall_deadline_s is not None else None)
+        max_zero = watchdog.max_zero_advance
+        check_every = watchdog.check_every
+        lane = self._lane
+        pop_due = self.scheduler.pop_due
+        tracer = self.tracer
+        live = self.live_counts
+        now = self.now_ps
+        zero_advance = 0
+        count = 0
+        lane_count = 0
+        prev_until = self._until_ps
+        self._until_ps = until_ps
+        try:
+            while until_ps is None or until_ps >= now:
+                if lane:
+                    event = pop_due(now)
+                    if event is None:
+                        event = lane.popleft()
+                        if event.cancelled:
+                            continue
+                        event._in_sched = False
+                        self._lane_live -= 1
+                        lane_count += 1
+                else:
+                    event = pop_due(until_ps)
+                    if event is None:
+                        break
+                    time_ps = event.time_ps
+                    if time_ps > now:
+                        zero_advance = -1  # this event advances the clock
+                    now = time_ps
+                    self.now_ps = time_ps
+                if tracer is not None:
+                    tracer.emit("event", "event_fired",
+                                cb=_callback_name(event.callback))
+                event.callback()
+                count += 1
+                zero_advance += 1
+                if live is not None:
+                    live[0] = count
+                    live[1] = lane_count
+                if count > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {max_events} events at "
+                        f"{self.now_ps} ps"
+                    )
+                if max_zero is not None and zero_advance >= max_zero:
+                    raise SimAborted(
+                        f"livelock: {zero_advance} consecutive events "
+                        f"without sim-time progress at {self.now_ps} ps",
+                        self.diagnostics_snapshot(
+                            "livelock", count, zero_advance))
+                if deadline is not None and count % check_every == 0 \
+                        and time.monotonic() > deadline:
+                    raise SimAborted(
+                        f"wall-clock deadline: run() exceeded "
+                        f"{watchdog.wall_deadline_s} s after {count} events "
+                        f"at {self.now_ps} ps",
+                        self.diagnostics_snapshot(
+                            "wall_deadline", count, zero_advance))
+        finally:
+            self._until_ps = prev_until
+            self.events_processed += count
+            self.lane_events_processed += lane_count
+            if live is not None:
+                live[0] = 0
+                live[1] = 0
+        if until_ps is not None and until_ps > self.now_ps:
+            self.now_ps = until_ps
+
+    def diagnostics_snapshot(self, reason: str, events_run: int = 0,
+                             zero_advance: int = 0, top: int = 8) -> dict:
+        """What the simulation looks like *right now*, for abort reports.
+
+        Walks the scheduler seam's ``iter_entries`` plus the fast lane to
+        attribute pending events to their callback owners — on a livelock
+        that list names the components spinning at the current instant.
+        ``metrics`` is included when the armed watchdog carries a
+        registry reference.
+        """
+        owners: _Counter = _Counter()
+        for _time_ps, event in self.scheduler.iter_entries():
+            if not event.cancelled:
+                owners[_callback_name(event.callback)] += 1
+        for event in self._lane:
+            if not event.cancelled:
+                owners[_callback_name(event.callback)] += 1
+        snapshot = {
+            "reason": reason,
+            "now_ps": self.now_ps,
+            "events_run": events_run,
+            "events_processed_total": self.events_processed + events_run,
+            "zero_advance": zero_advance,
+            "pending_events": self.pending_events,
+            "lane_live": self._lane_live,
+            "top_owners": owners.most_common(top),
+        }
+        watchdog = self.watchdog
+        if watchdog is not None and watchdog.registry is not None:
+            try:
+                snapshot["metrics"] = watchdog.registry.read_all()
+            except Exception as exc:  # diagnostics must never mask the abort
+                snapshot["metrics_error"] = f"{type(exc).__name__}: {exc}"
+        return snapshot
 
     def run_for(self, duration_ps: int) -> None:
         """Run for ``duration_ps`` picoseconds of simulated time."""

@@ -188,7 +188,11 @@ SWEEPS: Dict[str, SweepSpec] = {
 
 def format_sweep_table(spec: SweepSpec, result: SweepResult) -> str:
     """Aligned two-column table plus a wall-clock/jobs footer."""
-    rows = [(str(point), spec.format_value(value))
+    from repro.supervise.policy import PoisonedPoint
+
+    rows = [(str(point),
+             f"poisoned: {value.error}" if isinstance(value, PoisonedPoint)
+             else spec.format_value(value))
             for point, value in result]
     widths = [max(len(h), *(len(r[i]) for r in rows))
               for i, h in enumerate(spec.headers)]

@@ -421,6 +421,9 @@ def run_suite(
     jobs: int = 1,
     batch: bool = False,
     scheduler: str = "heap",
+    journal=None,
+    supervise=None,
+    report=None,
 ) -> Dict[str, Dict[str, float]]:
     """Run the pinned suite; returns ``{scenario: metrics}``.
 
@@ -436,6 +439,12 @@ def run_suite(
 
     ``scheduler`` selects the event-loop backend for every scenario;
     results of a ``"calendar"`` run land in the ``-calendar`` modes.
+
+    ``journal``/``supervise``/``report`` are forwarded to
+    :func:`repro.parallel.run_parallel` — a journaled bench skips
+    already-recorded (scenario, round) points on ``--resume`` and its
+    fingerprints are unchanged, though *wall-clock* metrics of resumed
+    rounds are whatever the original run measured (docs/RESILIENCE.md).
     """
     from repro.parallel import run_parallel
 
@@ -450,7 +459,9 @@ def run_suite(
     repeats = max(1, repeats)
     points = [(name, bool(smoke), bool(batch), scheduler, rnd)
               for name in selected for rnd in range(repeats)]
-    rounds = run_parallel(points, _scenario_round, jobs=jobs)
+    rounds = run_parallel(points, _scenario_round, jobs=jobs,
+                          journal=journal, supervise=supervise,
+                          report=report)
     grouped: Dict[str, List[Dict[str, float]]] = {n: [] for n in selected}
     for point, result in zip(points, rounds):
         grouped[point[0]].append(result)

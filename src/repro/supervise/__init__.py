@@ -1,0 +1,57 @@
+"""Supervised, crash-safe experiment execution (``repro.supervise``).
+
+The resilience layer between the parallel engine and a long unattended
+campaign (the substrate the ``serve`` daemon will sit on):
+
+* :class:`SweepJournal` — append-only, fsync'd JSONL journal of
+  completed points; ``run_parallel(journal=...)`` skips journaled points
+  on restart with *bit-identical* resume (docs/RESILIENCE.md).
+* :class:`SupervisePolicy` — worker heartbeats (hung vs crashed vs slow
+  classification), deterministic seeded exponential backoff between
+  retries, and poison-point quarantine.
+* :class:`DegradationReport` / :class:`PoisonedPoint` — the structured
+  outcome of a supervised sweep; ``register_metrics`` publishes it as
+  ``supervise.*`` metrics.
+* :class:`Watchdog` — opt-in :class:`~repro.nicsim.eventloop.EventLoop`
+  guards: wall-clock deadline and zero-advance livelock detection,
+  aborting with :class:`~repro.errors.SimAborted` plus diagnostics.
+
+Errors: :class:`~repro.errors.JournalCorruptError`,
+:class:`~repro.errors.PoisonedPointError`,
+:class:`~repro.errors.SweepCancelledError`,
+:class:`~repro.errors.SimAborted`.
+"""
+
+from repro.errors import (
+    JournalCorruptError,
+    PoisonedPointError,
+    SimAborted,
+    SweepCancelledError,
+)
+from repro.nicsim.eventloop import Watchdog
+from repro.supervise.journal import (
+    JOURNAL_SCHEMA,
+    SweepJournal,
+    payload_fingerprint,
+)
+from repro.supervise.policy import (
+    DegradationReport,
+    PoisonedPoint,
+    SupervisePolicy,
+    backoff_delay_s,
+)
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "DegradationReport",
+    "JournalCorruptError",
+    "PoisonedPoint",
+    "PoisonedPointError",
+    "SimAborted",
+    "SupervisePolicy",
+    "SweepCancelledError",
+    "SweepJournal",
+    "Watchdog",
+    "backoff_delay_s",
+    "payload_fingerprint",
+]

@@ -1,0 +1,289 @@
+"""Append-only sweep journals: crash-safe persistence with exact resume.
+
+A :class:`SweepJournal` is a JSONL file recording every completed sweep
+point as ``(point key, seed, result fingerprint, payload)``.  Records are
+appended one line at a time, flushed and fsync'd per record, so the
+journal on disk is always a valid prefix of the sweep — whatever instant
+the coordinator is killed at.  On restart ``run_parallel(journal=...)``
+skips journaled points (after re-verifying each record's fingerprint
+against its payload) and executes only the remainder; the determinism
+machinery (``seed_for``/``point_key``) guarantees the resumed points are
+*bit-identical* to what an uninterrupted run would have produced.
+
+Journal format v1 (docs/RESILIENCE.md):
+
+* line 1 — header: ``{"kind": "header", "schema": 1, "root_seed": N}``;
+* point record — ``{"kind": "point", "key": <point_key>, "seed": N,
+  "fingerprint": <stable_hash(payload)>, "payload": <JSON result>}``;
+* poison record — ``{"kind": "poisoned", "key": ..., "seed": N,
+  "error": "<Type: message>", "attempts": N}``.
+
+Reading tolerates exactly one kind of damage: a truncated or unparseable
+*final* line (the crash-mid-append case), which is dropped.  Damage
+anywhere else — interior garbage, a fingerprint that does not match its
+payload, a header for a different root seed — raises
+:class:`~repro.errors.JournalCorruptError`: a journal that lies about
+completed work must never be silently trusted.
+
+On successful completion the engine *seals* the journal: the file is
+rewritten atomically (tmp + ``os.replace``) with records in canonical
+point order.  Appends during the run land in completion order (which is
+worker-timing dependent); sealing is what makes the final journal of a
+killed-and-resumed campaign byte-identical to an uninterrupted one for
+any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError, JournalCorruptError
+from repro.metrics.manifest import stable_hash
+
+#: Journal format version; bumped on any incompatible record change.
+JOURNAL_SCHEMA = 1
+
+_RECORD_KINDS = ("point", "poisoned")
+
+
+def _encode(record: Dict[str, Any]) -> str:
+    """One canonical JSONL line: sorted keys, compact separators."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _canonical_payload(payload: Any) -> Any:
+    """The JSON round-trip of a result payload.
+
+    Journaled results are whatever JSON gives back (lists, not tuples),
+    so a resumed point and a freshly-executed point agree exactly; the
+    engine therefore canonicalizes *every* result when a journal is
+    armed, not just the resumed ones.
+    """
+    try:
+        return json.loads(json.dumps(payload))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"journaled sweep results must be JSON-serializable: {exc}"
+        ) from None
+
+
+def payload_fingerprint(payload: Any) -> str:
+    """Stable BLAKE2b fingerprint of a canonicalized result payload."""
+    return stable_hash(_canonical_payload(payload))
+
+
+class SweepJournal:
+    """One sweep's crash-safe completion log (see module docstring)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        #: Loaded records by journal key (last write wins on duplicates,
+        #: which only arise from a pre-seal crash during re-execution).
+        self.records: Dict[str, Dict[str, Any]] = {}
+        #: True when :meth:`open` dropped a truncated final line.
+        self.dropped_partial = False
+        self._fh = None
+        self._root_seed: Optional[int] = None
+
+    # -- loading ---------------------------------------------------------------
+
+    def _parse(self, text: str) -> List[Dict[str, Any]]:
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        parsed: List[Dict[str, Any]] = []
+        for lineno, line in enumerate(lines):
+            last = lineno == len(lines) - 1
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except ValueError:
+                if last:
+                    # Crash mid-append: the unfinished record never
+                    # happened.  Everything before it is intact.
+                    self.dropped_partial = True
+                    break
+                raise JournalCorruptError(
+                    f"{self.path}:{lineno + 1}: unparseable interior "
+                    "record (only the final line may be truncated)"
+                ) from None
+            parsed.append(record)
+        return parsed
+
+    def _check_record(self, lineno: int, record: Dict[str, Any]) -> None:
+        kind = record.get("kind")
+        if kind not in _RECORD_KINDS:
+            raise JournalCorruptError(
+                f"{self.path}:{lineno}: unknown record kind {kind!r}")
+        for field in ("key", "seed"):
+            if field not in record:
+                raise JournalCorruptError(
+                    f"{self.path}:{lineno}: record missing {field!r}")
+        if kind == "point":
+            if "payload" not in record or "fingerprint" not in record:
+                raise JournalCorruptError(
+                    f"{self.path}:{lineno}: point record missing payload/"
+                    "fingerprint")
+            expected = stable_hash(record["payload"])
+            if record["fingerprint"] != expected:
+                raise JournalCorruptError(
+                    f"{self.path}:{lineno}: fingerprint mismatch for key "
+                    f"{record['key']!r}: recorded {record['fingerprint']}, "
+                    f"payload hashes to {expected}")
+        else:
+            for field in ("error", "attempts"):
+                if field not in record:
+                    raise JournalCorruptError(
+                        f"{self.path}:{lineno}: poison record missing "
+                        f"{field!r}")
+
+    def open(self, root_seed: int) -> None:
+        """Load any existing journal, verify it, and open for appends.
+
+        A fresh file gets the header record immediately; an existing one
+        must carry a matching schema and ``root_seed`` (resuming a sweep
+        under a different seed would splice two unrelated RNG universes
+        into one result set).
+        """
+        root_seed = int(root_seed)
+        if self._fh is not None:  # reopen: reload state from disk
+            self._fh.close()
+            self._fh = None
+        existing = None
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                existing = fh.read()
+        except FileNotFoundError:
+            pass
+        self.records = {}
+        self.dropped_partial = False
+        if existing:
+            parsed = self._parse(existing)
+            if not parsed:
+                # Only a torn header survived: truncate and start over
+                # (appending after garbage would corrupt line 1).
+                with open(self.path, "w", encoding="utf-8"):
+                    pass
+                existing = None
+            else:
+                header = parsed[0]
+                if header.get("kind") != "header":
+                    raise JournalCorruptError(
+                        f"{self.path}:1: first record must be the header")
+                if header.get("schema") != JOURNAL_SCHEMA:
+                    raise JournalCorruptError(
+                        f"{self.path}: unsupported journal schema "
+                        f"{header.get('schema')!r} (expected "
+                        f"{JOURNAL_SCHEMA})")
+                if header.get("root_seed") != root_seed:
+                    raise ConfigurationError(
+                        f"{self.path}: journal was written with root seed "
+                        f"{header.get('root_seed')!r}; cannot resume with "
+                        f"{root_seed} (results would mix seed universes)")
+                for lineno, record in enumerate(parsed[1:], start=2):
+                    self._check_record(lineno, record)
+                    self.records[record["key"]] = record
+                if self.dropped_partial:
+                    # Rewrite the valid prefix before appending: leaving
+                    # the torn line in place would turn it into interior
+                    # garbage once new records land after it.
+                    with open(self.path, "w", encoding="utf-8",
+                              newline="\n") as fh:
+                        for record in parsed:
+                            fh.write(_encode(record))
+                        fh.flush()
+                        os.fsync(fh.fileno())
+        self._root_seed = root_seed
+        self._fh = open(self.path, "a", encoding="utf-8", newline="\n")
+        if not existing:
+            self._append({"kind": "header", "schema": JOURNAL_SCHEMA,
+                          "root_seed": root_seed})
+
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """The journaled record for ``key``, or ``None`` if never finished."""
+        return self.records.get(key)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- appending -------------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ConfigurationError(
+                f"journal {self.path} is not open (call open() first)")
+        self._fh.write(_encode(record))
+        # One flush+fsync per record: the journal's whole value is that a
+        # record, once acknowledged, survives any later crash.
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_point(self, key: str, seed: int, payload: Any) -> Any:
+        """Journal one completed point; returns the canonical payload.
+
+        The returned value is the JSON round-trip of ``payload`` — what a
+        resumed run will see — and is what the engine stores in the
+        results list, so fresh and resumed executions agree exactly.
+        """
+        payload = _canonical_payload(payload)
+        record = {"kind": "point", "key": key, "seed": int(seed),
+                  "fingerprint": stable_hash(payload), "payload": payload}
+        self._append(record)
+        self.records[key] = record
+        return payload
+
+    def record_poisoned(self, key: str, seed: int, error: str,
+                        attempts: int) -> Dict[str, Any]:
+        """Journal one quarantined point (attempt budget exhausted)."""
+        record = {"kind": "poisoned", "key": key, "seed": int(seed),
+                  "error": str(error), "attempts": int(attempts)}
+        self._append(record)
+        self.records[key] = record
+        return record
+
+    # -- sealing ---------------------------------------------------------------
+
+    def seal(self, keys: Iterable[str]) -> None:
+        """Atomically rewrite the journal in canonical point order.
+
+        Called by the engine once every point is accounted for.  The
+        sealed file is a pure function of ``(points, root_seed, fn)`` —
+        independent of worker count, completion order, and how many
+        kill/resume cycles it took — which is exactly what the
+        harness-chaos CI gate byte-compares.
+        """
+        keys = list(keys)
+        missing = [key for key in keys if key not in self.records]
+        if missing:
+            raise ConfigurationError(
+                f"cannot seal {self.path}: {len(missing)} point(s) have no "
+                f"record (first: {missing[0]!r})")
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(_encode({"kind": "header", "schema": JOURNAL_SCHEMA,
+                              "root_seed": self._root_seed}))
+            for key in keys:
+                fh.write(_encode(self.records[key]))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["JOURNAL_SCHEMA", "SweepJournal", "payload_fingerprint"]

@@ -1,0 +1,186 @@
+"""Supervision policy: heartbeats, seeded backoff, poison quarantine.
+
+The knobs the coordinator uses to keep a long campaign alive when
+individual points crash, hang, or run slow — and the structured
+:class:`DegradationReport` it hands back so an unattended multi-hour run
+is diagnosable from its artifacts alone.
+
+Everything here is deterministic on purpose: retry backoff delays are
+derived from the per-point seed stream (``seed_for``), never from a
+shared RNG or the wall clock, so a chaos replay schedules the same
+delays in the same order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import PoisonedPointError
+from repro.parallel.seeding import seed_for
+
+
+def backoff_delay_s(
+    point_seed: int,
+    attempt: int,
+    base_s: float = 0.05,
+    factor: float = 2.0,
+    max_s: float = 2.0,
+) -> float:
+    """Deterministic exponential backoff with seeded jitter.
+
+    ``attempt`` is 1-based (the attempt that just failed).  The delay is
+    ``min(max_s, base_s * factor**(attempt-1))`` scaled by a jitter drawn
+    uniformly from [0.5, 1.0) out of the point's own seed stream —
+    ``seed_for(point_seed, ("backoff", attempt))`` — so concurrent
+    retries decorrelate without ever consulting a shared RNG.
+    """
+    attempt = max(1, int(attempt))
+    delay = min(float(max_s), float(base_s) * float(factor) ** (attempt - 1))
+    jitter = random.Random(
+        seed_for(point_seed, ("backoff", attempt))).uniform(0.5, 1.0)
+    return delay * jitter
+
+
+@dataclass
+class SupervisePolicy:
+    """Worker-supervision knobs for ``run_parallel(supervise=...)``.
+
+    * **heartbeats** — each worker runs a daemon thread ticking a
+      dedicated pipe every ``heartbeat_interval_s``; the coordinator
+      timestamps the ticks so a deadline expiry can distinguish a *hung*
+      worker (interpreter wedged: silent for ``hung_after_s``) from a
+      merely *slow* one (still ticking).  A worker that dies outright is
+      *crashed* (EOF on the result pipe), exactly as before.
+    * **backoff** — failed attempts are relaunched only after a
+      deterministic seeded exponential delay (:func:`backoff_delay_s`),
+      so a flapping host resource is not hammered in lockstep.
+    * **quarantine** — with ``quarantine=True``, a point that exhausts
+      its attempt budget is recorded as *poisoned* (journaled when a
+      journal is armed) and the sweep completes with partial results and
+      a :class:`DegradationReport` instead of aborting.
+    """
+
+    heartbeat_interval_s: float = 0.2
+    hung_after_s: float = 1.0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    quarantine: bool = False
+
+    def backoff_s(self, point_seed: int, attempt: int) -> float:
+        return backoff_delay_s(point_seed, attempt, self.backoff_base_s,
+                               self.backoff_factor, self.backoff_max_s)
+
+
+@dataclass(frozen=True)
+class PoisonedPoint:
+    """Placeholder result for a quarantined sweep point.
+
+    Sits in the results list where the value would have gone, so indices
+    and ordering stay intact for the surviving points.  ``raise_()``
+    turns it back into the error for callers that cannot proceed without
+    the value.
+    """
+
+    key: str
+    seed: int
+    error: str
+    attempts: int
+
+    def raise_(self) -> None:
+        raise PoisonedPointError(
+            f"point {self.key!r} was quarantined after {self.attempts} "
+            f"attempt(s): {self.error}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"poisoned": True, "key": self.key, "seed": self.seed,
+                "error": self.error, "attempts": self.attempts}
+
+
+@dataclass
+class DegradationReport:
+    """Structured outcome of a supervised sweep.
+
+    Mutated in place by the engine while the sweep runs (so a ``--live``
+    progress hook can read it mid-flight) and returned as part of the
+    sweep's artifacts.  ``register_metrics`` publishes every counter
+    under ``supervise.*`` names in a :class:`repro.metrics.MetricsRegistry`
+    so the serve daemon / Prometheus exporter see the same numbers.
+    """
+
+    completed: int = 0      #: points executed to success this run
+    resumed: int = 0        #: points restored from the journal
+    retried: int = 0        #: extra attempts after a crash/timeout
+    crashed: int = 0        #: workers that died without reporting
+    hung: int = 0           #: deadline expiries with silent heartbeats
+    slow: int = 0           #: deadline expiries with live heartbeats
+    poisoned: List[PoisonedPoint] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any point had to be quarantined."""
+        return bool(self.poisoned)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "retried": self.retried,
+            "crashed": self.crashed,
+            "hung": self.hung,
+            "slow": self.slow,
+            "poisoned": [p.to_dict() for p in self.poisoned],
+        }
+
+    def summary(self) -> str:
+        """One line for logs / the ``--live`` progress display."""
+        parts = [f"completed={self.completed}"]
+        if self.resumed:
+            parts.append(f"resumed={self.resumed}")
+        if self.retried:
+            parts.append(f"retried={self.retried}")
+        for name in ("crashed", "hung", "slow"):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={value}")
+        if self.poisoned:
+            parts.append(f"poisoned={len(self.poisoned)}")
+        return " ".join(parts)
+
+    def format_table(self) -> str:
+        """Multi-line degradation report for the CLI's structured outcome."""
+        lines = [f"supervise: {self.summary()}"]
+        for p in self.poisoned:
+            lines.append(f"  poisoned {p.key}: {p.error} "
+                         f"({p.attempts} attempt(s))")
+        return "\n".join(lines)
+
+    def register_metrics(self, registry, prefix: str = "supervise.") -> None:
+        """Publish the report's counters under ``supervise.*`` names."""
+        helps = {
+            "completed": "points executed to success this run",
+            "resumed": "points restored from the sweep journal",
+            "retried": "extra attempts after worker crash/timeout",
+            "crashed": "workers that died without reporting",
+            "hung": "point timeouts with silent heartbeats",
+            "slow": "point timeouts with live heartbeats",
+        }
+        for name, help_text in helps.items():
+            registry.counter(f"{prefix}points.{name}"
+                             if name in ("completed", "resumed", "retried")
+                             else f"{prefix}workers.{name}",
+                             (lambda n=name: getattr(self, n)),
+                             help=help_text)
+        registry.gauge(f"{prefix}points.poisoned",
+                       lambda: len(self.poisoned),
+                       help="points quarantined after exhausting attempts")
+
+
+__all__ = [
+    "DegradationReport",
+    "PoisonedPoint",
+    "SupervisePolicy",
+    "backoff_delay_s",
+]

@@ -119,3 +119,66 @@ class TestCommands:
         assert code == 0
         assert "82599/fiber" in out and "X540/copper" in out
         assert "320.0 ns" in out  # the 2 m fiber physical latency
+
+
+class TestJournalFlags:
+    """The --journal/--resume/--quarantine supervision surface
+    (docs/RESILIENCE.md)."""
+
+    def test_sweep_journal_roundtrip(self, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        code, out = run_cli([
+            "sweep", "fig2-cores", "--points", "1,2", "--jobs", "2",
+            "--journal", journal,
+        ])
+        assert code == 0
+        first_bytes = open(journal, "rb").read()
+        # Resuming a complete journal re-runs nothing and adds points.
+        code, out = run_cli([
+            "sweep", "fig2-cores", "--points", "1,2,4", "--jobs", "1",
+            "--journal", journal, "--resume",
+        ])
+        assert code == 0
+        assert "cores" in out
+        resumed_bytes = open(journal, "rb").read()
+        assert first_bytes != resumed_bytes  # the new point was sealed in
+        assert first_bytes.splitlines()[0] == resumed_bytes.splitlines()[0]
+
+    def test_existing_journal_refused_without_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        assert run_cli(["sweep", "fig2-cores", "--points", "1",
+                        "--journal", journal])[0] == 0
+        code, _ = run_cli(["sweep", "fig2-cores", "--points", "1",
+                           "--journal", journal])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_without_journal_is_usage_error(self, capsys):
+        code, _ = run_cli(["sweep", "fig2-cores", "--points", "1",
+                           "--resume"])
+        assert code == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_faults_journal_and_json(self, tmp_path):
+        journal = str(tmp_path / "faults.jsonl")
+        code, out = run_cli([
+            "faults", "--plan", "burst-loss", "--json",
+            "--journal", journal,
+        ])
+        assert code == 0
+        import json as _json
+
+        results = _json.loads(out)
+        assert "burst-loss" in results
+        assert open(journal).read().count('"kind":"point"') == 1
+
+    def test_bench_journal_resume_fingerprints_stable(self, tmp_path):
+        journal = str(tmp_path / "bench.jsonl")
+        out_path = str(tmp_path / "BENCH.json")
+        argv = ["bench", "--smoke", "--scenario", "eventloop",
+                "--repeats", "1", "--out", out_path, "--journal", journal]
+        assert run_cli(argv)[0] == 0
+        sealed = open(journal, "rb").read()
+        # A --resume run replays the journal: identical sealed bytes.
+        assert run_cli(argv + ["--resume"])[0] == 0
+        assert open(journal, "rb").read() == sealed
