@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""rate-control-precision: Figure 8 measured in the dataplane itself.
+
+Where ``inter_arrival_times.py`` replays analytic generator models, this
+example runs the three rate-control methods as *full simulations* — NIC
+rings, wires, CRC filler frames and all — with the in-dataplane latency
+observation layer armed (``MoonGenEnv(metrics=True, dataplane=True)``).
+The receive port accumulates FCS-gated inter-arrival times into log2
+histograms as frames arrive, in simulation time; nothing is recorded
+host-side and replayed.
+
+Three methods, the Section 8 comparison:
+
+* ``hardware``       — NIC CBR pacing (``set_rate_pps``), the precise one,
+* ``crc``            — software pacing with bad-CRC filler frames, equally
+                       precise because the wire never idles,
+* ``software-burst`` — naive timer-driven bursts, which micro-burst: the
+                       median gap collapses while the tail explodes.
+
+Run:  python examples/rate_control_precision.py [rate_mpps] [duration_ms]
+"""
+
+import sys
+
+from repro.analysis.precision import format_audit_table, run_precision_audit
+
+
+def ascii_histogram(result, width: int = 40, max_rows: int = 10) -> None:
+    """The method's inter-arrival log2 histogram as ASCII art."""
+    buckets = {int(i): c for i, c in result["histogram"]["buckets"].items()}
+    total = result["histogram"]["total"]
+    peak = max(buckets.values())
+    shown = 0
+    for i in sorted(buckets):
+        count = buckets[i]
+        if shown >= max_rows:
+            break
+        lo = 0 if i == 0 else 1 << (i - 1)
+        bar = "#" * max(1, round(count / peak * width))
+        print(f"  [{lo:>8} ns, {1 << i:>8} ns) | {bar} "
+              f"{100.0 * count / total:.1f}%")
+        shown += 1
+
+
+def main():
+    rate_mpps = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    duration_ms = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+
+    results = run_precision_audit(rate_mpps=rate_mpps,
+                                  duration_ns=duration_ms * 1e6, seed=1)
+    gap_ns = results[0]["target_gap_ns"]
+    print(f"rate-control precision audit at {rate_mpps:g} Mpps "
+          f"(target gap {gap_ns:.1f} ns)\n")
+    print(format_audit_table(results))
+
+    for result in results:
+        print(f"\n{result['method']} inter-arrival histogram:")
+        ascii_histogram(result)
+
+    hardware, crc, burst = results
+    print("\nhardware and CRC-gap pacing hold the target gap "
+          f"({hardware['mean_ns']:.1f} / {crc['mean_ns']:.1f} ns mean); "
+          "bursty software pacing micro-bursts "
+          f"(p50 {burst['percentiles']['p50']:.1f} ns, "
+          f"p99 {burst['percentiles']['p99']:.1f} ns).")
+
+
+if __name__ == "__main__":
+    main()

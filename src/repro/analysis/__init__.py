@@ -1,5 +1,5 @@
-"""Measurement analysis: inter-arrival metrics, latency statistics, and the
-Section 5.6.3 cost estimator."""
+"""Measurement analysis: inter-arrival metrics, latency statistics,
+rate-control precision audits, and the Section 5.6.3 cost estimator."""
 
 from repro.analysis.cost_estimator import ScriptCost, estimate_script
 from repro.analysis.interarrival import (
@@ -8,6 +8,11 @@ from repro.analysis.interarrival import (
     rate_control_table_row,
 )
 from repro.analysis.latencystats import LatencySummary, summarize_latencies
+from repro.analysis.precision import (
+    format_audit_table,
+    run_method,
+    run_precision_audit,
+)
 from repro.analysis.rfc2544 import (
     ThroughputResult,
     default_loss_probe,
@@ -22,9 +27,12 @@ __all__ = [
     "ThroughputResult",
     "default_loss_probe",
     "estimate_script",
+    "format_audit_table",
     "frame_size_sweep",
     "measure_interarrival",
     "rate_control_table_row",
+    "run_method",
+    "run_precision_audit",
     "summarize_latencies",
     "throughput_test",
 ]

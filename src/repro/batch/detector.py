@@ -206,12 +206,19 @@ def _model_enqueue_spin(port, queue, pend) -> None:
     ring = queue.ring
     ring_size = queue.ring_size
     frames = pend.frames
+    dp = port.dataplane
+    now_ps = port.loop.now_ps
     while pend.sent < pend.total:
         free = ring_size - len(ring)
         if free <= 0:
             break
         rem = pend.total - pend.sent
         take = rem if rem < free else free
+        if dp is not None:
+            # The spin replays the producer's ``enqueue`` at this instant,
+            # which would stamp each accepted frame's ring-entry time.
+            for f in frames[pend.sent:pend.sent + take]:
+                f.meta["dp_enq_ps"] = now_ps
         ring.extend(frames[pend.sent:pend.sent + take])
         pend.sent += take
         port._prefetch()

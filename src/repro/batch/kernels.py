@@ -199,8 +199,25 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
     sink_port = wire.sink.__self__
     sink_chip = sink_port.chip
     hw_ts = sink_chip.hw_timestamping
+    # In-dataplane observation (``repro.metrics.dataplane``): the kernel
+    # performs the exact per-frame observations the event path would, in
+    # the same order, so histogram *sums* (order-dependent float
+    # accumulation) come out bit-identical.  Tx-queue residence latches in
+    # the fetch block at the kick instant; wire hop / e2e latch in the
+    # inlined fast_transmit below.  Observation disables the inline rx
+    # shortcut (and with it the fused and bulk sub-paths, which skip the
+    # per-frame wire stamps and ``receive``): deliveries go through the
+    # sink port's real ``receive``, which latches rx inter-arrival itself.
+    dp = port.dataplane
+    dp_txq = (dp.txq[source.index]
+              if dp is not None and source is not None else None)
+    dp_hop = wire.dp_hop
+    dp_e2e = wire.dp_e2e
+    observing = (dp is not None or dp_hop is not None
+                 or sink_port.dataplane is not None)
     inline_rx = (sink_port.rx_filter is None
-                 and not (hw_ts and sink_chip.timestamp_all_rx))
+                 and not (hw_ts and sink_chip.timestamp_all_rx)
+                 and not observing)
     rxq = sink_port.rx_queues[0] if inline_rx else None
     rx_ring = rxq.ring if inline_rx else None
     rx_cap = -1 if (inline_rx and rxq.frozen) else (
@@ -273,6 +290,12 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
                             break
                         wake = free_after
                 frame = ring.popleft()
+                if dp_txq is not None:
+                    # The event path fetches at this kick's instant
+                    # (``end_ps``), so tx-queue residence closes there.
+                    enq = frame.meta.get("dp_enq_ps")
+                    if enq is not None:
+                        dp_txq.observe((end_ps - enq) / 1000.0)
                 recycle = frame.recycle
                 if recycle is not None:
                     frame.recycle = None
@@ -299,6 +322,12 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
                 fifo_bytes += frame.size
                 fetches += 1
                 if wake:
+                    if dp is not None:
+                        # The woken producer's ``enqueue`` would stamp
+                        # these at the kick instant (``end_ps``), not the
+                        # detection instant the loop clock still shows.
+                        for f in pframes[psent:psent + wake]:
+                            f.meta["dp_enq_ps"] = end_ps
                     ring.extend(pframes[psent:psent + wake])
                     psent += wake
             if hit_budget:
@@ -554,6 +583,13 @@ def _fifo_train(train, start_ps: int) -> Tuple[int, int]:
             if arrival <= wire_last:
                 arrival = wire_last + 1
             wire_last = arrival
+            if dp_hop is not None and frame.fcs_ok:
+                # Mirrors ``Wire.fast_transmit``: hop residence and
+                # end-to-end, FCS-valid frames only.
+                dp_hop.observe((arrival - start_w) / 1000.0)
+                enq = meta.get("dp_enq_ps")
+                if enq is not None:
+                    dp_e2e.observe((arrival - enq) / 1000.0)
             # -- delivery (plain receive, inlined where possible) --
             # The PTP precheck mirrors ``is_ptp``: PTP-over-UDP needs
             # size >= 80, PTP-over-Ethernet needs EtherType 0x88F7, so a
@@ -665,6 +701,13 @@ def _paced_ring_train(train, start_ps: int) -> Tuple[int, int]:
         ptotal = pend.total
         ring_size = queue.ring_size
         wake_thresh = queue.space_wake_threshold
+    # In-dataplane observation: the paced kernel delivers through the real
+    # ``Wire.fast_transmit`` (which latches hop/e2e) into the real
+    # ``receive`` (which latches inter-arrival); only the tx-queue
+    # residence at the fetch instant and the wake-chunk ingress stamps
+    # are performed here, exactly as the event path would at ``start``.
+    dp = port.dataplane
+    dp_txq = dp.txq[queue.index] if dp is not None else None
     mac_free = start_ps
     sent = 0
     sent_bytes = 0
@@ -698,6 +741,10 @@ def _paced_ring_train(train, start_ps: int) -> Tuple[int, int]:
         # space-signal trigger (modeled above for a declared pend; the
         # fetch budget proves it cannot fire otherwise).
         ring.popleft()
+        if dp_txq is not None:
+            enq = frame.meta.get("dp_enq_ps")
+            if enq is not None:
+                dp_txq.observe((start - enq) / 1000.0)
         recycle = frame.recycle
         if recycle is not None:
             frame.recycle = None
@@ -707,6 +754,9 @@ def _paced_ring_train(train, start_ps: int) -> Tuple[int, int]:
             if recycle is not None:
                 recycle()
         if wake:
+            if dp is not None:
+                for f in pframes[psent:psent + wake]:
+                    f.meta["dp_enq_ps"] = start
             ring.extend(pframes[psent:psent + wake])
             psent += wake
         size = frame.size

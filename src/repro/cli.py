@@ -6,6 +6,7 @@ reproduction ships the canonical measurement scripts as subcommands::
     moongen-repro quickstart --metrics out.jsonl
     moongen-repro load-latency --rate 1.0 --mode crc --pattern poisson
     moongen-repro inter-arrival --rate 500
+    moongen-repro precision --rate 1.0 --csv fig8.csv
     moongen-repro rfc2544 --frame-size 64 --frame-size 128 --jobs 2
     moongen-repro timestamps
     moongen-repro trace --scenario load-latency --out run.jsonl
@@ -54,19 +55,23 @@ def _atomic_out(path: str, newline: str = "\n"):
         raise
 
 
-def _resolve_faults(args: argparse.Namespace):
-    """Turn ``--faults`` into something ``MoonGenEnv`` accepts.
+def _resolve_faults_value(faults, seed: int):
+    """Turn a ``--faults`` string into something ``MoonGenEnv`` accepts.
 
     Builtin plan names (``moongen-repro faults --list``) win, seeded with
     the command's ``--seed``; anything else passes through to
     :func:`repro.faults.load_plan` (a plan.json path or inline JSON).
     """
-    if not args.faults:
+    if not faults:
         return None
     from repro.faults import builtin_plans
 
-    plans = builtin_plans(seed=args.seed)
-    return plans.get(args.faults, args.faults)
+    plans = builtin_plans(seed=seed)
+    return plans.get(faults, faults)
+
+
+def _resolve_faults(args: argparse.Namespace):
+    return _resolve_faults_value(args.faults, args.seed)
 
 
 def _warn_unmatched_faults(env) -> None:
@@ -85,7 +90,7 @@ def _metrics_interval_ns(args: argparse.Namespace) -> float:
 
 
 def _write_metrics(snapshotter, out: str, command: str, seed: int,
-                   fault_plan=None) -> None:
+                   fault_plan=None, fingerprints=None) -> None:
     """Finalize a snapshot series; write JSONL + provenance manifest."""
     from repro.metrics import RunManifest, write_jsonl
 
@@ -101,6 +106,7 @@ def _write_metrics(snapshotter, out: str, command: str, seed: int,
         fault_plan=(fault_plan.to_dict()
                     if hasattr(fault_plan, "to_dict") else fault_plan),
         result_fingerprint=snapshotter.series.fingerprint(),
+        fingerprints=fingerprints,
     ).write(out)
     print(f"wrote {len(snapshotter.series)} metric snapshots to {out} "
           f"(fingerprint {snapshotter.series.fingerprint()}, "
@@ -108,12 +114,12 @@ def _write_metrics(snapshotter, out: str, command: str, seed: int,
 
 
 def _build_quickstart(seed: int, faults=None, metrics=False, batch=False,
-                      scheduler=None):
+                      scheduler=None, dataplane=False):
     """The quickstart topology: one CBR slave saturating a 10 GbE link."""
     from repro import MoonGenEnv
 
     env = MoonGenEnv(seed=seed, faults=faults, metrics=metrics, batch=batch,
-                     scheduler=scheduler)
+                     scheduler=scheduler, dataplane=dataplane)
     tx = env.config_device(0, tx_queues=1)
     rx = env.config_device(1, rx_queues=1)
     env.connect(tx, rx)
@@ -133,13 +139,14 @@ def _build_quickstart(seed: int, faults=None, metrics=False, batch=False,
 
 def _build_dut_forward(seed: int, faults=None, metrics=False,
                        rate_pps: float = 1.5e6, frame_size: int = 64,
-                       scheduler=None):
+                       scheduler=None, dataplane=False):
     """CBR traffic through the simulated OvS DuT (load-latency shape)."""
     from repro import MoonGenEnv
     from repro.dut import OvsForwarder
 
     env = MoonGenEnv(seed=seed, cost_noise=False, faults=faults,
-                     metrics=metrics, scheduler=scheduler)
+                     metrics=metrics, scheduler=scheduler,
+                     dataplane=dataplane)
     tx = env.config_device(0, tx_queues=2)
     rx = env.config_device(1, rx_queues=1)
     dut = OvsForwarder(env.loop)
@@ -178,7 +185,8 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
                                     faults=_resolve_faults(args),
                                     metrics=bool(args.metrics),
                                     batch=args.batch,
-                                    scheduler=args.scheduler)
+                                    scheduler=args.scheduler,
+                                    dataplane=bool(args.metrics))
     _warn_unmatched_faults(env)
     snapshotter = None
     if args.metrics:
@@ -191,37 +199,78 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     if env.batch is not None:
         print(env.batch.summary())
     if snapshotter is not None:
+        lat_fp = env.dataplane.fingerprint()
+        print(f"latency fingerprint {lat_fp}")
         _write_metrics(snapshotter, args.metrics, "moongen-repro quickstart",
-                       args.seed)
+                       args.seed, fingerprints={"latency": lat_fp})
     return 0
 
 
-def _cmd_load_latency(args: argparse.Namespace) -> int:
+def _build_load_latency(seed: int, rate_mpps: float, mode: str,
+                        pattern_name: str, probes: int, faults=None,
+                        metrics=False, batch=False, scheduler=None,
+                        dataplane=False):
+    """The load-latency experiment, built but not yet run.
+
+    Shared by :func:`_cmd_load_latency` and the ``--jobs`` worker
+    replicas (:func:`_load_latency_point`), so both run the exact same
+    topology and rate control.
+    """
     from repro import MoonGenEnv, PoissonPattern
     from repro.core.latency import LoadLatencyExperiment
     from repro.dut import OvsForwarder
 
-    env = MoonGenEnv(seed=args.seed, faults=_resolve_faults(args),
-                     metrics=bool(args.metrics), batch=args.batch,
-                     scheduler=args.scheduler)
+    env = MoonGenEnv(seed=seed, faults=faults, metrics=metrics, batch=batch,
+                     scheduler=scheduler, dataplane=dataplane)
     tx = env.config_device(0, tx_queues=2)
     rx = env.config_device(1, rx_queues=1)
     dut = OvsForwarder(env.loop)
     env.connect_to_sink(tx, dut.ingress)
     dut.connect_output(env.wire_to_device(rx))
     env.register_dut(dut)
+
+    pps = rate_mpps * 1e6
+    pattern = (PoissonPattern(pps, seed=seed)
+               if pattern_name == "poisson" else None)
+    mode = mode if pattern is None else "crc"
+    experiment = LoadLatencyExperiment(
+        env, tx, rx, mode=mode, pattern=pattern,
+        n_probes=probes, probe_interval_ns=50_000.0,
+    )
+    return env, tx, rx, dut, experiment, pps
+
+
+def _load_latency_point(point, seed: int):
+    """Worker replica of the load-latency run (the ``--jobs`` cross-check).
+
+    Ignores the engine-derived per-point seed — the user's seed rides in
+    the point itself, so every replica (and the in-process run) is the
+    same simulation and must reproduce the same latency fingerprint.
+    """
+    env, tx, rx, dut, experiment, pps = _build_load_latency(
+        seed=point["seed"], rate_mpps=point["rate"], mode=point["mode"],
+        pattern_name=point["pattern"], probes=point["probes"],
+        faults=_resolve_faults_value(point["faults"], point["seed"]),
+        metrics=True, dataplane=True, batch=point["batch"],
+        scheduler=point["scheduler"])
+    experiment.run(pps, duration_ns=point["duration_ms"] * 1e6,
+                   dut_crc_counter=lambda: dut.rx_crc_errors)
+    return env.dataplane.fingerprint()
+
+
+def _cmd_load_latency(args: argparse.Namespace) -> int:
+    env, tx, rx, dut, experiment, pps = _build_load_latency(
+        seed=args.seed, rate_mpps=args.rate, mode=args.mode,
+        pattern_name=args.pattern, probes=args.probes,
+        faults=_resolve_faults(args), metrics=bool(args.metrics),
+        batch=args.batch, scheduler=args.scheduler,
+        dataplane=bool(args.metrics))
     _warn_unmatched_faults(env)
     snapshotter = None
     if args.metrics:
         snapshotter = env.start_snapshotter(_metrics_interval_ns(args))
 
-    pps = args.rate * 1e6
-    pattern = PoissonPattern(pps, seed=args.seed) if args.pattern == "poisson" else None
-    mode = args.mode if pattern is None else "crc"
-    experiment = LoadLatencyExperiment(
-        env, tx, rx, mode=mode, pattern=pattern,
-        n_probes=args.probes, probe_interval_ns=50_000.0,
-    )
+    mode = experiment.mode
     result = experiment.run(pps, duration_ns=args.duration_ms * 1e6,
                             dut_crc_counter=lambda: dut.rx_crc_errors)
     print(f"offered {args.rate:.2f} Mpps ({args.pattern} via {mode} rate control)")
@@ -238,8 +287,69 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
     if env.batch is not None:
         print(env.batch.summary())
     if snapshotter is not None:
+        lat_fp = env.dataplane.fingerprint()
+        print(f"latency fingerprint {lat_fp}")
+        if args.jobs and args.jobs > 1:
+            from repro.parallel import run_parallel
+
+            point = {"seed": args.seed, "rate": args.rate,
+                     "mode": args.mode, "pattern": args.pattern,
+                     "probes": args.probes, "faults": args.faults,
+                     "duration_ms": args.duration_ms, "batch": args.batch,
+                     "scheduler": args.scheduler}
+            replicas = run_parallel(
+                [dict(point, replica=i) for i in range(args.jobs)],
+                _load_latency_point, jobs=args.jobs)
+            bad = [fp for fp in replicas if fp != lat_fp]
+            if bad:
+                print(f"latency fingerprint DIVERGED in worker replicas: "
+                      f"in-process {lat_fp}, workers {replicas}",
+                      file=sys.stderr)
+                return 1
+            print(f"latency fingerprint verified across {args.jobs} "
+                  "worker replicas")
         _write_metrics(snapshotter, args.metrics,
-                       "moongen-repro load-latency", args.seed)
+                       "moongen-repro load-latency", args.seed,
+                       fingerprints={"latency": lat_fp})
+    return 0
+
+
+def _cmd_precision(args: argparse.Namespace) -> int:
+    from repro.analysis.precision import (
+        METHODS,
+        audit_registry,
+        format_audit_table,
+        run_precision_audit,
+        write_audit_csv,
+    )
+    from repro.metrics import RunManifest, to_prometheus
+
+    results = run_precision_audit(
+        rate_mpps=args.rate, frame_size=args.frame_size,
+        duration_ns=args.duration_ms * 1e6, seed=args.seed,
+        methods=tuple(args.methods) if args.methods else METHODS,
+        jobs=args.jobs or 1, batch=args.batch, scheduler=args.scheduler)
+    print(f"rate-control precision audit @ {args.rate:.2f} Mpps "
+          f"({args.frame_size} B frames, {args.duration_ms:g} ms simulated)")
+    print(format_audit_table(results))
+    fingerprints = {f"interarrival.{r['method']}": r["fingerprint"]
+                    for r in results}
+    if args.csv:
+        with _atomic_out(args.csv) as fh:
+            write_audit_csv(results, fh)
+        manifest_path = RunManifest(
+            command="moongen-repro precision", seed=args.seed,
+            jobs=args.jobs or 1,
+            config={"rate_mpps": args.rate, "frame_size": args.frame_size,
+                    "duration_ms": args.duration_ms,
+                    "methods": [r["method"] for r in results]},
+            fingerprints=fingerprints,
+        ).write(args.csv)
+        print(f"wrote histogram CSV to {args.csv} (manifest {manifest_path})")
+    if args.prom:
+        with _atomic_out(args.prom) as fh:
+            fh.write(to_prometheus(audit_registry(results)))
+        print(f"wrote Prometheus scrape file to {args.prom}")
     return 0
 
 
@@ -688,6 +798,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="OUT.JSONL",
                    help="sample the metrics registry during the run and "
                         "write the JSONL time series (+ manifest) here")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="with --metrics: additionally re-run the experiment "
+                        "in this many worker processes and require every "
+                        "replica to reproduce the in-process latency "
+                        "fingerprint (exit 1 on divergence)")
     p.set_defaults(func=_cmd_load_latency)
 
     p = sub.add_parser("inter-arrival",
@@ -696,6 +811,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=_cmd_inter_arrival)
+
+    p = sub.add_parser(
+        "precision",
+        help="audit rate-control precision with in-dataplane histograms",
+        description="Reproduces the Figure 8 rate-control comparison "
+                    "in-dataplane: drives the same two-port topology with "
+                    "hardware CBR, CRC-gap software rate control, and "
+                    "naive bursty software pacing, histogramming rx "
+                    "inter-arrival gaps at the receiving NIC "
+                    "(repro.analysis.precision).  Per-method fingerprints "
+                    "are bit-identical for any --jobs value, either "
+                    "scheduler backend, and with or without --batch.",
+    )
+    p.add_argument("--rate", type=float, default=1.0, help="Mpps")
+    p.add_argument("--frame-size", type=int, default=64, metavar="BYTES")
+    p.add_argument("--duration-ms", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--method", action="append", dest="methods",
+                   choices=("hardware", "crc", "software-burst"),
+                   help="audit only this mechanism; repeatable "
+                        "(default: all three)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="fan the per-method simulations across this many "
+                        "worker processes (default: 1, serial; results "
+                        "are bit-identical either way)")
+    p.add_argument("--batch", action="store_true",
+                   help="execute homogeneous event trains through the "
+                        "vectorized batch tier (bit-identical output)")
+    p.add_argument("--scheduler", choices=("heap", "calendar"), default=None,
+                   help=scheduler_help)
+    p.add_argument("--csv", metavar="OUT.CSV",
+                   help="write the per-method bucket histograms as CSV "
+                        "(+ manifest with per-method fingerprints)")
+    p.add_argument("--prom", metavar="OUT.PROM",
+                   help="write the per-method histograms as a Prometheus "
+                        "text-format scrape file")
+    p.set_defaults(func=_cmd_precision)
 
     p = sub.add_parser(
         "rfc2544",

@@ -36,6 +36,7 @@ class MoonGenEnv:
         batch=None,
         faults=None,
         metrics=None,
+        dataplane=None,
         scheduler=None,
         watchdog=None,
     ) -> None:
@@ -187,6 +188,25 @@ class MoonGenEnv:
                         lambda r=reason: tier.fallbacks.get(r, 0),
                         help=f"kicks that fell back to event execution "
                              f"({reason})")
+        #: In-dataplane latency observation (``repro.metrics.dataplane``):
+        #: per-hop residence and inter-arrival ``Log2Histogram``\ s latched
+        #: by the models themselves as frames move through the pipeline.
+        #: ``dataplane=True`` requires a metrics registry (the histograms
+        #: live in it); ``None``/``False`` (default) leaves every model
+        #: hook on its ``is not None`` fast path.  Devices, wires, and
+        #: DuTs attach automatically as the topology is built.
+        self.dataplane = None
+        if dataplane:
+            if self.metrics is None:
+                raise ConfigurationError(
+                    "MoonGenEnv(dataplane=True) needs metrics=True: the "
+                    "latency histograms live in the metrics registry"
+                )
+            from repro.metrics.dataplane import DataplaneObserver
+
+            self.dataplane = (dataplane
+                              if isinstance(dataplane, DataplaneObserver)
+                              else DataplaneObserver(self.metrics))
         #: Simulation watchdogs (``repro.supervise``).  ``watchdog`` may
         #: be a pre-built :class:`~repro.nicsim.eventloop.Watchdog` or
         #: ``None`` (default: the loop stays on its uninstrumented fast
@@ -260,6 +280,8 @@ class MoonGenEnv:
             self.injector.register_port(f"port:{port_id}", port)
         if self.metrics is not None:
             port.register_metrics(self.metrics)
+        if self.dataplane is not None:
+            self.dataplane.attach_port(port)
         return device
 
     def wait_for_links(self) -> None:
@@ -290,6 +312,11 @@ class MoonGenEnv:
                 self.metrics, f"{a.port.port_id}->{b.port.port_id}")
             wire_ba.register_metrics(
                 self.metrics, f"{b.port.port_id}->{a.port.port_id}")
+        if self.dataplane is not None:
+            self.dataplane.attach_wire(
+                wire_ab, f"{a.port.port_id}->{b.port.port_id}")
+            self.dataplane.attach_wire(
+                wire_ba, f"{b.port.port_id}->{a.port.port_id}")
         return wire_ab, wire_ba
 
     def connect_to_sink(
@@ -308,6 +335,8 @@ class MoonGenEnv:
         if self.metrics is not None:
             wire.register_metrics(self.metrics,
                                   f"{device.port.port_id}->sink")
+        if self.dataplane is not None:
+            self.dataplane.attach_wire(wire, f"{device.port.port_id}->sink")
         return wire
 
     def wire_to_device(
@@ -330,6 +359,8 @@ class MoonGenEnv:
         if self.metrics is not None:
             wire.register_metrics(self.metrics,
                                   f"env->{device.port.port_id}")
+        if self.dataplane is not None:
+            self.dataplane.attach_wire(wire, f"env->{device.port.port_id}")
         return wire
 
     def register_dut(self, dut) -> None:
@@ -342,6 +373,8 @@ class MoonGenEnv:
             self.injector.register_dut(dut)
         if self.metrics is not None and hasattr(dut, "register_metrics"):
             dut.register_metrics(self.metrics)
+        if self.dataplane is not None and hasattr(dut, "dp_ring"):
+            self.dataplane.attach_dut(dut)
 
     def _next_wire_seed(self) -> int:
         self._wire_seed += 1

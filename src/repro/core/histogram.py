@@ -50,9 +50,13 @@ class Histogram:
     # -- summary statistics ----------------------------------------------------
 
     def min(self) -> float:
+        if not self._samples:
+            raise ValueError("empty histogram")
         return self._ensure_sorted()[0]
 
     def max(self) -> float:
+        if not self._samples:
+            raise ValueError("empty histogram")
         return self._ensure_sorted()[-1]
 
     def avg(self) -> float:

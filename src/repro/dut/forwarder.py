@@ -60,6 +60,10 @@ class OvsForwarder:
         #: service time — a saturated forwarder (>1.0) drains slower, so
         #: its rx ring fills and ``rx_dropped`` climbs.
         self.overload = 1.0
+        #: In-dataplane ring-residence histogram
+        #: (``latency.hop.dut.ring``), attached by
+        #: :meth:`repro.metrics.dataplane.DataplaneObserver.attach_dut`.
+        self.dp_ring = None
 
     def set_overload(self, factor: float) -> None:
         """Scale the per-packet service time (DuT overload fault)."""
@@ -157,6 +161,10 @@ class OvsForwarder:
                 self._schedule_interrupt()
             return
         frame = self.ring.popleft()
+        if self.dp_ring is not None:
+            arrival = frame.meta.get("dut_arrival_ps")
+            if arrival is not None:
+                self.dp_ring.observe((self.loop.now_ps - arrival) / 1000.0)
         service_ps = round(self.config.service_ns * self.overload * 1000)
 
         def done(frame=frame) -> None:

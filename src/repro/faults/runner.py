@@ -36,6 +36,7 @@ def run_plan(
     trace=None,
     metrics: bool = False,
     batch: bool = False,
+    dataplane: bool = False,
 ) -> Dict[str, Any]:
     """Run the chaos scenario under ``plan``; returns the stats dict.
 
@@ -49,7 +50,11 @@ def run_plan(
     With ``metrics=True`` the run also carries a metrics registry and a
     1 ms snapshotter; the result gains a ``metrics_fingerprint`` key (the
     BLAKE2b hash of the snapshot series) — the value the CI fault-matrix
-    job compares between serial and sharded runs.
+    job compares between serial and sharded runs.  ``dataplane=True``
+    (requires ``metrics=True``) additionally arms the in-dataplane
+    latency histograms (:mod:`repro.metrics.dataplane`); the result
+    gains a ``latency_fingerprint`` key and the histograms ride into
+    ``metrics_fingerprint``.
 
     With ``batch=True`` the run executes under the vectorized batch tier
     (``repro.batch``); the result dict is bit-identical either way — a
@@ -67,7 +72,7 @@ def run_plan(
     needs_dut = any(isinstance(f, DutOverload) for f in plan.faults)
 
     env = MoonGenEnv(seed=seed, cost_noise=False, trace=trace, faults=plan,
-                     metrics=metrics, batch=batch)
+                     metrics=metrics, batch=batch, dataplane=dataplane)
     tx_dev = env.config_device(0, tx_queues=2, rx_queues=1)
     rx_dev = env.config_device(1, tx_queues=1, rx_queues=1)
     dut = None
@@ -157,6 +162,8 @@ def run_plan(
         # serial/sharded *and* batch/event.
         result["metrics_fingerprint"] = snapshotter.series.fingerprint(
             exclude_prefixes=("loop.", "batch."))
+    if env.dataplane is not None:
+        result["latency_fingerprint"] = env.dataplane.fingerprint()
     result["fingerprint"] = fingerprint_of(result)
     return result
 

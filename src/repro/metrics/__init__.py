@@ -16,6 +16,7 @@ Enable per-run via ``MoonGenEnv(metrics=True)``; ``None`` (default) keeps
 every hook inert, same zero-cost contract as the tracer.
 """
 
+from repro.metrics.dataplane import DataplaneObserver, PortDataplane
 from repro.metrics.export import (
     prometheus_name,
     to_prometheus,
@@ -49,12 +50,14 @@ from repro.metrics.snapshot import Snapshotter, TimeSeries, canonical_json
 
 __all__ = [
     "Counter",
+    "DataplaneObserver",
     "Gauge",
     "Log2Histogram",
     "LoopProfiler",
     "MANIFEST_SCHEMA",
     "Metric",
     "MetricsRegistry",
+    "PortDataplane",
     "ProfileReport",
     "Rate",
     "RunManifest",

@@ -91,13 +91,13 @@ def to_prometheus(registry: MetricsRegistry,
             out.write(f"# TYPE {name} histogram\n")
             cumulative = 0
             for i, count in enumerate(metric.counts):
-                if not count:
+                # The overflow bucket has no finite edge; its count is
+                # carried only by the single +Inf line below (emitting it
+                # in the loop too would duplicate the +Inf sample).
+                if not count or i == metric.N_BUCKETS - 1:
                     continue
                 cumulative += count
-                le = "+Inf" if i == metric.N_BUCKETS - 1 else str(1 << i)
-                out.write(f'{name}_bucket{{le="{le}"}} {cumulative}\n')
-            if cumulative < metric.total:  # all-empty safety; unreachable
-                cumulative = metric.total
+                out.write(f'{name}_bucket{{le="{1 << i}"}} {cumulative}\n')
             out.write(f'{name}_bucket{{le="+Inf"}} {metric.total}\n')
             out.write(f"{name}_sum {_prom_value(metric.sum)}\n")
             out.write(f"{name}_count {metric.total}\n")

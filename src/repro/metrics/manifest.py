@@ -49,6 +49,7 @@ class RunManifest:
         config: Optional[Dict[str, Any]] = None,
         fault_plan: Any = None,
         result_fingerprint: Optional[str] = None,
+        fingerprints: Optional[Dict[str, str]] = None,
     ) -> None:
         self.command = command
         self.seed = seed
@@ -56,6 +57,10 @@ class RunManifest:
         self.config = dict(config) if config else {}
         self.fault_plan = fault_plan
         self.result_fingerprint = result_fingerprint
+        #: Named auxiliary fingerprints (e.g. ``{"latency": ...}`` from
+        #: ``DataplaneObserver.fingerprint``); emitted only when non-empty
+        #: so older manifests stay byte-identical.
+        self.fingerprints = dict(fingerprints) if fingerprints else {}
 
     def to_dict(self) -> Dict[str, Any]:
         import repro
@@ -73,6 +78,8 @@ class RunManifest:
             "package_version": repro.__version__,
             "python_version": "%d.%d.%d" % sys.version_info[:3],
         }
+        if self.fingerprints:
+            doc["fingerprints"] = dict(self.fingerprints)
         return doc
 
     def write(self, result_path: str) -> str:

@@ -226,6 +226,50 @@ class Log2Histogram(Metric):
                 return float(1 << i)
         return float(1 << (self.N_BUCKETS - 1))
 
+    def _position_value(self, k: int) -> float:
+        """Interpolated value of the ``k``-th sample (0-based, sorted order).
+
+        Samples inside a bucket are assumed uniformly spread over
+        ``[lo, hi)``; the ``m``-th of ``c`` sits at the midpoint of its
+        1/c-th slice, so the estimate never leaves the bucket.  The
+        overflow bucket has no upper edge and reports its lower edge.
+        """
+        seen = 0
+        for i, count in enumerate(self.counts):
+            if k < seen + count:
+                if i == self.N_BUCKETS - 1:
+                    return float(1 << (i - 1))
+                lo = 0.0 if i == 0 else float(1 << (i - 1))
+                hi = float(1 << i)
+                return lo + (hi - lo) * ((k - seen) + 0.5) / count
+            seen += count
+        return float(1 << (self.N_BUCKETS - 2))
+
+    def percentile(self, p: float) -> float:
+        """Interpolated percentile, ``p`` in [0, 100].
+
+        The bucket-resolution analog of
+        :meth:`repro.core.histogram.Histogram.percentile`: the same
+        ``p/100 * (n-1)`` rank with linear interpolation between adjacent
+        positions, each position resolved to an in-bucket estimate.  The
+        result is within one bucket width of the sample-exact percentile
+        (the hypothesis property test pins this), and the error contract
+        matches the sample-exact API: ``ValueError`` on an empty
+        histogram or an out-of-range ``p``.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        rank = p / 100 * (self.total - 1)
+        low = int(rank)
+        frac = rank - low
+        vlow = self._position_value(low)
+        if frac == 0.0:
+            return vlow
+        vhigh = self._position_value(low + 1)
+        return vlow + frac * (vhigh - vlow)
+
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 

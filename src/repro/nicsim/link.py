@@ -126,7 +126,7 @@ class Wire:
         "corrupted", "sink", "busy_until_ps", "frames_sent", "bytes_sent",
         "_last_delivery_ps", "_ser_cache", "_jitter_free", "_latency_ps",
         "_phy_ps", "_pending", "carrier_up", "loss_model", "dropped",
-        "faulted",
+        "faulted", "dp_hop", "dp_e2e",
     )
 
     def __init__(
@@ -186,6 +186,12 @@ class Wire:
         #: In-flight (frame, arrival_ps) pairs, ordered by arrival — one
         #: bound callback drains due entries instead of a closure per frame.
         self._pending: Deque[Tuple[object, int, object]] = deque()
+        #: In-dataplane latency histograms (``repro.metrics.dataplane``):
+        #: wire residence (``latency.hop.wire.<name>``) and end-to-end
+        #: enqueue→arrival (``latency.e2e.<name>``).  ``None`` keeps the
+        #: hot path a single ``is not None`` test.
+        self.dp_hop = None
+        self.dp_e2e = None
 
     def connect(self, sink: Callable[[object, int], None]) -> None:
         """Attach the receiving port: called as ``sink(frame, arrival_ps)``."""
@@ -295,6 +301,16 @@ class Wire:
             if arrival <= self._last_delivery_ps:
                 arrival = self._last_delivery_ps + 1
             self._last_delivery_ps = arrival
+            dp_hop = self.dp_hop
+            if dp_hop is not None and getattr(frame, "fcs_ok", False):
+                # Residence on this hop (serialization start → delivered
+                # arrival) and end-to-end enqueue → arrival, FCS-valid
+                # frames only — corrupted frames and CRC-gap fillers are
+                # pacing artifacts, not observed traffic.
+                dp_hop.observe((arrival - start) / 1000.0)
+                enq = frame.meta.get("dp_enq_ps")
+                if enq is not None:
+                    self.dp_e2e.observe((arrival - enq) / 1000.0)
             if tracer is not None:
                 tracer.emit("wire", "wire_tx", frame=tracer.frame_id(frame),
                             size=frame_size, start=start, end=end,
@@ -425,6 +441,12 @@ class Wire:
         if arrival <= self._last_delivery_ps:
             arrival = self._last_delivery_ps + 1
         self._last_delivery_ps = arrival
+        dp_hop = self.dp_hop
+        if dp_hop is not None and getattr(frame, "fcs_ok", False):
+            dp_hop.observe((arrival - start) / 1000.0)
+            enq = frame.meta.get("dp_enq_ps")
+            if enq is not None:
+                self.dp_e2e.observe((arrival - enq) / 1000.0)
         self.sink(frame, arrival)
         return end
 

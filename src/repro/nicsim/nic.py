@@ -415,6 +415,12 @@ class TxQueueSim:
                 # arithmetically from exactly this offset.
                 pend.sent = start + accepted
             port = self.port
+            if port.dataplane is not None:
+                # Ingress stamp: descriptor-ring entry time, read back by
+                # the fetch path (tx-queue residence) and the wire (e2e).
+                now_ps = port.loop.now_ps
+                for f in frames[start:start + accepted]:
+                    f.meta["dp_enq_ps"] = now_ps
             # A producer resumed from inside _prefetch (its space signal)
             # needs no kick: the prefetch loop re-reads the ring, and the
             # outer kick transmits once the FIFO is filled.
@@ -568,7 +574,7 @@ class NicPort:
         "_mac_wakeup", "_rr_next", "_fifo", "_fifo_bytes", "_prefetching",
         "_in_enqueue", "_enqueue_short", "tx_observers", "fast_forward",
         "fast_forwarded", "link_up", "link_changes", "link_signal",
-        "dma_slowdown", "_batch_sink",
+        "dma_slowdown", "_batch_sink", "dataplane",
     )
 
     def __init__(
@@ -656,6 +662,11 @@ class NicPort:
         # ``repro.batch`` sink-validation memo: ``(wire, sink)`` pairs the
         # detector has already proven to end in ``NicPort.receive``.
         self._batch_sink: Optional[Tuple[object, object, "NicPort"]] = None
+        #: In-dataplane latency observation state
+        #: (:class:`repro.metrics.dataplane.PortDataplane`), attached by
+        #: :meth:`repro.metrics.dataplane.DataplaneObserver.attach_port`.
+        #: ``None`` keeps every hook a single ``is not None`` test.
+        self.dataplane = None
 
     # -- wiring ----------------------------------------------------------------
 
@@ -780,6 +791,12 @@ class NicPort:
             tracer.emit("desc", "desc_fetch", port=self.port_id,
                         queue=queue.index, frame=tracer.frame_id(frame),
                         size=frame.size)
+        dp = self.dataplane
+        if dp is not None:
+            enq = frame.meta.get("dp_enq_ps")
+            if enq is not None:
+                dp.txq[queue.index].observe(
+                    (self.loop.now_ps - enq) / 1000.0)
         recycle = frame.recycle
         if recycle is not None:
             # The NIC has fetched the packet: DPDK's transmit function can
@@ -993,6 +1010,14 @@ class NicPort:
             if frame.pool is not None:
                 frame.pool.release(frame)
             return
+        dp = self.dataplane
+        if dp is not None:
+            # Inter-arrival between FCS-valid frames only: bad-CRC fillers
+            # are pacing artifacts, not traffic (Section 8's premise).
+            last = dp.rx_last_ps
+            if last >= 0:
+                dp.rx_interarrival.observe((arrival_ps - last) / 1000.0)
+            dp.rx_last_ps = arrival_ps
         if self.chip.hw_timestamping:
             # Timestamps are taken early in the receive path, referenced to
             # the start of the frame (the wire delivers at frame end).  The

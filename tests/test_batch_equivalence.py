@@ -309,6 +309,186 @@ class TestCrossWireEquivalence:
 
 
 # ---------------------------------------------------------------------------
+# in-dataplane latency histograms: the observation layer itself must be
+# batch-, jobs-, and scheduler-invariant (docs/METRICS.md)
+
+
+def _dataplane_obs(env) -> Dict[str, Any]:
+    """Deep-diffable view of every dataplane histogram + fingerprint."""
+    return {
+        "dataplane": env.dataplane.read_all(),
+        "latency_fingerprint": env.dataplane.fingerprint(),
+    }
+
+
+def _dataplane_quickstart(batch: bool, scheduler=None):
+    """Quickstart with per-hop observation armed: the FIFO kernel must
+    accumulate tx-queue/wire/e2e/inter-arrival values bit-identically."""
+    from repro.cli import _build_quickstart
+
+    env, tx, rx = _build_quickstart(seed=5, metrics=True, batch=batch,
+                                    scheduler=scheduler, dataplane=True)
+    snap = env.start_snapshotter(250_000.0)
+    env.wait_for_slaves(duration_ns=1_500_000)
+    obs = {
+        "tx": _device_counters(tx),
+        "rx": _device_counters(rx),
+        "now_ps": env.loop.now_ps,
+        "metrics_fingerprint": snap.series.fingerprint(
+            exclude_prefixes=("loop.", "batch.")),
+    }
+    obs.update(_dataplane_obs(env))
+    return obs, env
+
+
+def _dataplane_paced(batch: bool):
+    """Hardware CBR with observation armed: the paced ring kernel."""
+    env = MoonGenEnv(seed=9, metrics=True, dataplane=True, batch=batch)
+    tx = env.config_device(0, tx_queues=1)
+    rx = env.config_device(1, rx_queues=1)
+    env.connect(tx, rx)
+    queue = tx.get_tx_queue(0)
+    queue.set_rate_pps(2e6, 64)
+
+    def slave(env, queue):
+        mem = env.create_mempool(
+            fill=lambda b: b.udp_packet.fill(pkt_length=60))
+        bufs = mem.buf_array(32)
+        while env.running():
+            bufs.alloc(60)
+            yield queue.send(bufs)
+
+    env.launch(slave, env, queue)
+    env.wait_for_slaves(duration_ns=1_500_000)
+    obs = {
+        "tx": _device_counters(tx),
+        "rx": _device_counters(rx),
+        "now_ps": env.loop.now_ps,
+    }
+    obs.update(_dataplane_obs(env))
+    return obs, env
+
+
+def _dataplane_pattern(make_pattern, seed: int):
+    """CRC-gap software rate control with observation armed: fillers are
+    FCS-gated out of the histograms, valid frames are not."""
+    def scenario(batch: bool):
+        env = MoonGenEnv(seed=seed, metrics=True, dataplane=True,
+                         batch=batch)
+        tx = env.config_device(0, tx_queues=1)
+        rx = env.config_device(1, rx_queues=1)
+        env.connect(tx, rx)
+        filler = GapFiller()
+
+        def craft(buf, index):
+            buf.eth_packet.fill(eth_type=0x0800)
+
+        env.launch(filler.load_task, env, tx.get_tx_queue(0),
+                   make_pattern(), 400, craft)
+        env.wait_for_slaves(duration_ns=2_000_000)
+        obs = {
+            "tx": _device_counters(tx),
+            "rx": _device_counters(rx),
+            "now_ps": env.loop.now_ps,
+        }
+        obs.update(_dataplane_obs(env))
+        return obs, env
+
+    return scenario
+
+
+def _dataplane_load_latency(batch: bool):
+    """Load-latency through the OvS DuT with observation armed: the DuT
+    ring histogram joins the per-hop set; the tier must still decline."""
+    env = MoonGenEnv(seed=2, cost_noise=False, metrics=True,
+                     dataplane=True, batch=batch)
+    tx = env.config_device(0, tx_queues=2)
+    rx = env.config_device(1, rx_queues=1)
+    dut = OvsForwarder(env.loop)
+    env.connect_to_sink(tx, dut.ingress)
+    dut.connect_output(env.wire_to_device(rx))
+    env.register_dut(dut)
+    experiment = LoadLatencyExperiment(
+        env, tx, rx, mode="hardware",
+        n_probes=30, probe_interval_ns=50_000.0)
+    result = experiment.run(1.0e6, duration_ns=1_500_000.0)
+    obs = {
+        "tx": _device_counters(tx),
+        "rx": _device_counters(rx),
+        "dut": dut.counters(),
+        "now_ps": env.loop.now_ps,
+        "latency_samples": tuple(result.latency.samples),
+    }
+    obs.update(_dataplane_obs(env))
+    return obs, env
+
+
+class TestDataplaneEquivalence:
+    """The in-dataplane observability guarantee: per-hop latency and
+    inter-arrival histograms are bit-identical event vs batch, serial
+    vs ``--jobs 2``, and heap vs calendar scheduler."""
+
+    def test_quickstart_histograms_identical(self):
+        stats = assert_batch_equivalent(_dataplane_quickstart)
+        assert stats["trains"] > 0
+
+    def test_hardware_cbr_histograms_identical(self):
+        assert_batch_equivalent(_dataplane_paced)
+
+    @pytest.mark.skipif(_installed_np is None,
+                        reason="traffic patterns draw gaps with numpy")
+    def test_poisson_crc_histograms_identical(self):
+        assert_batch_equivalent(
+            _dataplane_pattern(lambda: PoissonPattern(2e6, seed=4), seed=4),
+            expect_fallback="horizon")
+
+    def test_load_latency_dut_histograms_identical(self):
+        obs_stats = assert_batch_equivalent(_dataplane_load_latency,
+                                            expect_batched=False,
+                                            expect_fallback="sink-unbatchable")
+        # The DuT ring histogram actually observed traffic.
+        obs, env = _dataplane_load_latency(False)
+        assert obs["dataplane"]["latency.hop.dut.ring"]["total"] > 0
+
+    @pytest.mark.parametrize("name", sorted(builtin_plans())[:2])
+    def test_fault_plan_histograms_identical(self, name):
+        plan = builtin_plans(seed=0)[name]
+        kwargs = dict(duration_ns=1_500_000.0, rate_pps=2e6, metrics=True,
+                      dataplane=True)
+        plain = run_plan(plan, **kwargs)
+        batched = run_plan(plan, batch=True, **kwargs)
+        diff = _dict_diff(plain, batched)
+        assert not diff, (
+            f"plan {name!r} diverged under batch with dataplane "
+            "observation armed:\n  " + "\n  ".join(diff))
+        assert plain["latency_fingerprint"]
+
+    def test_heap_vs_calendar_histograms_identical(self):
+        combos = [
+            _dataplane_quickstart(False, scheduler="heap"),
+            _dataplane_quickstart(False, scheduler="calendar"),
+            _dataplane_quickstart(True, scheduler="calendar"),
+        ]
+        base = combos[0][0]
+        for obs, _ in combos[1:]:
+            diff = _dict_diff(base, obs)
+            assert not diff, "\n  ".join(diff)
+
+    def test_serial_vs_jobs_histograms_identical(self):
+        """The precision audit fans whole simulations across worker
+        processes; the per-method histograms must not care."""
+        from repro.analysis.precision import run_precision_audit
+
+        kwargs = dict(rate_mpps=1.0, duration_ns=400_000, seed=1)
+        serial = run_precision_audit(**kwargs)
+        sharded = run_precision_audit(jobs=2, **kwargs)
+        diff = _dict_diff(
+            {r["method"]: r for r in serial},
+            {r["method"]: r for r in sharded})
+        assert not diff, "\n  ".join(diff)
+
+
+# ---------------------------------------------------------------------------
 # golden pin: one canonical batch-mode run, committed
 
 

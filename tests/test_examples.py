@@ -52,6 +52,13 @@ class TestExamples:
         assert "MoonGen" in out and "zsend" in out
         assert "±64ns" in out
 
+    def test_rate_control_precision(self):
+        out = run_example("rate_control_precision", ["1.0", "0.5"])
+        for method in ("hardware", "crc", "software-burst"):
+            assert method in out
+        assert "inter-arrival histogram" in out
+        assert "micro-bursts" in out
+
     def test_multicore_scaling(self):
         out = run_example("multicore_scaling", ["3"])
         assert "line rate" in out

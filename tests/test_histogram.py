@@ -24,10 +24,16 @@ class TestBasics:
         assert h.avg() == 2.5
 
     def test_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="empty"):
             Histogram().avg()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="empty"):
             Histogram().percentile(50)
+        # min()/max() used to leak a bare IndexError from the sample
+        # list; they must follow avg()'s contract.
+        with pytest.raises(ValueError, match="empty"):
+            Histogram().min()
+        with pytest.raises(ValueError, match="empty"):
+            Histogram().max()
 
     def test_stddev(self):
         h = Histogram([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])

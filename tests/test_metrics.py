@@ -175,6 +175,73 @@ class TestLog2Histogram:
         assert json.loads(canonical_json(snap)) == snap
 
 
+class TestLog2Percentile:
+    """Interpolated percentile extraction (the in-dataplane report path)."""
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Log2Histogram("lat").percentile(50)
+
+    def test_out_of_range_raises(self):
+        h = Log2Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="range"):
+            h.percentile(101)
+        with pytest.raises(ValueError, match="range"):
+            h.percentile(-0.1)
+
+    def test_overflow_bucket_reports_lower_edge(self):
+        # The overflow bucket has no upper edge to interpolate toward;
+        # it reports its lower edge rather than inventing a value.
+        h = Log2Histogram("lat")
+        for _ in range(10):
+            h.observe(2.0 ** 90)
+        assert h.percentile(50) == float(1 << (Log2Histogram.N_BUCKETS - 2))
+
+    def test_interpolates_inside_one_bucket(self):
+        h = Log2Histogram("lat")
+        for _ in range(3):
+            h.observe(600.0)  # bucket [512, 1024)
+        p0, p50, p100 = (h.percentile(p) for p in (0, 50, 100))
+        assert 512.0 <= p0 < p50 < p100 < 1024.0
+
+    @staticmethod
+    def _bucket_of(value: float):
+        """(lower edge, width) of the finite bucket holding ``value``."""
+        i = int(value).bit_length()
+        lo = 0.0 if i == 0 else float(1 << (i - 1))
+        return lo, float(1 << i) - lo if i else 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(samples=st.lists(
+               st.floats(min_value=0, max_value=2.0 ** 45, allow_nan=False),
+               min_size=1, max_size=300),
+           p=st.floats(min_value=0, max_value=100))
+    def test_agrees_with_sample_exact_percentile(self, samples, p):
+        """``Log2Histogram.percentile`` vs the sample-exact
+        ``Histogram.percentile``: both interpolate between the same two
+        ranks, and the bucket estimate never leaves its sample's bucket,
+        so the estimates agree to within one power-of-two bucket width
+        (the wider of the two ranks' buckets)."""
+        from repro.core.histogram import Histogram
+
+        h = Log2Histogram("lat")
+        for v in samples:
+            h.observe(v)
+        est = h.percentile(p)
+        exact = Histogram(samples).percentile(p)
+
+        ordered = sorted(samples)
+        rank = p / 100 * (len(ordered) - 1)
+        low_sample = ordered[int(rank)]
+        high_sample = ordered[min(len(ordered) - 1, int(rank) + 1)]
+        low_lo, low_width = self._bucket_of(low_sample)
+        high_lo, high_width = self._bucket_of(high_sample)
+        assert abs(est - exact) <= max(low_width, high_width)
+        # And the hard bound: est stays within the ranks' bucket span.
+        assert low_lo <= est <= high_lo + high_width
+
+
 # ---------------------------------------------------------------------------
 # exporters
 
@@ -191,7 +258,9 @@ def _toy_registry():
                    help="frames currently on the wire")
     lat = registry.log2_histogram("latency_ns",
                                   help="end-to-end latency in ns")
-    for value in (100.0, 200.0, 400.0, 100_000.0):
+    # The last sample lands in the overflow bucket: its count must be
+    # carried only by the +Inf line, never a duplicate finite edge.
+    for value in (100.0, 200.0, 400.0, 100_000.0, 2.0 ** 50):
         lat.observe(value)
     return registry
 
@@ -213,8 +282,15 @@ class TestPrometheus:
         assert 'latency_ns_bucket{le="256"} 2\n' in text
         assert 'latency_ns_bucket{le="512"} 3\n' in text
         assert 'latency_ns_bucket{le="131072"} 4\n' in text
-        assert 'latency_ns_bucket{le="+Inf"} 4\n' in text
-        assert "latency_ns_count 4\n" in text
+        assert 'latency_ns_bucket{le="+Inf"} 5\n' in text
+        assert "latency_ns_count 5\n" in text
+
+    def test_overflow_bucket_emits_single_inf_line(self):
+        # The overflow bucket has no finite edge; a naive exporter used
+        # to emit its cumulative count under le="2**47" AND +Inf.
+        text = to_prometheus(_toy_registry())
+        assert text.count('latency_ns_bucket{le="+Inf"}') == 1
+        assert f'le="{1 << 47}"' not in text
 
     def test_rate_exported_as_gauge(self):
         text = to_prometheus(_toy_registry())
@@ -394,6 +470,17 @@ class TestRunManifest:
         assert doc["fault_plan_hash"] == stable_hash({"faults": []})
         assert doc["result_fingerprint"] == "abcd"
         assert doc["python_version"].count(".") == 2
+
+    def test_auxiliary_fingerprints_roundtrip(self, tmp_path):
+        manifest = RunManifest(command="moongen-repro precision",
+                               fingerprints={"latency": "beefcafe"})
+        doc = load_manifest(manifest.write(str(tmp_path / "out.csv")))
+        assert doc["fingerprints"] == {"latency": "beefcafe"}
+
+    def test_fingerprints_absent_by_default(self):
+        # Older manifests must stay byte-identical: the key only
+        # appears when a fingerprint was recorded.
+        assert "fingerprints" not in RunManifest(command="x").to_dict()
 
     def test_hash_is_order_insensitive(self):
         assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
